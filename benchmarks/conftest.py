@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Experiment-scale benches regenerate whole paper artifacts; they run one
+round each (``benchmark.pedantic``). Run counts default to a scaled-down
+protocol so the whole harness finishes in minutes; set ``REPRO_FULL=1``
+to use the paper's full run counts (30/70 runs per program, 92 for the
+Figure 9 Mtrt study).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Run count used per benchmark program when not in full mode.
+QUICK_RUNS = 16
+
+
+@pytest.fixture(scope="session")
+def runs_override() -> int | None:
+    """None in full mode (per-benchmark paper counts); reduced otherwise."""
+    return None if FULL else QUICK_RUNS
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run an experiment-scale callable exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

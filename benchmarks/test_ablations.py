@@ -1,0 +1,122 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+A1 — discriminative guard on/off: removing the confidence gate
+     (TH_c = 0) recovers Rep-style unconditional prediction risk: the
+     worst-case speedup degrades relative to the guarded configuration.
+A2 — decay factor γ: smaller γ smooths confidence (slower to both open
+     and close the gate); the default 0.7 sits between the extremes.
+A3 — classification tree vs. majority vote: replacing the tree with a
+     per-method majority label (a depth-0 tree) hurts prediction accuracy
+     on an input-sensitive program — the tree earns its keep.
+A4 — sampler granularity: a coarser timer slows the reactive optimizer's
+     reaction, widening Evolve's advantage over the default VM.
+"""
+
+from repro.bench import get_benchmark
+from repro.experiments import run_experiment
+from repro.learning.tree import TreeParams
+from repro.vm.config import DEFAULT_CONFIG, VMConfig
+
+from conftest import one_shot
+
+RUNS = 30
+SEED = 0
+
+
+def _experiment(**kwargs):
+    return run_experiment(get_benchmark("Mtrt"), seed=SEED, runs=RUNS, **kwargs)
+
+
+def test_a1_discriminative_guard(benchmark):
+    def run():
+        guarded = _experiment(scenarios=("default", "evolve"))
+        unguarded = _experiment(scenarios=("default", "evolve"), threshold=0.0)
+        return guarded, unguarded
+
+    guarded, unguarded = one_shot(benchmark, run)
+    g_speedups = sorted(guarded.speedups("evolve"))
+    u_speedups = sorted(unguarded.speedups("evolve"))
+    print(f"\nguarded:   min={g_speedups[0]:.3f} median={g_speedups[RUNS//2]:.3f}")
+    print(f"unguarded: min={u_speedups[0]:.3f} median={u_speedups[RUNS//2]:.3f}")
+    applied_unguarded = sum(1 for o in unguarded.evolve if o.applied_prediction)
+    applied_guarded = sum(1 for o in guarded.evolve if o.applied_prediction)
+    assert applied_unguarded >= applied_guarded
+    # The guard protects the worst case.
+    assert g_speedups[0] >= u_speedups[0] - 0.02
+
+
+def test_a2_decay_factor(benchmark):
+    def run():
+        return {
+            gamma: _experiment(scenarios=("default", "evolve"), gamma=gamma)
+            for gamma in (0.2, 0.7, 0.95)
+        }
+
+    results = one_shot(benchmark, run)
+    print()
+    for gamma, result in results.items():
+        confs = result.confidences()
+        jumps = [abs(b - a) for a, b in zip(confs, confs[1:])]
+        mean_jump = sum(jumps) / len(jumps)
+        applied = sum(1 for o in result.evolve if o.applied_prediction)
+        print(f"gamma={gamma}: mean confidence jump={mean_jump:.3f} applied={applied}")
+    jump = lambda r: sum(
+        abs(b - a) for a, b in zip(r.confidences(), r.confidences()[1:])
+    )
+    # Larger gamma → jumpier confidence.
+    assert jump(results[0.2]) < jump(results[0.95])
+
+
+def test_a3_tree_vs_majority(benchmark):
+    def run():
+        tree = _experiment(scenarios=("default", "evolve"))
+        majority = _experiment(
+            scenarios=("default", "evolve"),
+            tree_params=TreeParams(max_depth=0),
+        )
+        return tree, majority
+
+    tree, majority = one_shot(benchmark, run)
+    tree_acc = sum(tree.accuracies()) / len(tree.accuracies())
+    maj_acc = sum(majority.accuracies()) / len(majority.accuracies())
+    print(f"\ntree accuracy={tree_acc:.3f} majority accuracy={maj_acc:.3f}")
+    assert tree_acc > maj_acc + 0.02, "the tree must beat majority voting"
+
+
+def test_a4_sampler_granularity(benchmark):
+    coarse_config = VMConfig(
+        sample_interval=DEFAULT_CONFIG.sample_interval * 4
+    )
+
+    def run():
+        fine = _experiment(scenarios=("default", "evolve"))
+        coarse = _experiment(
+            scenarios=("default", "evolve"), config=coarse_config
+        )
+        return fine, coarse
+
+    fine, coarse = one_shot(benchmark, run)
+    fine_median = sorted(fine.speedups("evolve"))[RUNS // 2]
+    coarse_median = sorted(coarse.speedups("evolve"))[RUNS // 2]
+    print(f"\nfine sampler median speedup={fine_median:.3f}")
+    print(f"coarse sampler median speedup={coarse_median:.3f}")
+    # With a sluggish reactive baseline, proactive prediction is worth at
+    # least as much (usually more).
+    assert coarse_median >= fine_median - 0.05
+
+
+def test_a5_phase_comparator(benchmark):
+    """Phase-based adaptation (Gu & Verbrugge) vs Evolve: the paper calls
+    them complementary — phase adaptation cannot exploit cross-run input
+    knowledge, so Evolve's median speedup should be at least as high."""
+
+    def run():
+        return _experiment(scenarios=("default", "phase", "evolve"))
+
+    result = one_shot(benchmark, run)
+    phase_median = sorted(result.speedups("phase"))[RUNS // 2]
+    evolve_median = sorted(result.speedups("evolve"))[RUNS // 2]
+    print(f"\nphase median={phase_median:.3f} evolve median={evolve_median:.3f}")
+    assert evolve_median >= phase_median - 0.02
+    # The phase scheme stays in the default's ballpark on these workloads.
+    assert 0.8 < phase_median < 1.3

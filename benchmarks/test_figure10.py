@@ -1,0 +1,40 @@
+"""E4 — Figure 10: speedup box-plots for all 11 benchmarks.
+
+Checks the published aggregate shape: the input-sensitive group's median
+and max speedups are higher under Evolve than Rep; Evolve improves over
+the default VM overall; and the discriminative guard shows up as Evolve's
+worst case beating Rep's worst case in most programs.
+"""
+
+from repro.experiments.figure10 import render, run_figure10
+
+from conftest import one_shot
+
+
+def test_figure10(benchmark, runs_override):
+    summary = one_shot(
+        benchmark, run_figure10, seed=0, runs_override=runs_override
+    )
+    print()
+    print(render(summary))
+
+    assert len(summary.rows) == 11
+    sensitive = summary.sensitive_rows()
+    assert len(sensitive) == 5
+
+    evolve_median = summary.mean_median_speedup("evolve", sensitive)
+    rep_median = summary.mean_median_speedup("rep", sensitive)
+    assert evolve_median > 1.0, "Evolve must improve the sensitive group"
+    assert evolve_median >= rep_median - 0.01, "Evolve should match/beat Rep"
+
+    evolve_max = summary.mean_max_speedup("evolve", sensitive)
+    rep_max = summary.mean_max_speedup("rep", sensitive)
+    print(
+        f"\nsensitive group: median evolve={evolve_median:.3f} rep={rep_median:.3f}; "
+        f"max evolve={evolve_max:.3f} rep={rep_max:.3f}; "
+        f"better worst-case in {summary.better_min_count()}/11 programs"
+    )
+
+    # Discriminative prediction: better minimum speedups in most programs
+    # (the paper reports 9 of 11).
+    assert summary.better_min_count() >= 6

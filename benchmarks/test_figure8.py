@@ -1,0 +1,36 @@
+"""E2 — Figure 8: temporal learning curves for Mtrt and RayTracer.
+
+Checks the published shapes: confidence and accuracy ascend across runs;
+once the gate opens, Evolve's speedups materialize; Evolve's mean speedup
+beats Rep's on both programs (clearly on Mtrt, at least slightly on
+RayTracer).
+"""
+
+import pytest
+
+from repro.experiments.figure8 import render, run_figure8
+
+from conftest import one_shot
+
+
+@pytest.mark.parametrize("program", ["Mtrt", "RayTracer"])
+def test_figure8(benchmark, runs_override, program):
+    runs = runs_override if runs_override is not None else 40
+    curves = one_shot(benchmark, run_figure8, program, seed=0, runs=runs)
+    print()
+    print(render(curves))
+
+    n = len(curves.confidence)
+    # Ascending trend: late confidence beats early confidence.
+    early_conf = sum(curves.confidence[: n // 3]) / (n // 3)
+    late_conf = sum(curves.confidence[-(n // 3):]) / (n // 3)
+    assert late_conf > early_conf
+
+    late_acc = sum(curves.accuracy[-(n // 3):]) / (n // 3)
+    assert late_acc > 0.6
+
+    mean_evolve = sum(curves.evolve_speedup) / n
+    mean_rep = sum(curves.rep_speedup) / n
+    print(f"\nmean speedup: evolve={mean_evolve:.3f} rep={mean_rep:.3f}")
+    assert mean_evolve > 1.0
+    assert mean_evolve > mean_rep - 0.02

@@ -1,0 +1,35 @@
+"""E3 — Figure 9: speedup vs. default running time (Mtrt, Compress).
+
+Checks the published correlation: Evolve's benefit grows with running time
+through the mid-range, Evolve beats Rep most in that region, and for very
+long runs the advantage diminishes (both converge toward 1× as compile
+costs amortize away) — Compress's tail is the paper's example.
+"""
+
+import pytest
+
+from repro.experiments.figure9 import FIGURE9_PROGRAMS, render, run_figure9
+
+from conftest import FULL, one_shot
+
+
+@pytest.mark.parametrize("program", list(FIGURE9_PROGRAMS))
+def test_figure9(benchmark, program):
+    runs = FIGURE9_PROGRAMS[program] if FULL else 30
+    curve = one_shot(benchmark, run_figure9, program, seed=0, runs=runs)
+    print()
+    print(render(curve))
+
+    assert len(curve.points) > 5, "too few predicting runs to chart"
+    times = [p.default_seconds for p in curve.points]
+    assert times == sorted(times)
+
+    buckets = curve.correlation_buckets(4)
+    assert len(buckets) >= 2
+    # Evolve helps overall…
+    mean_evolve = sum(p.evolve_speedup for p in curve.points) / len(curve.points)
+    assert mean_evolve > 1.0
+    # …and the mid-range buckets do at least as well as the extremes
+    # (rising-then-diminishing correlation).
+    evolve_by_bucket = [b[1] for b in buckets]
+    assert max(evolve_by_bucket[1:-1] or evolve_by_bucket) >= evolve_by_bucket[-1] - 0.05

@@ -1,0 +1,25 @@
+"""E7 (extension) — input-specific GC selection (§VI).
+
+Not a paper artifact: the paper's discussion projects this application of
+the machinery; the bench validates the projection. Expected shape: the
+oracle beats both fixed collectors; the learned selector captures most of
+the oracle's improvement once warmed up.
+"""
+
+from repro.experiments.gc_study import render, run_gc_study
+
+from conftest import FULL, one_shot
+
+
+def test_gc_selection_study(benchmark):
+    runs = 60 if FULL else 30
+    result = one_shot(benchmark, run_gc_study, seed=0, runs=runs)
+    print()
+    print(render(result))
+
+    fixed_best = min(
+        result.total_pause["semispace"], result.total_pause["marksweep"]
+    )
+    assert result.total_pause["oracle"] <= fixed_best + 1e-6
+    assert result.selection_accuracy > 0.6
+    assert result.steady_state_capture > 0.5

@@ -1,0 +1,100 @@
+"""Substrate microbenchmarks (classic pytest-benchmark timing).
+
+These track the performance of the pieces everything else stands on: the
+interpreter dispatch loop, the JIT pass pipeline, classification-tree
+fitting, and XICL translation.
+"""
+
+from random import Random
+
+from repro.bench import get_benchmark
+from repro.lang import compile_source
+from repro.learning import ClassificationTree, Dataset
+from repro.vm import DEFAULT_CONFIG, Interpreter, JITCompiler
+from repro.vm.opt.pipeline import run_pipeline
+from repro.xicl import FeatureVector
+
+
+def test_interpreter_throughput(benchmark):
+    program = compile_source(
+        """
+        fn work(n) {
+          var s = 0;
+          for (var i = 0; i < n; i = i + 1) { s = s + i * 3 - (i % 7); }
+          return s;
+        }
+        fn main() { return work(3000); }
+        """
+    )
+
+    def run():
+        interp = Interpreter(program)
+        interp.run(())
+        return interp.profile.instructions_executed
+
+    instructions = benchmark(run)
+    assert instructions > 10_000
+
+
+def test_jit_pipeline_level2(benchmark):
+    bench = get_benchmark("Bloat")
+    program = bench.program
+    methods = list(program)
+
+    def compile_all():
+        return [
+            run_pipeline(program, method, 2)[0] for method in methods
+        ]
+
+    codes = benchmark(compile_all)
+    assert len(codes) == len(methods)
+
+
+def test_tree_fit_200_rows(benchmark):
+    rng = Random(3)
+    ds = Dataset()
+    for _ in range(200):
+        v = FeatureVector()
+        x = rng.uniform(0, 100)
+        v.append_value("x", x)
+        v.append_value("mode", rng.choice(["a", "b"]))
+        v.append_value("noise", rng.uniform(0, 1))
+        ds.add(v, -1 if x < 30 else (1 if x < 70 else 2))
+
+    tree = benchmark(lambda: ClassificationTree().fit(ds))
+    assert tree.used_features()
+
+
+def test_xicl_translation(benchmark):
+    bench = get_benchmark("Mtrt")
+    app, inputs = bench.build(seed=1)
+    translator = app.make_translator()
+    cmdlines = [bi.cmdline for bi in inputs]
+
+    def translate_all():
+        return [translator.build_fvector(cmd) for cmd in cmdlines]
+
+    vectors = benchmark(translate_all)
+    assert len(vectors) == len(cmdlines)
+
+
+def test_rep_strategy_search(benchmark):
+    from repro.aos import AdaptiveController, ProfileRepository
+
+    bench = get_benchmark("RayTracer")
+    app, inputs = bench.build(seed=1)
+    jit = JITCompiler(app.program, DEFAULT_CONFIG)
+    repo = ProfileRepository(jit, DEFAULT_CONFIG.sample_interval)
+    for i, bi in enumerate(inputs):
+        interp = Interpreter(app.program, jit=jit, rng_seed=i)
+        AdaptiveController(interp)
+        tokens = app.split_cmdline(bi.cmdline)
+        fv = app.make_translator().build_fvector(tokens)
+        repo.record_run(interp.run(app.entry_args(tokens, fv)))
+
+    def derive():
+        repo._cached_strategy = None
+        return repo.strategy()
+
+    strategy = benchmark(derive)
+    assert len(strategy) >= 1

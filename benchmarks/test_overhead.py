@@ -1,0 +1,24 @@
+"""E5 — §V-B.2: overhead of the evolvable machinery.
+
+Checks the published bound: feature extraction plus prediction stay a tiny
+share of run time — under 0.4 % for most runs, never above ~1.4 %
+(the paper's worst case, Bloat on a small input).
+"""
+
+from repro.experiments.overhead import render, run_overhead
+
+from conftest import one_shot
+
+
+def test_overhead(benchmark, runs_override):
+    rows = one_shot(
+        benchmark, run_overhead, seed=0, runs_override=runs_override
+    )
+    print()
+    print(render(rows))
+
+    assert len(rows) == 11
+    typical = sorted(row.mean_fraction for row in rows)
+    assert typical[len(typical) // 2] < 0.004, "typical overhead must stay <0.4%"
+    worst = max(row.max_fraction for row in rows)
+    assert worst < 0.02, f"worst-case overhead {worst:.3%} far above the paper's 1.38%"

@@ -1,0 +1,52 @@
+"""E6 — §V-B.3: sensitivity to the confidence threshold and input order.
+
+Checks the two published findings: a higher TH_c narrows the speedup range
+(more conservative, better worst case, fewer applied predictions), and
+input-order shuffles move Rep's outcomes more than Evolve's.
+"""
+
+from repro.experiments.sensitivity import (
+    render_order,
+    render_thresholds,
+    run_order_study,
+    run_threshold_sweep,
+)
+
+from conftest import one_shot
+
+
+def test_threshold_sweep(benchmark, runs_override):
+    runs = runs_override if runs_override is not None else 40
+    points = one_shot(
+        benchmark,
+        run_threshold_sweep,
+        "Mtrt",
+        thresholds=(0.5, 0.7, 0.9),
+        seed=0,
+        runs=runs,
+    )
+    print()
+    print(render_thresholds("Mtrt", points))
+
+    # Stricter gates can only reduce how often prediction is applied.
+    applied = [p.applied_runs for p in points]
+    assert applied == sorted(applied, reverse=True)
+    # And the loosest gate must actually apply predictions.
+    assert applied[0] > 0
+    # Conservatism: the strict gate's worst case is no worse than the
+    # loose gate's worst case.
+    assert points[-1].min_speedup >= points[0].min_speedup - 0.02
+
+
+def test_input_order(benchmark, runs_override):
+    runs = runs_override if runs_override is not None else 30
+    study = one_shot(
+        benchmark, run_order_study, "RayTracer", orders=3, seed=0, runs=runs
+    )
+    print()
+    print(render_order(study))
+
+    # Rep's worst case must move at least as much as Evolve's across
+    # input orders (the discriminative guard suppresses immature
+    # predictions; Rep predicts unconditionally from tiny histories).
+    assert study.rep_min_change >= study.evolve_min_change - 0.02

@@ -1,0 +1,26 @@
+"""E8 (extension) — request-specific server optimization (§V discussion).
+
+The paper projects Evolve onto long-running servers ("request-specific
+optimizations"). Expected shape: mean and tail (p99) latency improve under
+the learned per-request strategies; the smallest requests pay a small
+prediction cost (the §V-B.2 small-input overhead effect).
+"""
+
+from repro.experiments.server_study import render, run_server_study
+
+from conftest import FULL, one_shot
+
+
+def test_server_study(benchmark):
+    requests = 200 if FULL else 100
+    result = one_shot(benchmark, run_server_study, seed=0, requests=requests)
+    print()
+    print(render(result))
+
+    mean_speedup = (
+        result.default_latency["mean"] / result.evolve_latency["mean"]
+    )
+    p99_speedup = result.default_latency["p99"] / result.evolve_latency["p99"]
+    assert mean_speedup > 1.1, "mean request latency must improve"
+    assert p99_speedup > 1.2, "the heavy tail must improve strongly"
+    assert result.applied_fraction > 0.5

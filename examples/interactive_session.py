@@ -1,0 +1,84 @@
+"""Interactive applications: runtime feature passing with updateV/done.
+
+Run:  python examples/interactive_session.py
+
+Section III-B.4 of the paper: interactive programs expose new input at
+interactive points. The application hands values it computes at runtime
+(here: the size of the document a user opens) to the translator through
+the ``update_v``/``done`` channel, and the predictor makes an input-
+specific decision the command line alone could never support.
+"""
+
+from repro.core import Application, EvolvableVM
+from repro.lang import compile_source
+from repro.xicl import parse_spec
+
+PROGRAM = compile_source(
+    """
+    fn reflow(lines) {
+      var l = 0;
+      while (l < lines) { burn(300); l = l + 10; }
+      return lines;
+    }
+    fn highlight(lines) {
+      var l = 0;
+      while (l < lines) { burn(700); l = l + 10; }
+      return lines;
+    }
+    fn main(lines, rich) {
+      reflow(lines);
+      if (rich == 1) { highlight(lines); }
+      return lines;
+    }
+    """,
+    name="editor",
+)
+
+SPEC = parse_spec(
+    """
+    option {name=-rich; type=BIN; attr=VAL; default=0; has_arg=n}
+    """
+)
+
+
+def launcher(tokens, fv, fs):
+    # The document size is a *runtime* feature: it reaches the vector via
+    # the updateV channel, not the command line.
+    lines = int(fv.get("mDocLines", 500))
+    return (lines, int(fv["-rich.VAL"]))
+
+
+APP = Application(name="editor", program=PROGRAM, spec=SPEC, launcher=launcher)
+
+
+def main() -> None:
+    vm = EvolvableVM(APP)
+    # Observe each done() signal — the interactive re-prediction trigger.
+    done_signals = []
+    vm.translator.channel.on_done(lambda fv: done_signals.append(fv.get("mDocLines")))
+
+    sessions = [
+        ("", 200), ("-rich", 12_000), ("", 12_000), ("-rich", 200),
+        ("", 200), ("-rich", 12_000), ("", 12_000), ("-rich", 200),
+        ("", 12_000), ("-rich", 200), ("", 12_000), ("-rich", 12_000),
+    ]
+    print(f"{'session':>7} {'doc lines':>9} {'rich':>5} {'applied':<8} {'acc':>5} {'conf':>5}")
+    for index, (flags, doc_lines) in enumerate(sessions):
+        outcome = vm.run(
+            flags, rng_seed=index, runtime_features={"mDocLines": doc_lines}
+        )
+        print(
+            f"{index:>7} {doc_lines:>9} {flags or '-':>5} "
+            f"{str(outcome.applied_prediction):<8} "
+            f"{outcome.accuracy:>5.2f} {outcome.confidence_after:>5.2f}"
+        )
+
+    print(f"\ndone() signals observed: {len(done_signals)}")
+    print("reflow model features:", vm.models.model_for("reflow").used_features())
+    print("highlight model features:", vm.models.model_for("highlight").used_features())
+    print("\nhighlight model:")
+    print(vm.models.model_for("highlight").render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Run a paper benchmark under all three optimization regimes.
+
+Run:  python examples/paper_benchmark.py [BenchmarkName] [runs]
+
+Executes one of the 11 Table I workloads (default: RayTracer) under
+Default, Rep, and Evolve side by side and prints the per-run comparison —
+a miniature of the Figure 8 experiment.
+"""
+
+import sys
+
+from repro.bench import all_benchmarks, get_benchmark
+from repro.experiments import run_experiment
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "RayTracer"
+    runs = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    bench = get_benchmark(name)
+    print(f"{bench.name} ({bench.suite}) — {len(bench.program)} methods, "
+          f"{bench.n_inputs} inputs, {runs} runs\n")
+
+    result = run_experiment(bench, seed=11, runs=runs)
+    rows = []
+    for i, (default, rep, evolve) in enumerate(
+        zip(result.default, result.rep, result.evolve)
+    ):
+        rows.append(
+            [
+                i + 1,
+                result.inputs[result.sequence[i]].cmdline[:40],
+                f"{default.profile.total_cycles / 1e6:.2f}",
+                f"{default.total_cycles / rep.total_cycles:.3f}",
+                f"{default.total_cycles / evolve.total_cycles:.3f}",
+                "yes" if evolve.applied_prediction else "no",
+                f"{evolve.confidence_after:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["run", "input", "default (s)", "rep", "evolve", "applied", "conf"],
+            rows,
+        )
+    )
+
+    evolve_speedups = result.speedups("evolve")
+    rep_speedups = result.speedups("rep")
+    print(f"\nmedian speedup: evolve={sorted(evolve_speedups)[runs // 2]:.3f} "
+          f"rep={sorted(rep_speedups)[runs // 2]:.3f}")
+    print("\navailable benchmarks:", ", ".join(b.name for b in all_benchmarks()))
+
+
+if __name__ == "__main__":
+    main()

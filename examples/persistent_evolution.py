@@ -1,0 +1,57 @@
+"""Evolution across process lifetimes: saving and restoring learned state.
+
+Run:  python examples/persistent_evolution.py
+
+The paper's VM evolves across *production runs* — separate processes. This
+example runs a first "deployment" of an application, persists the learned
+models and confidence to disk, then simulates a process restart by
+rebuilding the VM from the saved state: the restored VM predicts from its
+very first run.
+"""
+
+import os
+import tempfile
+from random import Random
+
+from repro.bench import get_benchmark
+from repro.core import EvolvableVM, load_state_file, save_state
+
+
+def main() -> None:
+    bench = get_benchmark("RayTracer")
+    app, inputs = bench.build(seed=3)
+    rng = Random(5)
+    sequence = [rng.randrange(len(inputs)) for _ in range(24)]
+
+    # --- first deployment: learn from 16 runs, then the process exits.
+    vm = EvolvableVM(app)
+    for i, idx in enumerate(sequence[:16]):
+        vm.run(inputs[idx].cmdline, rng_seed=i)
+    print(f"first deployment: {vm.run_count} runs, "
+          f"confidence={vm.confidence.value:.2f}, "
+          f"{len(vm.models)} method models")
+
+    state_path = os.path.join(tempfile.gettempdir(), "raytracer_state.json")
+    save_state(vm, state_path)
+    print(f"state saved to {state_path} "
+          f"({os.path.getsize(state_path)} bytes)")
+
+    # --- process restart: a fresh VM restored from disk.
+    restored = EvolvableVM(app)
+    load_state_file(restored, state_path)
+    print(f"\nrestored VM: confidence={restored.confidence.value:.2f}, "
+          f"{len(restored.models)} method models")
+
+    print(f"\n{'run':>4} {'input':<14} {'applied':<8} {'acc':>5}")
+    for i, idx in enumerate(sequence[16:], start=16):
+        outcome = restored.run(inputs[idx].cmdline, rng_seed=i)
+        print(f"{i:>4} {inputs[idx].cmdline:<14} "
+              f"{str(outcome.applied_prediction):<8} {outcome.accuracy:>5.2f}")
+
+    first = restored.outcomes[0]
+    assert first.applied_prediction, "restored VM should predict immediately"
+    print("\nrestored VM applied its prediction on the very first run.")
+
+
+if __name__ == "__main__":
+    main()

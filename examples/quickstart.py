@@ -1,0 +1,78 @@
+"""Quickstart: build an application, let the VM evolve across runs.
+
+Run:  python examples/quickstart.py
+
+This walks the full pipeline on a small program whose optimal JIT levels
+depend on its input: write a program in MiniLang, describe its command
+line in XICL, wrap both in an Application, and watch the evolvable VM
+learn input-specific optimization strategies across production runs.
+"""
+
+from random import Random
+
+from repro.core import Application, EvolvableVM, run_default
+from repro.lang import compile_source
+from repro.xicl import parse_spec
+
+# 1. A program with two kernels; which one is hot depends on the input.
+PROGRAM = compile_source(
+    """
+    fn transform(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) { burn(420); s = s + i; }
+      return s;
+    }
+    fn analyze(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) { burn(900); s = s + i * i; }
+      return s;
+    }
+    fn main(mode, n) {
+      if (mode == 0) { return transform(n); }
+      return analyze(n);
+    }
+    """,
+    name="quickstart",
+)
+
+# 2. An XICL specification for its command line: mode and size options.
+SPEC = parse_spec(
+    """
+    option {name=-mode; type=NUM; attr=VAL; default=0; has_arg=y}
+    option {name=-n; type=NUM; attr=VAL; default=200; has_arg=y}
+    """
+)
+
+# 3. The launcher maps extracted features to the entry method's arguments.
+APP = Application(
+    name="quickstart",
+    program=PROGRAM,
+    spec=SPEC,
+    launcher=lambda tokens, fv, fs: (int(fv["-mode.VAL"]), int(fv["-n.VAL"])),
+)
+
+
+def main() -> None:
+    vm = EvolvableVM(APP)
+    rng = Random(42)
+    print(f"{'run':>4} {'input':<18} {'applied':<8} {'acc':>5} {'conf':>5} {'speedup':>8}")
+    for run_index in range(18):
+        cmdline = f"-mode {rng.choice([0, 1])} -n {rng.choice([60, 500, 2000])}"
+        outcome = vm.run(cmdline, rng_seed=run_index)
+        baseline = run_default(APP, cmdline, rng_seed=run_index)
+        print(
+            f"{run_index:>4} {cmdline:<18} "
+            f"{str(outcome.applied_prediction):<8} "
+            f"{outcome.accuracy:>5.2f} {outcome.confidence_after:>5.2f} "
+            f"{outcome.speedup_vs(baseline):>8.3f}"
+        )
+    print("\nLearned per-method models (used features):")
+    for method in vm.models.method_names:
+        model = vm.models.model_for(method)
+        print(f"  {method}: features={model.used_features()}")
+        for line in model.render().splitlines()[:6]:
+            print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()

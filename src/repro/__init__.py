@@ -1,0 +1,23 @@
+"""repro — Cross-Input Learning and Discriminative Prediction in Evolvable
+Virtual Machines (CGO 2009), reproduced as a self-contained Python library.
+
+Subpackages:
+
+- :mod:`repro.vm` — the VM substrate (bytecode, interpreter, tiered JIT,
+  virtual clock, timer sampler).
+- :mod:`repro.lang` — MiniLang, a small imperative language compiled to the
+  VM's bytecode; the benchmark programs are written in it.
+- :mod:`repro.aos` — the adaptive optimization system: Jikes-style reactive
+  cost-benefit controller and the Rep (repository-based) baseline.
+- :mod:`repro.xicl` — the extensible input characterization language and
+  its translator.
+- :mod:`repro.learning` — classification trees, cross-validation, and the
+  incremental model machinery.
+- :mod:`repro.core` — the paper's contribution: the evolvable VM with
+  discriminative, confidence-guarded cross-input prediction.
+- :mod:`repro.bench` — the 11 benchmark workloads with input generators and
+  XICL specs.
+- :mod:`repro.experiments` — harness reproducing every table and figure.
+"""
+
+__version__ = "1.0.0"

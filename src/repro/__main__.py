@@ -1,0 +1,140 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment harness:
+
+    python -m repro table1                 # Table I
+    python -m repro figure8               # Figure 8 curves
+    python -m repro figure9               # Figure 9 correlation
+    python -m repro figure10              # Figure 10 boxplots
+    python -m repro overhead              # §V-B.2
+    python -m repro sensitivity           # §V-B.3
+    python -m repro gc-study              # §VI extension (GC selection)
+    python -m repro server-study          # §V extension (request-specific)
+    python -m repro bench NAME [RUNS]     # one benchmark, 3 scenarios
+    python -m repro list                  # available benchmarks
+
+Options: ``--seed N`` (default 0), ``--runs N`` (scaled-down protocol;
+omit for the paper's full run counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Evolvable-VM reproduction: experiment harness entry point",
+    )
+    parser.add_argument(
+        "command",
+        choices=[
+            "table1",
+            "figure8",
+            "figure9",
+            "figure10",
+            "overhead",
+            "sensitivity",
+            "gc-study",
+            "server-study",
+            "bench",
+            "list",
+        ],
+    )
+    parser.add_argument("args", nargs="*", help="command-specific arguments")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="override runs per benchmark (default: paper protocol)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    options = _build_parser().parse_args(argv)
+    command = options.command
+
+    if command == "list":
+        from .bench import all_benchmarks
+
+        for bench in all_benchmarks():
+            marker = "*" if bench.input_sensitive else " "
+            print(
+                f"{bench.name:<12} {bench.suite:<7} {marker} "
+                f"{bench.n_inputs:>3} inputs, {bench.runs} runs, "
+                f"{len(bench.program)} methods"
+            )
+        return 0
+
+    if command == "bench":
+        if not options.args:
+            print("usage: python -m repro bench NAME [RUNS]", file=sys.stderr)
+            return 2
+        from .bench import get_benchmark
+        from .experiments import run_experiment
+        from .experiments.report import format_table
+
+        name = options.args[0]
+        runs = int(options.args[1]) if len(options.args) > 1 else options.runs
+        result = run_experiment(get_benchmark(name), seed=options.seed, runs=runs)
+        rows = []
+        for i, (d, r, e) in enumerate(
+            zip(result.default, result.rep, result.evolve)
+        ):
+            rows.append(
+                [
+                    i + 1,
+                    f"{d.profile.total_cycles / 1e6:.2f}",
+                    f"{d.total_cycles / r.total_cycles:.3f}",
+                    f"{d.total_cycles / e.total_cycles:.3f}",
+                    "yes" if e.applied_prediction else "no",
+                ]
+            )
+        print(
+            format_table(
+                ["run", "default (s)", "rep", "evolve", "applied"], rows
+            )
+        )
+        return 0
+
+    if command == "table1":
+        from .experiments import table1
+
+        table1.main(seed=options.seed, runs_override=options.runs)
+    elif command == "figure8":
+        from .experiments import figure8
+
+        figure8.main(seed=options.seed, runs=options.runs)
+    elif command == "figure9":
+        from .experiments import figure9
+
+        figure9.main(seed=options.seed, runs=options.runs)
+    elif command == "figure10":
+        from .experiments import figure10
+
+        figure10.main(seed=options.seed, runs_override=options.runs)
+    elif command == "overhead":
+        from .experiments import overhead
+
+        overhead.main(seed=options.seed, runs_override=options.runs)
+    elif command == "sensitivity":
+        from .experiments import sensitivity
+
+        sensitivity.main(seed=options.seed, runs=options.runs)
+    elif command == "gc-study":
+        from .experiments import gc_study
+
+        gc_study.main(seed=options.seed, runs=options.runs or 40)
+    elif command == "server-study":
+        from .experiments import server_study
+
+        server_study.main(seed=options.seed, requests=options.runs or 120)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""The adaptive optimization system (AOS).
+
+Contains the three optimization regimes the paper compares:
+
+- *Default*: :class:`AdaptiveController`, the reactive Jikes-style
+  cost-benefit scheme.
+- *Rep*: :class:`ProfileRepository` + :class:`PairPlanController`, the
+  cross-run repository baseline of Arnold et al.
+- *Evolve* builds on these from :mod:`repro.core` (prediction replaces the
+  reactive scheme when confidence is high; otherwise Default runs).
+"""
+
+from .controller import AdaptiveController, PairPlanController
+from .phase import PhaseAdaptiveController, PhaseDetector, window_similarity
+from .cost_benefit import CostBenefitModel
+from .repository import MAX_PAIRS, THRESHOLD_LADDER, ProfileRepository
+from .strategy import LevelStrategy, PairStrategy, RecompilePair
+
+__all__ = [
+    "AdaptiveController",
+    "CostBenefitModel",
+    "LevelStrategy",
+    "MAX_PAIRS",
+    "PairPlanController",
+    "PairStrategy",
+    "PhaseAdaptiveController",
+    "PhaseDetector",
+    "window_similarity",
+    "ProfileRepository",
+    "RecompilePair",
+    "THRESHOLD_LADDER",
+]

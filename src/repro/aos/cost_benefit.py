@@ -1,0 +1,87 @@
+"""The Jikes RVM cost-benefit recompilation model, online and posterior.
+
+Online form (§IV-A of the paper): when a method is sampled, estimate the
+time it will run in the future as equal to the time it has already run
+(``future = past``), then recompile at the level whose *benefit* (future
+time saved by faster code) most exceeds its *cost* (compile time), if any.
+
+Posterior form (``GetIdealOptStrategy``): after a run, with the method's
+full baseline-equivalent work known, pick for each method the level that
+would have minimized ``compile_cost(level) + work × speed_factor(level)``
+over the whole execution. The paper treats this as the *ideal strategy*
+the learner trains toward.
+"""
+
+from __future__ import annotations
+
+from ..vm.config import BASELINE_LEVEL, OPT_LEVELS
+from ..vm.opt.jit import JITCompiler
+from ..vm.profiles import RunProfile
+from .strategy import LevelStrategy
+
+
+class CostBenefitModel:
+    """Cost-benefit computations against one program's JIT cost curves."""
+
+    def __init__(self, jit: JITCompiler, sample_interval: float):
+        self.jit = jit
+        self.sample_interval = float(sample_interval)
+
+    # -- online (reactive) -------------------------------------------------
+    def choose_recompile_level(
+        self, method: str, current_level: int, sample_count: int
+    ) -> int | None:
+        """Return the level to recompile *method* at, or None to stay put.
+
+        *sample_count* is the method's cumulative timer samples; each sample
+        represents ``sample_interval`` cycles of observed execution at the
+        levels the method has run at so far. Following Jikes, the expected
+        future running time equals the observed past running time.
+        """
+        past_cycles = sample_count * self.sample_interval
+        future_cycles = past_cycles
+        current_speed = self.jit.speed_factor(method, current_level)
+        best_level: int | None = None
+        best_net = 0.0
+        for level in OPT_LEVELS:
+            if level <= current_level:
+                continue
+            new_speed = self.jit.speed_factor(method, level)
+            benefit = future_cycles * (1.0 - new_speed / current_speed)
+            cost = self.jit.compile_cost(method, level)
+            net = benefit - cost
+            if net > best_net:
+                best_net = net
+                best_level = level
+        return best_level
+
+    # -- posterior (ideal) ---------------------------------------------------
+    def ideal_level(self, method: str, work_cycles: float) -> int:
+        """The level minimizing total cost for a method that performs
+        *work_cycles* of baseline-equivalent work across a whole run.
+
+        Every method pays the baseline compile once (first encounter), so
+        the baseline compile cost is sunk and excluded; a higher level adds
+        its own compile cost on top.
+        """
+        best_level = BASELINE_LEVEL
+        best_cost = work_cycles  # run entirely at baseline (speed 1.0)
+        for level in OPT_LEVELS:
+            if level == BASELINE_LEVEL:
+                continue
+            total = (
+                self.jit.compile_cost(method, level)
+                + work_cycles * self.jit.speed_factor(method, level)
+            )
+            if total < best_cost:
+                best_cost = total
+                best_level = level
+        return best_level
+
+    def ideal_strategy(self, profile: RunProfile) -> LevelStrategy:
+        """Posterior ideal strategy for every method invoked in *profile*."""
+        levels = {
+            method: self.ideal_level(method, profile.method_work.get(method, 0.0))
+            for method in profile.invocations
+        }
+        return LevelStrategy(levels)

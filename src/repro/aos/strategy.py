@@ -1,0 +1,104 @@
+"""Optimization strategy representations.
+
+Two strategy shapes appear in the paper:
+
+- :class:`LevelStrategy` — one optimization level per method. This is what
+  the evolvable VM predicts (*"the predictor in Evolve produces only one
+  number (l) for each method"*) and what the posterior ideal-strategy
+  computation yields.
+- :class:`PairStrategy` — per method, a sequence of ``(k, o)`` pairs:
+  *"the method should be (re)compiled using level o when the sampler
+  encounters the kth sample of the method"*. This is the shape of Arnold
+  et al.'s repository-based strategies (Rep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..vm.config import BASELINE_LEVEL, OPT_LEVELS
+
+
+@dataclass(frozen=True)
+class LevelStrategy:
+    """Per-method target optimization levels.
+
+    Methods absent from the mapping carry no advice (they stay under
+    whatever scheme the executing driver applies to unknown methods).
+    """
+
+    levels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for method, level in self.levels.items():
+            if level not in OPT_LEVELS:
+                raise ValueError(f"{method}: invalid level {level}")
+
+    def level_for(self, method: str) -> int | None:
+        return self.levels.get(method)
+
+    def methods(self) -> tuple[str, ...]:
+        return tuple(sorted(self.levels))
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def agreement(self, other: "LevelStrategy") -> dict[str, bool]:
+        """Per-method agreement map over the union of covered methods.
+
+        A method counts as agreeing when both strategies assign it the same
+        level; a method known to only one side counts as disagreement with
+        one exception — an absent entry matches an assignment of the
+        baseline level, since "no advice" executes at baseline.
+        """
+        result: dict[str, bool] = {}
+        for method in set(self.levels) | set(other.levels):
+            mine = self.levels.get(method, BASELINE_LEVEL)
+            theirs = other.levels.get(method, BASELINE_LEVEL)
+            result[method] = mine == theirs
+        return result
+
+
+@dataclass(frozen=True)
+class RecompilePair:
+    """Recompile to *level* when the method's sample count reaches *at_sample*."""
+
+    at_sample: int
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.at_sample < 1:
+            raise ValueError("at_sample must be >= 1")
+        if self.level not in OPT_LEVELS:
+            raise ValueError(f"invalid level {self.level}")
+
+
+@dataclass(frozen=True)
+class PairStrategy:
+    """Per-method ordered ``(k, o)`` recompilation plans (the Rep shape)."""
+
+    plans: dict[str, tuple[RecompilePair, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for method, pairs in self.plans.items():
+            ks = [p.at_sample for p in pairs]
+            os_ = [p.level for p in pairs]
+            if ks != sorted(ks) or len(set(ks)) != len(ks):
+                raise ValueError(f"{method}: sample thresholds must increase")
+            if os_ != sorted(os_) or len(set(os_)) != len(os_):
+                raise ValueError(f"{method}: levels must increase")
+
+    def plan_for(self, method: str) -> tuple[RecompilePair, ...]:
+        return self.plans.get(method, ())
+
+    def methods(self) -> tuple[str, ...]:
+        return tuple(sorted(self.plans))
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def final_levels(self) -> LevelStrategy:
+        """The level each planned method would reach if fully executed."""
+        return LevelStrategy(
+            {m: pairs[-1].level for m, pairs in self.plans.items() if pairs}
+        )

@@ -1,0 +1,19 @@
+"""Benchmark workloads: the paper's 11 programs with input models."""
+
+from .base import BenchInput, Benchmark, feature_int
+from .suite import (
+    BENCHMARK_CLASSES,
+    INPUT_SENSITIVE_GROUP,
+    all_benchmarks,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARK_CLASSES",
+    "BenchInput",
+    "Benchmark",
+    "INPUT_SENSITIVE_GROUP",
+    "all_benchmarks",
+    "feature_int",
+    "get_benchmark",
+]

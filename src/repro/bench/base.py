@@ -1,0 +1,109 @@
+"""Benchmark framework: programs + input models + XICL specs.
+
+Each benchmark models one of the paper's Java programs (Table I): a
+MiniLang program whose method-hotness distribution and running time depend
+on its input, a generator producing the input population used in the
+experiments, an XICL specification, and a launcher mapping a command line
+to the program entry's arguments.
+
+The input files referenced by command lines are synthetic
+(:class:`~repro.xicl.filesystem.InMemoryFileSystem` stubs carrying sizes
+and parsed metadata) — the substitution DESIGN.md documents for the paper's
+collected real inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from random import Random
+
+from ..core.application import Application
+from ..lang.compiler import compile_source
+from ..vm.program import Program
+from ..xicl.features import FeatureVector
+from ..xicl.filesystem import InMemoryFileSystem, MemoryFile
+from ..xicl.methods import XFMethodRegistry
+from ..xicl.parser import parse_spec
+
+
+@dataclass(frozen=True)
+class BenchInput:
+    """One concrete invocation of a benchmark."""
+
+    cmdline: str
+    files: dict[str, MemoryFile] = field(default_factory=dict)
+
+    def __hash__(self) -> int:  # pragma: no cover - convenience only
+        return hash(self.cmdline)
+
+
+class Benchmark:
+    """Base class; concrete benchmarks override the class attributes and
+    the two hooks (:meth:`generate_inputs`, :meth:`launch_args`)."""
+
+    #: Benchmark name as in Table I.
+    name: str = ""
+    #: Source suite: "jvm98", "dacapo", or "grande".
+    suite: str = ""
+    #: Size of the input population (Table I's "# Inputs" column).
+    n_inputs: int = 10
+    #: Runs per experiment (30, or 70 for programs with many inputs).
+    runs: int = 30
+    #: Whether the paper groups it as strongly input-sensitive.
+    input_sensitive: bool = False
+    #: MiniLang source of the workload program.
+    source: str = ""
+    #: XICL specification text.
+    spec_text: str = ""
+
+    # -- hooks ----------------------------------------------------------------
+    def make_registry(self) -> XFMethodRegistry:
+        """Feature-method registry (override to add programmer-defined
+        extractors, the paper's 4 user-defined features)."""
+        return XFMethodRegistry()
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        """Produce the benchmark's input population."""
+        raise NotImplementedError
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        """Map the extracted features of an invocation to entry args."""
+        raise NotImplementedError
+
+    # -- assembly ---------------------------------------------------------
+    @cached_property
+    def program(self) -> Program:
+        return compile_source(self.source, name=self.name)
+
+    def build(self, seed: int = 0) -> tuple[Application, list[BenchInput]]:
+        """Compile the program, synthesize the inputs, wire the app."""
+        rng = Random(seed)
+        inputs = self.generate_inputs(rng)
+        fs = InMemoryFileSystem()
+        for bench_input in inputs:
+            for path, memory_file in bench_input.files.items():
+                fs.add(path, memory_file)
+        spec = parse_spec(self.spec_text, application=self.name) if self.spec_text else None
+
+        def launcher(tokens: list[str], fvector: FeatureVector, _fs) -> tuple:
+            return self.launch_args(fvector)
+
+        app = Application(
+            name=self.name,
+            program=self.program,
+            spec=spec,
+            registry=self.make_registry(),
+            filesystem=fs,
+            launcher=launcher,
+        )
+        return app, inputs
+
+
+def feature_int(fvector: FeatureVector, name: str, default: int = 0) -> int:
+    """Fetch a numeric feature as an int (helper for launchers)."""
+    value = fvector.get(name, default)
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default

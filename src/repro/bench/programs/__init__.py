@@ -1,0 +1,27 @@
+"""The 11 benchmark workload programs (Table I)."""
+
+from .antlr import AntlrBenchmark
+from .bloat import BloatBenchmark
+from .compress import CompressBenchmark
+from .db import DbBenchmark
+from .euler import EulerBenchmark
+from .fop import FopBenchmark
+from .moldyn import MolDynBenchmark
+from .montecarlo import MonteCarloBenchmark
+from .mtrt import MtrtBenchmark
+from .raytracer import RayTracerBenchmark
+from .search import SearchBenchmark
+
+__all__ = [
+    "AntlrBenchmark",
+    "BloatBenchmark",
+    "CompressBenchmark",
+    "DbBenchmark",
+    "EulerBenchmark",
+    "FopBenchmark",
+    "MolDynBenchmark",
+    "MonteCarloBenchmark",
+    "MtrtBenchmark",
+    "RayTracerBenchmark",
+    "SearchBenchmark",
+]

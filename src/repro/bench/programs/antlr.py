@@ -1,0 +1,151 @@
+"""Antlr (DaCapo antlr model).
+
+A parser generator: reads a grammar, builds an NFA per rule, determinizes
+it, runs grammar analysis, and emits code for a target language. The
+paper's programmer-defined feature is the number of rules; output format
+and target language (both categorical) shift which emitter methods are
+hot — the categorical/quantitative mix XICL is designed to express.
+
+Command line: ``antlr -o FORMAT -lang LANG [-trace] [-diag] GRAMMAR``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ...xicl.filesystem import MemoryFile
+from ...xicl.methods import MetadataFeature, XFMethodRegistry
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// Parser generator model. rules = grammar size; lang/fmt select emitters.
+fn read_grammar(rules) {
+  burn(700 * rules / 4 + 1500);
+  return rules;
+}
+
+fn build_nfa(rules) {
+  var r = 0;
+  while (r < rules) {
+    burn(950);
+    r = r + 1;
+  }
+  return r;
+}
+
+fn determinize(rules) {
+  // Subset construction: superlinear in rules.
+  var r = 0;
+  while (r < rules) {
+    burn(70 * (r / 8 + 4));
+    r = r + 1;
+  }
+  return r;
+}
+
+fn analyze_rule(lookahead) {
+  burn(420 * lookahead);
+  return lookahead;
+}
+
+fn grammar_analysis(rules, lookahead) {
+  var r = 0;
+  while (r < rules) {
+    analyze_rule(lookahead);
+    r = r + 1;
+  }
+  return r;
+}
+
+fn emit_java(rules) {
+  var r = 0;
+  while (r < rules) { burn(1300); r = r + 1; }
+  return r;
+}
+
+fn emit_cpp(rules) {
+  var r = 0;
+  while (r < rules) { burn(1700); r = r + 1; }
+  return r;
+}
+
+fn emit_html_report(rules) {
+  burn(300 * rules + 900);
+  return rules;
+}
+
+fn trace_tables(rules) {
+  burn(520 * rules);
+  return 0;
+}
+
+fn main(rules, lang, fmt, trace) {
+  read_grammar(rules);
+  build_nfa(rules);
+  determinize(rules);
+  grammar_analysis(rules, 2 + lang);
+  if (fmt == 0) {
+    if (lang == 0) { emit_java(rules); } else { emit_cpp(rules); }
+  } else {
+    emit_html_report(rules);
+  }
+  if (trace == 1) { trace_tables(rules); }
+  return rules;
+}
+"""
+
+SPEC = """
+# antlr -o FORMAT -lang LANG [-trace] [-diag] GRAMMAR
+option  {name=-o:--output; type=STR; attr=VAL; default=code; has_arg=y}
+option  {name=-lang; type=STR; attr=VAL; default=java; has_arg=y}
+option  {name=-trace; type=BIN; attr=VAL; default=0; has_arg=n}
+option  {name=-diag; type=BIN; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=FILE; attr=SIZE:mRules}
+"""
+
+_LANGS = ("java", "cpp")
+_FORMATS = ("code", "html")
+
+
+class AntlrBenchmark(Benchmark):
+    name = "Antlr"
+    suite = "dacapo"
+    n_inputs = 15
+    runs = 30
+    input_sensitive = False
+    source = SOURCE
+    spec_text = SPEC
+
+    def make_registry(self) -> XFMethodRegistry:
+        registry = XFMethodRegistry()
+        registry.register(MetadataFeature("mRules", "rules"))
+        return registry
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        inputs: list[BenchInput] = []
+        for index in range(self.n_inputs):
+            rules = rng.choice([40, 90, 180, 350, 700, 1200])
+            lang = rng.choice(_LANGS)
+            fmt = rng.choice(_FORMATS) if rng.random() < 0.4 else "code"
+            trace = rng.random() < 0.2
+            path = f"data/antlr/grammar{index:02d}.g"
+            flags = f"-o {fmt} -lang {lang}" + (" -trace" if trace else "")
+            inputs.append(
+                BenchInput(
+                    cmdline=f"{flags} {path}",
+                    files={
+                        path: MemoryFile(
+                            size_bytes=rules * 90, extra={"rules": rules}
+                        )
+                    },
+                )
+            )
+        return inputs
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        rules = feature_int(fvector, "operand1.mRules", 100)
+        lang = 0 if fvector.get("-lang.VAL", "java") == "java" else 1
+        fmt = 0 if fvector.get("-o.VAL", "code") == "code" else 1
+        trace = feature_int(fvector, "-trace.VAL", 0)
+        return (rules, lang, fmt, trace)

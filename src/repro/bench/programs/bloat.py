@@ -1,0 +1,147 @@
+"""Bloat (DaCapo bloat model).
+
+A Java-bytecode optimizer: loads a class, builds a CFG, and runs one of
+several optimization pipelines selected on the command line (SSA-based
+optimization, peephole, or inlining analysis). The paper's programmer-
+defined feature is the class's lines of code; the operation type is the
+categorical feature deciding which pass kernels get hot.
+
+Command line: ``bloat -op {ssa|peep|inline} [-verify] CLASSFILE``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ...xicl.filesystem import MemoryFile
+from ...xicl.methods import MetadataFeature, XFMethodRegistry
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// Bytecode optimizer model. loc = lines of code of the input class.
+fn load_class(loc) {
+  burn(160 * loc / 10 + 1200);
+  return loc;
+}
+
+fn build_cfg(loc) {
+  var blocks = loc / 6 + 1;
+  var b = 0;
+  while (b < blocks) { burn(240); b = b + 1; }
+  return blocks;
+}
+
+fn dominators(blocks) {
+  burn(34 * blocks * 3);
+  return blocks;
+}
+
+fn ssa_convert(blocks) {
+  var b = 0;
+  while (b < blocks) { burn(520); b = b + 1; }
+  return blocks;
+}
+
+fn ssa_optimize(blocks) {
+  var b = 0;
+  while (b < blocks) { burn(780); b = b + 1; }
+  return blocks;
+}
+
+fn peephole_scan(loc) {
+  var window = 0;
+  while (window < loc) { burn(95); window = window + 4; }
+  return window;
+}
+
+fn inline_analysis(blocks) {
+  burn(210 * blocks + 2500);
+  return blocks;
+}
+
+fn dce_pass(blocks) {
+  burn(130 * blocks);
+  return blocks;
+}
+
+fn verify_class(loc) {
+  burn(60 * loc / 4 + 800);
+  return 0;
+}
+
+fn write_class(loc) {
+  burn(45 * loc / 8 + 600);
+  return 0;
+}
+
+fn main(loc, op, verify) {
+  load_class(loc);
+  var blocks = build_cfg(loc);
+  dominators(blocks);
+  if (op == 0) {
+    ssa_convert(blocks);
+    ssa_optimize(blocks);
+    dce_pass(blocks);
+  } else {
+    if (op == 1) {
+      peephole_scan(loc);
+      dce_pass(blocks);
+    } else {
+      inline_analysis(blocks);
+      ssa_convert(blocks);
+    }
+  }
+  if (verify == 1) { verify_class(loc); }
+  write_class(loc);
+  return blocks;
+}
+"""
+
+SPEC = """
+# bloat -op OPERATION [-verify] CLASSFILE
+option  {name=-op; type=STR; attr=VAL; default=ssa; has_arg=y}
+option  {name=-verify; type=BIN; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=FILE; attr=SIZE:mLoc}
+"""
+
+_OPS = ("ssa", "peep", "inline")
+
+
+class BloatBenchmark(Benchmark):
+    name = "Bloat"
+    suite = "dacapo"
+    n_inputs = 10
+    runs = 30
+    input_sensitive = False
+    source = SOURCE
+    spec_text = SPEC
+
+    def make_registry(self) -> XFMethodRegistry:
+        registry = XFMethodRegistry()
+        registry.register(MetadataFeature("mLoc", "loc"))
+        return registry
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        inputs: list[BenchInput] = []
+        for index in range(self.n_inputs):
+            loc = rng.choice([800, 2000, 5000, 12_000, 30_000])
+            op = rng.choice(_OPS)
+            verify = rng.random() < 0.3
+            path = f"data/bloat/Class{index:02d}.class"
+            flags = f"-op {op}" + (" -verify" if verify else "")
+            inputs.append(
+                BenchInput(
+                    cmdline=f"{flags} {path}",
+                    files={
+                        path: MemoryFile(size_bytes=loc * 32, extra={"loc": loc})
+                    },
+                )
+            )
+        return inputs
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        loc = feature_int(fvector, "operand1.mLoc", 2000)
+        op = _OPS.index(str(fvector.get("-op.VAL", "ssa")))
+        verify = feature_int(fvector, "-verify.VAL", 0)
+        return (loc, op, verify)

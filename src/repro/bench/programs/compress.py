@@ -1,0 +1,135 @@
+"""Compress (SPECjvm98 _201_compress model).
+
+An LZW-style file compressor: the input file is processed chunk by chunk
+through a dictionary-building compress kernel, then verified by a
+decompress pass (as the real benchmark does). Running time is dominated by
+file size, which spans ~50 KB to ~8 MB across the input population — the
+wide running-time range behind Figure 9(b)'s diminishing-returns tail.
+
+Command line: ``compress [-l LEVEL] [-v] FILE``; the deciding feature is
+the file's byte size (Table I: "file size").
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ...xicl.filesystem import MemoryFile
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// LZW-ish compressor model. Work units: ~cycles per processed byte.
+fn read_chunk(chunk_bytes) {
+  burn(chunk_bytes / 4);
+  return chunk_bytes;
+}
+
+fn hash_probe(key) {
+  burn(12);
+  return key % 4093;
+}
+
+fn compress_chunk(chunk_bytes, level) {
+  // Dictionary build + code emission; cost grows with level.
+  var codes = 0;
+  var step = 2048;
+  var pos = 0;
+  while (pos < chunk_bytes) {
+    hash_probe(pos);
+    burn(step * (2 + level));
+    codes = codes + 1;
+    pos = pos + step;
+  }
+  return codes;
+}
+
+fn flush_table(level) {
+  burn(800 + 300 * level);
+  return 0;
+}
+
+fn decompress_chunk(chunk_bytes) {
+  burn(chunk_bytes);
+  return chunk_bytes;
+}
+
+fn checksum(total_bytes) {
+  burn(total_bytes / 16);
+  return total_bytes % 65521;
+}
+
+fn report(verbose, codes) {
+  if (verbose == 1) {
+    print(codes);
+    burn(500);
+  }
+  return 0;
+}
+
+fn main(file_bytes, level, verbose) {
+  var chunk = 32768;
+  var done = 0;
+  var codes = 0;
+  while (done < file_bytes) {
+    var now = min(chunk, file_bytes - done);
+    read_chunk(now);
+    codes = codes + compress_chunk(now, level);
+    done = done + now;
+  }
+  flush_table(level);
+  // Verification pass, as in the SPEC harness.
+  done = 0;
+  while (done < file_bytes) {
+    var now2 = min(chunk, file_bytes - done);
+    decompress_chunk(now2);
+    done = done + now2;
+  }
+  var sum = checksum(file_bytes);
+  report(verbose, codes);
+  return sum;
+}
+"""
+
+SPEC = """
+# compress [-l LEVEL] [-v] FILE
+option  {name=-l; type=NUM; attr=VAL; default=6; has_arg=y}
+option  {name=-v:--verbose; type=BIN; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=FILE; attr=SIZE}
+"""
+
+
+class CompressBenchmark(Benchmark):
+    name = "Compress"
+    suite = "jvm98"
+    n_inputs = 19
+    runs = 70
+    input_sensitive = True
+    source = SOURCE
+    spec_text = SPEC
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        inputs: list[BenchInput] = []
+        # Log-spread of file sizes: 50 KB .. 8 MB.
+        for index in range(self.n_inputs):
+            scale = index / (self.n_inputs - 1)
+            size = int(50_000 * (160 ** scale) * rng.uniform(0.85, 1.15))
+            level = rng.choice([1, 3, 6, 9])
+            verbose = rng.random() < 0.2
+            path = f"data/compress/input{index:02d}.bin"
+            flags = f"-l {level}" + (" -v" if verbose else "")
+            inputs.append(
+                BenchInput(
+                    cmdline=f"{flags} {path}",
+                    files={path: MemoryFile(size_bytes=size)},
+                )
+            )
+        return inputs
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        # Scale file bytes into burn-units so the virtual time lands in
+        # roughly 0.5..80 virtual seconds across the size range.
+        file_bytes = feature_int(fvector, "operand1.SIZE", 100_000)
+        level = feature_int(fvector, "-l.VAL", 6)
+        verbose = feature_int(fvector, "-v.VAL", 0)
+        return (file_bytes, level, verbose)

@@ -1,0 +1,153 @@
+"""Db (SPECjvm98 _209_db model).
+
+An in-memory address database executing a script of queries: lookups,
+range selects, sorts, and updates. The two programmer-defined features the
+paper lists for Db — the sizes of the database and of the query script —
+drive the workload: lookups scale with ``log(db)``, sorts with
+``db·log(db)``, and the script length multiplies everything.
+
+Command line: ``db [-s] DBFILE QUERYFILE``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ...xicl.filesystem import MemoryFile
+from ...xicl.methods import MetadataFeature, XFMethodRegistry
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// In-memory database model. db_size in records, queries in statements.
+fn load_db(db_size) {
+  var loaded = 0;
+  while (loaded < db_size) {
+    burn(2200);                 // parse + index one batch of records
+    loaded = loaded + 1000;
+  }
+  return loaded;
+}
+
+fn parse_query(kind) {
+  burn(160 + kind * 25);
+  return kind;
+}
+
+fn index_lookup(db_size) {
+  // Binary-search-ish: log cost.
+  var steps = 1;
+  var span = db_size;
+  while (span > 1) { span = span / 2; steps = steps + 1; }
+  burn(55 * steps);
+  return steps;
+}
+
+fn range_select(db_size) {
+  burn(db_size / 6);
+  return db_size / 6;
+}
+
+fn sort_records(db_size) {
+  // n log n over the selected records.
+  var logn = 1;
+  var span = db_size;
+  while (span > 1) { span = span / 2; logn = logn + 1; }
+  burn(db_size * logn / 10);
+  return logn;
+}
+
+fn update_record(db_size) {
+  index_lookup(db_size);
+  burn(180);
+  return 1;
+}
+
+fn format_rows(count) {
+  burn(count / 2 + 120);
+  return count;
+}
+
+fn main(db_size, queries, shuffle) {
+  load_db(db_size);
+  var q = 0;
+  var out = 0;
+  while (q < queries) {
+    var kind = q % 10;
+    parse_query(kind);
+    if (kind < 5) {
+      index_lookup(db_size);
+    } else {
+      if (kind < 7) {
+        out = out + range_select(db_size);
+      } else {
+        if (kind < 9) {
+          update_record(db_size);
+        } else {
+          sort_records(db_size);
+        }
+      }
+    }
+    q = q + 1;
+  }
+  if (shuffle == 1) { sort_records(db_size); }
+  format_rows(out);
+  return out;
+}
+"""
+
+SPEC = """
+# db [-s] DBFILE QUERYFILE
+option  {name=-s:--shuffle; type=BIN; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=FILE; attr=SIZE:mRecords}
+operand {position=2; type=FILE; attr=SIZE:mStatements}
+"""
+
+
+class DbBenchmark(Benchmark):
+    name = "Db"
+    suite = "jvm98"
+    n_inputs = 10
+    runs = 30
+    input_sensitive = False
+    source = SOURCE
+    spec_text = SPEC
+
+    def make_registry(self) -> XFMethodRegistry:
+        registry = XFMethodRegistry()
+        # The paper's programmer-defined features for Db: the sizes of the
+        # database and of the query script (parsed counts, not byte sizes).
+        registry.register(MetadataFeature("mRecords", "records"))
+        registry.register(MetadataFeature("mStatements", "statements"))
+        return registry
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        inputs: list[BenchInput] = []
+        for index in range(self.n_inputs):
+            records = rng.choice([20_000, 40_000, 80_000, 160_000])
+            statements = rng.choice([400, 800, 1600])
+            shuffle = rng.random() < 0.3
+            db_path = f"data/db/db{index:02d}.dat"
+            q_path = f"data/db/script{index:02d}.sql"
+            cmd = ("-s " if shuffle else "") + f"{db_path} {q_path}"
+            inputs.append(
+                BenchInput(
+                    cmdline=cmd,
+                    files={
+                        db_path: MemoryFile(
+                            size_bytes=records * 64, extra={"records": records}
+                        ),
+                        q_path: MemoryFile(
+                            size_bytes=statements * 40,
+                            extra={"statements": statements},
+                        ),
+                    },
+                )
+            )
+        return inputs
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        records = feature_int(fvector, "operand1.mRecords", 20_000)
+        statements = feature_int(fvector, "operand2.mStatements", 400)
+        shuffle = feature_int(fvector, "-s.VAL", 0)
+        return (records, statements, shuffle)

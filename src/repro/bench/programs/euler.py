@@ -1,0 +1,90 @@
+"""Euler (Java Grande euler model).
+
+A structured-grid computational-fluid-dynamics kernel: time-steps the
+Euler equations over an N×4N grid until a fixed iteration budget. The
+single input value (grid scale N) drives a quadratic running-time range —
+one of the strongly input-sensitive programs in Figure 10.
+
+Command line: ``euler N``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// Euler solver model on an n x 4n grid.
+fn init_grid(n) {
+  burn(n * n * 2);
+  return n * 4 * n;
+}
+
+fn compute_flux(n) {
+  // Per-sweep flux evaluation over the grid.
+  burn(n * n * 11);
+  return 0;
+}
+
+fn update_cells(n) {
+  burn(n * n * 6);
+  return 0;
+}
+
+fn apply_boundary(n) {
+  burn(n * 48);
+  return 0;
+}
+
+fn residual(n) {
+  burn(n * n * 2);
+  return n;
+}
+
+fn smooth(n) {
+  burn(n * n * 3);
+  return 0;
+}
+
+fn main(n, iters) {
+  init_grid(n);
+  var it = 0;
+  var res = 0;
+  while (it < iters) {
+    compute_flux(n);
+    update_cells(n);
+    apply_boundary(n);
+    if (it % 4 == 0) { smooth(n); }
+    if (it % 8 == 0) { res = residual(n); }
+    it = it + 1;
+  }
+  return res;
+}
+"""
+
+SPEC = """
+# euler N
+operand {position=1; type=NUM; attr=VAL}
+"""
+
+
+class EulerBenchmark(Benchmark):
+    name = "Euler"
+    suite = "grande"
+    n_inputs = 10
+    runs = 30
+    input_sensitive = True
+    source = SOURCE
+    spec_text = SPEC
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        sizes = [24, 33, 42, 52, 64, 78, 96, 120, 150, 190]
+        rng.shuffle(sizes)
+        return [BenchInput(cmdline=str(n)) for n in sizes]
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        n = feature_int(fvector, "operand1.VAL", 64)
+        iters = 60
+        return (n, iters)

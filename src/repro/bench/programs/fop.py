@@ -1,0 +1,119 @@
+"""Fop (DaCapo fop model).
+
+An XSL-FO formatter: parses a formatting-objects document, measures text,
+lays out pages, and renders either PDF or PostScript. Table I's features:
+the input file's line count and the output format.
+
+Command line: ``fop -fmt {pdf|ps} [-c] [-q] FOFILE``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ...xicl.filesystem import MemoryFile
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// XSL-FO formatter model. lines = input document line count.
+fn parse_fo(lines) {
+  var l = 0;
+  while (l < lines) { burn(170); l = l + 8; }
+  return lines;
+}
+
+fn measure_text(lines) {
+  var l = 0;
+  while (l < lines) { burn(120); l = l + 6; }
+  return lines;
+}
+
+fn layout_line(complexity) {
+  burn(260 + 40 * complexity);
+  return 1;
+}
+
+fn layout_pages(lines, complexity) {
+  var page_lines = 45;
+  var l = 0;
+  var pages = 0;
+  while (l < lines) {
+    layout_line(complexity);
+    l = l + page_lines;
+    pages = pages + 1;
+    burn(900 * page_lines / 10);
+  }
+  return pages;
+}
+
+fn render_pdf(pages) {
+  var p = 0;
+  while (p < pages) { burn(5200); p = p + 1; }
+  return pages;
+}
+
+fn render_ps(pages) {
+  var p = 0;
+  while (p < pages) { burn(3100); p = p + 1; }
+  return pages;
+}
+
+fn compress_output(pages) {
+  burn(2400 * pages / 2);
+  return 0;
+}
+
+fn main(lines, fmt, compressed, quality) {
+  parse_fo(lines);
+  measure_text(lines);
+  var pages = layout_pages(lines, quality);
+  if (fmt == 0) { render_pdf(pages); } else { render_ps(pages); }
+  if (compressed == 1) { compress_output(pages); }
+  return pages;
+}
+"""
+
+SPEC = """
+# fop -fmt FORMAT [-c] [-q QUALITY] FOFILE
+option  {name=-fmt; type=STR; attr=VAL; default=pdf; has_arg=y}
+option  {name=-c:--compress; type=BIN; attr=VAL; default=0; has_arg=n}
+option  {name=-q:--quality; type=NUM; attr=VAL; default=1; has_arg=y}
+operand {position=1; type=FILE; attr=SIZE:LINES}
+"""
+
+
+class FopBenchmark(Benchmark):
+    name = "Fop"
+    suite = "dacapo"
+    n_inputs = 12
+    runs = 30
+    input_sensitive = False
+    source = SOURCE
+    spec_text = SPEC
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        inputs: list[BenchInput] = []
+        for index in range(self.n_inputs):
+            lines = rng.choice([600, 1500, 4000, 9000, 20_000])
+            fmt = rng.choice(["pdf", "ps"])
+            compress = rng.random() < 0.35
+            quality = rng.choice([1, 2, 4])
+            path = f"data/fop/doc{index:02d}.fo"
+            flags = f"-fmt {fmt} -q {quality}" + (" -c" if compress else "")
+            inputs.append(
+                BenchInput(
+                    cmdline=f"{flags} {path}",
+                    files={
+                        path: MemoryFile(size_bytes=lines * 52, extra={"lines": lines})
+                    },
+                )
+            )
+        return inputs
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        lines = feature_int(fvector, "operand1.LINES", 1500)
+        fmt = 0 if fvector.get("-fmt.VAL", "pdf") == "pdf" else 1
+        compress = feature_int(fvector, "-c.VAL", 0)
+        quality = feature_int(fvector, "-q.VAL", 1)
+        return (lines, fmt, compress, quality)

@@ -1,0 +1,89 @@
+"""MolDyn (Java Grande moldyn model).
+
+A molecular-dynamics simulation: N particles interact pairwise (O(N²)
+force evaluation) over a fixed number of Verlet-integration timesteps.
+The particle count is the single input value; force evaluation dominates
+larger systems — the strongly input-sensitive profile Figure 10 groups it
+under.
+
+Command line: ``moldyn N``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// Molecular dynamics model: n particles, pairwise forces.
+fn init_particles(n) {
+  burn(n * 30);
+  return n;
+}
+
+fn forces(n) {
+  // O(n^2) pairwise interactions, folded per-particle.
+  var i = 0;
+  while (i < n) {
+    burn(n * 3);
+    i = i + 16;
+  }
+  return 0;
+}
+
+fn integrate(n) {
+  burn(n * 14);
+  return 0;
+}
+
+fn scale_temperature(n) {
+  burn(n * 5 + 200);
+  return 0;
+}
+
+fn kinetic_energy(n) {
+  burn(n * 7);
+  return n;
+}
+
+fn main(n, steps) {
+  init_particles(n);
+  var s = 0;
+  var e = 0;
+  while (s < steps) {
+    forces(n);
+    integrate(n);
+    if (s % 10 == 0) { scale_temperature(n); }
+    if (s % 5 == 0) { e = kinetic_energy(n); }
+    s = s + 1;
+  }
+  return e;
+}
+"""
+
+SPEC = """
+# moldyn N
+operand {position=1; type=NUM; attr=VAL}
+"""
+
+
+class MolDynBenchmark(Benchmark):
+    name = "MolDyn"
+    suite = "grande"
+    n_inputs = 8
+    runs = 30
+    input_sensitive = True
+    source = SOURCE
+    spec_text = SPEC
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        sizes = [256, 400, 640, 1000, 1600, 2500, 4000, 6000]
+        rng.shuffle(sizes)
+        return [BenchInput(cmdline=str(n)) for n in sizes]
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        n = feature_int(fvector, "operand1.VAL", 640)
+        steps = 50
+        return (n, steps)

@@ -1,0 +1,86 @@
+"""MonteCarlo (Java Grande montecarlo model).
+
+A financial Monte-Carlo simulation: generates many stochastic price paths
+and aggregates their statistics. The input population spans a deliberately
+narrow path-count range (the real benchmark's data sizes are close
+together), so ideal optimization levels barely vary across inputs — one of
+the programs where Rep and Evolve should behave similarly.
+
+Command line: ``montecarlo N``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// Monte-Carlo path simulation model: n paths, fixed path length.
+fn init_tasks(n) {
+  burn(n / 2 + 400);
+  return n;
+}
+
+fn ratemc_step() {
+  burn(95);
+  return 0;
+}
+
+fn simulate_path(length) {
+  var t = 0;
+  while (t < length) {
+    ratemc_step();
+    t = t + 440;
+  }
+  burn(length * 25);
+  return length;
+}
+
+fn accumulate(value) {
+  burn(18);
+  return value;
+}
+
+fn reduce_stats(n) {
+  burn(n * 3 + 600);
+  return n;
+}
+
+fn main(n, length) {
+  init_tasks(n);
+  var p = 0;
+  while (p < n) {
+    accumulate(simulate_path(length));
+    p = p + 1;
+  }
+  return reduce_stats(n);
+}
+"""
+
+SPEC = """
+# montecarlo N
+operand {position=1; type=NUM; attr=VAL}
+"""
+
+
+class MonteCarloBenchmark(Benchmark):
+    name = "MonteCarlo"
+    suite = "grande"
+    n_inputs = 8
+    runs = 30
+    input_sensitive = False
+    source = SOURCE
+    spec_text = SPEC
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        # Narrow range: ~2x spread only.
+        sizes = [700, 800, 900, 1000, 1100, 1200, 1300, 1400]
+        rng.shuffle(sizes)
+        return [BenchInput(cmdline=str(n)) for n in sizes]
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        n = feature_int(fvector, "operand1.VAL", 1000)
+        length = 1200
+        return (n, length)

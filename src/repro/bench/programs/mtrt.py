@@ -1,0 +1,135 @@
+"""Mtrt (SPECjvm98 _227_mtrt model).
+
+A two-worker ray tracer rendering a scene file: rays per pixel traverse a
+bounding hierarchy, intersect spheres/polygons, and shade with recursive
+reflection up to a depth bound. Canvas size and reflection depth (the
+"input values" of Table I) multiply into a wide running-time range —
+Figure 8(a)/9(a)'s subject.
+
+Command line: ``mtrt -size N -depth D [-aa] SCENE``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ...xicl.filesystem import MemoryFile
+from ...xicl.methods import MetadataFeature, XFMethodRegistry
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// Ray tracer model. Canvas is size x size; rays recurse to depth.
+fn parse_scene(objects) {
+  burn(900 * objects / 10 + 2000);
+  return objects;
+}
+
+fn build_bvh(objects) {
+  var logn = 1;
+  var span = objects;
+  while (span > 1) { span = span / 2; logn = logn + 1; }
+  burn(objects * logn * 6);
+  return logn;
+}
+
+fn intersect_sphere(objects) {
+  burn(26 + objects / 8);
+  return 1;
+}
+
+fn intersect_poly(objects) {
+  burn(44 + objects / 5);
+  return 1;
+}
+
+fn shade(depth, objects) {
+  // Recursive reflection: geometric work in depth.
+  if (depth <= 0) { return 1; }
+  intersect_sphere(objects);
+  if (depth % 2 == 0) { intersect_poly(objects); }
+  burn(60);
+  return 1 + shade(depth - 1, objects);
+}
+
+fn trace_block(rows, size, depth, objects, aa) {
+  // Trace a block of rows; per-pixel cost folded into burn, per-row
+  // shading sampled through real calls so the kernel mix is honest.
+  var r = 0;
+  var rays = 0;
+  while (r < rows) {
+    shade(depth, objects);
+    burn(size * (14 + 6 * depth) * (1 + aa));
+    rays = rays + size;
+    r = r + 1;
+  }
+  return rays;
+}
+
+fn write_image(size) {
+  burn(size * size / 40 + 500);
+  return 0;
+}
+
+fn main(size, depth, objects, aa) {
+  parse_scene(objects);
+  build_bvh(objects);
+  // Two render workers, as in the multithreaded original.
+  var half = size / 2;
+  var rays1 = trace_block(half, size, depth, objects, aa);
+  var rays2 = trace_block(size - half, size, depth, objects, aa);
+  write_image(size);
+  return rays1 + rays2;
+}
+"""
+
+SPEC = """
+# mtrt -size N -depth D [-aa] SCENE
+option  {name=-size; type=NUM; attr=VAL; default=200; has_arg=y}
+option  {name=-depth; type=NUM; attr=VAL; default=3; has_arg=y}
+option  {name=-aa; type=BIN; attr=VAL; default=0; has_arg=n}
+operand {position=1; type=FILE; attr=SIZE:mObjects}
+"""
+
+
+class MtrtBenchmark(Benchmark):
+    name = "Mtrt"
+    suite = "jvm98"
+    n_inputs = 20
+    runs = 70
+    input_sensitive = True
+    source = SOURCE
+    spec_text = SPEC
+
+    def make_registry(self) -> XFMethodRegistry:
+        registry = XFMethodRegistry()
+        registry.register(MetadataFeature("mObjects", "objects"))
+        return registry
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        inputs: list[BenchInput] = []
+        for index in range(self.n_inputs):
+            size = rng.choice([36, 60, 100, 160, 240, 360, 520, 680])
+            depth = rng.choice([1, 2, 3, 5, 7])
+            objects = rng.choice([20, 60, 150, 400])
+            aa = rng.random() < 0.25
+            path = f"data/mtrt/scene{index:02d}.mdl"
+            flags = f"-size {size} -depth {depth}" + (" -aa" if aa else "")
+            inputs.append(
+                BenchInput(
+                    cmdline=f"{flags} {path}",
+                    files={
+                        path: MemoryFile(
+                            size_bytes=objects * 120, extra={"objects": objects}
+                        )
+                    },
+                )
+            )
+        return inputs
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        size = feature_int(fvector, "-size.VAL", 200)
+        depth = feature_int(fvector, "-depth.VAL", 3)
+        objects = feature_int(fvector, "operand1.mObjects", 60)
+        aa = feature_int(fvector, "-aa.VAL", 0)
+        return (size, depth, objects, aa)

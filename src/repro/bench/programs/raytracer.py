@@ -1,0 +1,92 @@
+"""RayTracer (Java Grande raytracer model).
+
+A scene renderer over an N×N canvas of a fixed 64-sphere scene. The
+single input value (canvas size) drives a quadratic running-time spread;
+it is the second program (with Mtrt) whose temporal learning curves the
+paper plots in Figure 8.
+
+Command line: ``raytracer N``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// Java Grande style ray tracer: fixed scene, canvas n x n.
+fn create_scene() {
+  burn(5200);
+  return 64;
+}
+
+fn intersect(spheres) {
+  burn(9 * spheres);
+  return 1;
+}
+
+fn shade_hit(spheres) {
+  intersect(spheres);
+  burn(240);
+  return 1;
+}
+
+fn trace_pixel(spheres) {
+  intersect(spheres);
+  shade_hit(spheres);
+  burn(130);
+  return 1;
+}
+
+fn render_row(n, spheres) {
+  // One row of pixels: a few representative traced pixels plus the
+  // row's aggregate kernel cost.
+  trace_pixel(spheres);
+  trace_pixel(spheres);
+  burn(n * 95);
+  return n;
+}
+
+fn checksum_image(n) {
+  burn(n * n / 30 + 300);
+  return n;
+}
+
+fn main(n) {
+  var spheres = create_scene();
+  var row = 0;
+  var pixels = 0;
+  while (row < n) {
+    pixels = pixels + render_row(n, spheres);
+    row = row + 1;
+  }
+  checksum_image(n);
+  return pixels;
+}
+"""
+
+SPEC = """
+# raytracer N
+operand {position=1; type=NUM; attr=VAL}
+"""
+
+
+class RayTracerBenchmark(Benchmark):
+    name = "RayTracer"
+    suite = "grande"
+    n_inputs = 10
+    runs = 30
+    input_sensitive = True
+    source = SOURCE
+    spec_text = SPEC
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        sizes = [60, 90, 130, 180, 240, 320, 420, 540, 680, 840]
+        rng.shuffle(sizes)
+        return [BenchInput(cmdline=str(n)) for n in sizes]
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        n = feature_int(fvector, "operand1.VAL", 180)
+        return (n,)

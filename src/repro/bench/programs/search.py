@@ -1,0 +1,100 @@
+"""Search (Java Grande search model).
+
+An alpha-beta game-tree search solving a connect-4-style position given as
+a move string. Table I's feature is the *length of the input string*: a
+longer prefix of forced moves leaves a shallower remaining tree, so the
+string length controls search effort. The paper could only collect a few
+legal inputs for Search; we mirror that with a 4-position population.
+
+Command line: ``search POSITION`` (a move string).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...xicl.features import FeatureVector
+from ..base import BenchInput, Benchmark, feature_int
+
+SOURCE = """
+// Alpha-beta search model: depth derived from remaining free plies.
+fn parse_position(length) {
+  burn(80 * length + 300);
+  return length;
+}
+
+fn evaluate() {
+  burn(4200);
+  return 1;
+}
+
+fn generate_moves() {
+  burn(650);
+  return 7;
+}
+
+fn order_moves() {
+  burn(70);
+  return 0;
+}
+
+fn alphabeta(depth, width) {
+  if (depth <= 0) { return evaluate(); }
+  generate_moves();
+  order_moves();
+  var visited = 0;
+  var child = 0;
+  while (child < width) {
+    visited = visited + alphabeta(depth - 1, width);
+    child = child + 1;
+  }
+  burn(40);
+  return visited;
+}
+
+fn probe_tt() {
+  burn(30);
+  return 0;
+}
+
+fn main(prefix_len, depth, width) {
+  parse_position(prefix_len);
+  probe_tt();
+  return alphabeta(depth, width);
+}
+"""
+
+SPEC = """
+# search POSITION
+operand {position=1; type=STR; attr=VAL:LEN}
+"""
+
+#: The four benchmark positions: move prefixes of decreasing length.
+_POSITIONS = (
+    "444333555522226666",   # long forced prefix → shallow search
+    "4433556622",
+    "443355",
+    "44",                   # near-empty board → deep search
+)
+
+
+class SearchBenchmark(Benchmark):
+    name = "Search"
+    suite = "grande"
+    n_inputs = 4
+    runs = 30
+    input_sensitive = False
+    source = SOURCE
+    spec_text = SPEC
+
+    def generate_inputs(self, rng: Random) -> list[BenchInput]:
+        positions = list(_POSITIONS)
+        rng.shuffle(positions)
+        return [BenchInput(cmdline=pos) for pos in positions]
+
+    def launch_args(self, fvector: FeatureVector) -> tuple:
+        prefix_len = feature_int(fvector, "operand1.LEN", 8)
+        # Remaining search depth shrinks with the played prefix.
+        depth = 7 - min(4, prefix_len // 5)
+        width = 3
+        return (prefix_len, depth, width)

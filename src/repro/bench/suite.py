@@ -1,0 +1,51 @@
+"""The benchmark suite registry (Table I order)."""
+
+from __future__ import annotations
+
+from .base import Benchmark
+from .programs import (
+    AntlrBenchmark,
+    BloatBenchmark,
+    CompressBenchmark,
+    DbBenchmark,
+    EulerBenchmark,
+    FopBenchmark,
+    MolDynBenchmark,
+    MonteCarloBenchmark,
+    MtrtBenchmark,
+    RayTracerBenchmark,
+    SearchBenchmark,
+)
+
+#: Table I row order.
+BENCHMARK_CLASSES: tuple[type[Benchmark], ...] = (
+    MtrtBenchmark,
+    CompressBenchmark,
+    DbBenchmark,
+    AntlrBenchmark,
+    BloatBenchmark,
+    FopBenchmark,
+    EulerBenchmark,
+    MolDynBenchmark,
+    MonteCarloBenchmark,
+    SearchBenchmark,
+    RayTracerBenchmark,
+)
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """Fresh instances of every benchmark, in Table I order."""
+    return [cls() for cls in BENCHMARK_CLASSES]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look one benchmark up by its (case-insensitive) Table I name."""
+    for cls in BENCHMARK_CLASSES:
+        if cls.name.lower() == name.lower():
+            return cls()
+    known = ", ".join(cls.name for cls in BENCHMARK_CLASSES)
+    raise KeyError(f"unknown benchmark {name!r} (known: {known})")
+
+
+#: The paper's strongly input-sensitive group (§V-B.1.b).
+INPUT_SENSITIVE_GROUP = ("Mtrt", "Compress", "Euler", "MolDyn", "RayTracer")

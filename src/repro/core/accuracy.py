@@ -1,0 +1,42 @@
+"""Time-weighted prediction accuracy (§IV-C of the paper).
+
+``accuracy = Σ_{m ∈ C} T_m / Σ_{i ∈ A} T_i`` where *A* is the set of all
+methods, *C* the methods whose optimization levels were predicted
+correctly, and *T* a method's running time — measured, as in Jikes, by its
+timer-sample count. Runs too short to produce any samples fall back to
+exact per-method work as the weight, so the metric stays defined.
+"""
+
+from __future__ import annotations
+
+from ..aos.strategy import LevelStrategy
+from ..vm.config import BASELINE_LEVEL
+from ..vm.profiles import RunProfile
+
+
+def prediction_accuracy(
+    predicted: LevelStrategy, ideal: LevelStrategy, profile: RunProfile
+) -> float:
+    """Fraction of execution time spent in correctly predicted methods.
+
+    A method absent from either strategy counts as assigned the baseline
+    level (no advice executes at baseline), mirroring how the evolvable VM
+    treats methods its models do not cover.
+    """
+    weights: dict[str, float]
+    if profile.total_samples > 0:
+        weights = {m: float(c) for m, c in profile.samples.items()}
+    else:
+        weights = dict(profile.method_work)
+    total = sum(weights.values())
+    if total <= 0:
+        # Degenerate empty run: call it fully accurate only if the
+        # strategies agree on every method either mentions.
+        return 1.0 if all(predicted.agreement(ideal).values()) else 0.0
+    correct = 0.0
+    for method, weight in weights.items():
+        want = ideal.levels.get(method, BASELINE_LEVEL)
+        got = predicted.levels.get(method, BASELINE_LEVEL)
+        if want == got:
+            correct += weight
+    return correct / total

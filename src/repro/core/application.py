@@ -1,0 +1,64 @@
+"""The application abstraction: a program plus its input machinery.
+
+An :class:`Application` bundles everything the evolvable VM needs to run
+one program on arbitrary command lines: the compiled program, its XICL
+specification, the feature-method registry, the filesystem its inputs live
+on, and a *launcher* mapping a parsed invocation to the program entry's
+arguments.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..vm.program import Program
+from ..xicl.features import FeatureVector
+from ..xicl.filesystem import FileSystem, OSFileSystem
+from ..xicl.methods import XFMethodRegistry
+from ..xicl.spec import XICLSpec
+from ..xicl.translator import XICLTranslator
+
+#: Maps (command-line tokens, extracted features, filesystem) to the tuple
+#: of arguments passed to the program's entry method.
+Launcher = Callable[[list[str], FeatureVector, FileSystem], tuple]
+
+
+def _no_args_launcher(
+    tokens: list[str], fvector: FeatureVector, fs: FileSystem
+) -> tuple:
+    return ()
+
+
+@dataclass
+class Application:
+    """One runnable application under the evolvable VM."""
+
+    name: str
+    program: Program
+    spec: XICLSpec | None = None
+    registry: XFMethodRegistry = field(default_factory=XFMethodRegistry)
+    filesystem: FileSystem = field(default_factory=OSFileSystem)
+    launcher: Launcher = _no_args_launcher
+
+    def make_translator(self) -> XICLTranslator | None:
+        """A translator for this application, or None without a spec.
+
+        Without an XICL specification the evolvable VM cannot characterize
+        inputs and falls back to the default adaptive optimizer — exactly
+        the paper's fallback behaviour.
+        """
+        if self.spec is None:
+            return None
+        return XICLTranslator(
+            self.spec, registry=self.registry, filesystem=self.filesystem
+        )
+
+    def split_cmdline(self, cmdline: str | list[str]) -> list[str]:
+        if isinstance(cmdline, str):
+            return shlex.split(cmdline)
+        return list(cmdline)
+
+    def entry_args(self, tokens: list[str], fvector: FeatureVector) -> tuple:
+        return self.launcher(tokens, fvector, self.filesystem)

@@ -1,0 +1,48 @@
+"""Confidence tracking for discriminative prediction.
+
+The confidence of the predictive models is the decayed average of the
+prediction accuracies observed on previous executions::
+
+    conf ← (1 − γ)·conf + γ·acc
+
+The decay factor γ weights recent runs against older history; the
+confidence threshold TH_c gates prediction — *only predict when confident*.
+The paper uses 0.7 for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Paper defaults (§IV-C).
+DEFAULT_GAMMA = 0.7
+DEFAULT_THRESHOLD = 0.7
+
+
+@dataclass
+class ConfidenceTracker:
+    """Decayed-average confidence with a prediction gate."""
+
+    gamma: float = DEFAULT_GAMMA
+    threshold: float = DEFAULT_THRESHOLD
+    value: float = 0.0
+    history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+
+    def update(self, accuracy: float) -> float:
+        """Fold one run's prediction accuracy in; returns the new value."""
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy out of range: {accuracy}")
+        self.value = (1.0 - self.gamma) * self.value + self.gamma * accuracy
+        self.history.append(self.value)
+        return self.value
+
+    @property
+    def confident(self) -> bool:
+        """True when the gate opens: conf > TH_c."""
+        return self.value > self.threshold

@@ -1,0 +1,321 @@
+"""The evolvable virtual machine: the paper's Figure 7 loop, plus the
+Default and Rep scenario drivers it is evaluated against.
+
+One :class:`EvolvableVM` instance persists across the production runs of
+one application. Each :meth:`run`:
+
+1. extracts the input's feature vector through the XICL translator;
+2. if confidence exceeds the threshold, predicts a per-method optimization
+   strategy and applies it proactively (each predicted method is
+   recompiled to its level right after its first baseline compile; the
+   reactive optimizer is left in charge of unpredicted methods only);
+3. otherwise runs under the default reactive optimizer;
+4. after the run, computes the posterior *ideal* strategy from the sampled
+   profile via the cost-benefit model, scores the (actual or would-be)
+   prediction against it, folds the accuracy into the decayed confidence,
+   and updates the per-method models (offline stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..aos.controller import AdaptiveController, PairPlanController
+from ..aos.cost_benefit import CostBenefitModel
+from ..aos.repository import ProfileRepository
+from ..aos.strategy import LevelStrategy
+from ..learning.tree import TreeParams
+from ..vm.config import DEFAULT_CONFIG, VMConfig
+from ..vm.heap import DEFAULT_GC_POLICY, GCCostModel
+from ..vm.interpreter import Interpreter
+from ..vm.opt.jit import JITCompiler
+from ..vm.profiles import RunProfile
+from ..xicl.features import FeatureVector
+from .accuracy import prediction_accuracy
+from .application import Application
+from .confidence import DEFAULT_GAMMA, DEFAULT_THRESHOLD, ConfidenceTracker
+from .gc_selection import GCDecision, GCSelector
+from .model_builder import ModelBuilder
+from .predictor import OverheadModel, StrategyPredictor
+
+
+@dataclass
+class RunOutcome:
+    """Everything observed about one execution under one scenario."""
+
+    scenario: str
+    cmdline: str
+    result: object
+    profile: RunProfile
+    overhead_cycles: float = 0.0
+    fvector: FeatureVector | None = None
+    predicted: LevelStrategy | None = None
+    ideal: LevelStrategy | None = None
+    accuracy: float | None = None
+    confidence_before: float | None = None
+    confidence_after: float | None = None
+    applied_prediction: bool = False
+    gc_decision: GCDecision | None = None
+
+    @property
+    def total_cycles(self) -> float:
+        """Run time including the evolvable machinery's overhead."""
+        return self.profile.total_cycles + self.overhead_cycles
+
+    def speedup_vs(self, baseline: "RunOutcome") -> float:
+        """This run's speedup relative to *baseline* (same input)."""
+        return baseline.total_cycles / self.total_cycles
+
+
+class EvolvableVM:
+    """A virtual machine that evolves across the runs of one application."""
+
+    def __init__(
+        self,
+        app: Application,
+        config: VMConfig = DEFAULT_CONFIG,
+        gamma: float = DEFAULT_GAMMA,
+        threshold: float = DEFAULT_THRESHOLD,
+        tree_params: TreeParams = TreeParams(),
+        overhead: OverheadModel = OverheadModel(),
+        min_rows: int = 2,
+        jit: JITCompiler | None = None,
+        select_gc: bool = False,
+        gc_model: GCCostModel = GCCostModel(),
+        default_gc_policy: str = DEFAULT_GC_POLICY,
+        cache_translations: bool = False,
+    ):
+        self.app = app
+        self.config = config
+        self.jit = jit if jit is not None else JITCompiler(app.program, config)
+        self.cost_benefit = CostBenefitModel(self.jit, config.sample_interval)
+        self.models = ModelBuilder(tree_params, min_rows=min_rows)
+        self.confidence = ConfidenceTracker(gamma=gamma, threshold=threshold)
+        self.predictor = StrategyPredictor(self.models, self.confidence, overhead)
+        self.translator = app.make_translator()
+        self.gc_model = gc_model
+        self.default_gc_policy = default_gc_policy
+        self.gc_selector = (
+            GCSelector(
+                gamma=gamma,
+                threshold=threshold,
+                tree_params=tree_params,
+                gc_model=gc_model,
+                default_policy=default_gc_policy,
+                min_rows=min_rows,
+            )
+            if select_gc
+            else None
+        )
+        self.run_count = 0
+        self.outcomes: list[RunOutcome] = []
+        #: Optional memoization of (cmdline → feature vector): a server
+        #: handling many identical request shapes amortizes translation;
+        #: only cache misses pay extraction overhead. Off by default — the
+        #: paper's per-run protocol always translates.
+        self.cache_translations = cache_translations
+        self._translation_cache: dict[str, FeatureVector] = {}
+
+    # -- the Figure 7 loop ----------------------------------------------------
+    def run(
+        self,
+        cmdline: str | list[str],
+        rng_seed: int = 0,
+        runtime_features: dict[str, object] | None = None,
+    ) -> RunOutcome:
+        """Execute the application once, learn from it, and return the
+        outcome. Appends to :attr:`outcomes`.
+
+        *runtime_features* models the paper's ``updateV``/``done`` channel:
+        values the application computes during initialization (or at an
+        interactive point) that should join the input feature vector before
+        prediction. They are applied through the translator's channel, and
+        ``done()`` is signalled before the strategy predictor runs.
+        """
+        tokens = self.app.split_cmdline(cmdline)
+        cmd_str = cmdline if isinstance(cmdline, str) else " ".join(cmdline)
+        overhead_cycles = 0.0
+        fvector: FeatureVector | None = None
+        predicted: LevelStrategy | None = None
+
+        if self.translator is not None:
+            cached = (
+                self._translation_cache.get(cmd_str)
+                if self.cache_translations and not runtime_features
+                else None
+            )
+            if cached is not None:
+                fvector = cached
+            else:
+                fvector = self.translator.build_fvector(tokens)
+                if runtime_features:
+                    self.translator.channel.update_many(runtime_features)
+                    self.translator.channel.done()
+                overhead_cycles += self.predictor.overhead.extraction_cycles(
+                    fvector
+                )
+                if self.cache_translations and not runtime_features:
+                    self._translation_cache[cmd_str] = fvector
+            predicted, predict_cycles = self.predictor.maybe_predict(fvector)
+            overhead_cycles += predict_cycles
+        # Without an XICL spec the VM behaves exactly like the default one.
+
+        conf_before = self.confidence.value
+        gc_decision: GCDecision | None = None
+        gc_policy = self.default_gc_policy
+        if self.gc_selector is not None and fvector is not None:
+            gc_decision = self.gc_selector.select(fvector)
+            gc_policy = gc_decision.applied
+        interp = Interpreter(
+            self.app.program,
+            config=self.config,
+            rng_seed=rng_seed,
+            jit=self.jit,
+            first_invocation_hook=(
+                predicted.level_for if predicted is not None else None
+            ),
+            gc_policy=gc_policy,
+            gc_model=self.gc_model,
+        )
+        exclude = (
+            frozenset(predicted.levels) if predicted is not None else frozenset()
+        )
+        AdaptiveController(interp, exclude=exclude)
+        args = (
+            self.app.entry_args(tokens, fvector)
+            if fvector is not None
+            else self.app.launcher(tokens, FeatureVector(), self.app.filesystem)
+        )
+        profile = interp.run(args)
+
+        outcome = RunOutcome(
+            scenario="evolve",
+            cmdline=cmd_str,
+            result=interp.result,
+            profile=profile,
+            overhead_cycles=overhead_cycles,
+            fvector=fvector,
+            predicted=predicted,
+            applied_prediction=predicted is not None,
+            confidence_before=conf_before,
+            gc_decision=gc_decision,
+        )
+
+        if self.translator is not None and fvector is not None:
+            # Self-evaluation: score the applied prediction, or the
+            # would-be prediction when the gate was closed.
+            scored = (
+                predicted
+                if predicted is not None
+                else self.predictor.posterior_predict(fvector)
+            )
+            ideal = self.cost_benefit.ideal_strategy(profile)
+            accuracy = prediction_accuracy(scored, ideal, profile)
+            self.confidence.update(accuracy)
+            # Offline stage: extend and rebuild the models.
+            self.models.observe_run(fvector, ideal)
+            self.models.refit_all()
+            outcome.predicted = scored
+            outcome.ideal = ideal
+            outcome.accuracy = accuracy
+            outcome.confidence_after = self.confidence.value
+
+        if (
+            self.gc_selector is not None
+            and gc_decision is not None
+            and fvector is not None
+        ):
+            self.gc_selector.observe(gc_decision, fvector, profile)
+
+        self.run_count += 1
+        self.outcomes.append(outcome)
+        return outcome
+
+
+# ---------------------------------------------------------------------------
+# Scenario drivers for the comparisons (Default and Rep)
+# ---------------------------------------------------------------------------
+
+def run_default(
+    app: Application,
+    cmdline: str | list[str],
+    config: VMConfig = DEFAULT_CONFIG,
+    jit: JITCompiler | None = None,
+    rng_seed: int = 0,
+) -> RunOutcome:
+    """One run under the default (reactive) adaptive optimization scheme."""
+    tokens = app.split_cmdline(cmdline)
+    cmd_str = cmdline if isinstance(cmdline, str) else " ".join(cmdline)
+    translator = app.make_translator()
+    fvector = (
+        translator.build_fvector(tokens)
+        if translator is not None
+        else FeatureVector()
+    )
+    interp = Interpreter(app.program, config=config, rng_seed=rng_seed, jit=jit)
+    AdaptiveController(interp)
+    profile = interp.run(app.entry_args(tokens, fvector))
+    return RunOutcome(
+        scenario="default",
+        cmdline=cmd_str,
+        result=interp.result,
+        profile=profile,
+        fvector=fvector,
+    )
+
+
+class RepVM:
+    """The repository-based optimizer (Rep) across the runs of one app.
+
+    Each run applies the single history-derived
+    :class:`~repro.aos.strategy.PairStrategy` (input-agnostic) and then
+    folds its own profile back into the repository — no confidence guard,
+    exactly the unconditional prediction the paper contrasts against.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        config: VMConfig = DEFAULT_CONFIG,
+        jit: JITCompiler | None = None,
+    ):
+        self.app = app
+        self.config = config
+        self.jit = jit if jit is not None else JITCompiler(app.program, config)
+        self.repository = ProfileRepository(self.jit, config.sample_interval)
+        self.outcomes: list[RunOutcome] = []
+        self.frozen_strategy = None  # optionally fixed (Figure 9 protocol)
+
+    def run(self, cmdline: str | list[str], rng_seed: int = 0) -> RunOutcome:
+        tokens = self.app.split_cmdline(cmdline)
+        cmd_str = cmdline if isinstance(cmdline, str) else " ".join(cmdline)
+        translator = self.app.make_translator()
+        fvector = (
+            translator.build_fvector(tokens)
+            if translator is not None
+            else FeatureVector()
+        )
+        strategy = (
+            self.frozen_strategy
+            if self.frozen_strategy is not None
+            else self.repository.strategy()
+        )
+        interp = Interpreter(
+            self.app.program, config=self.config, rng_seed=rng_seed, jit=self.jit
+        )
+        PairPlanController(interp, strategy)
+        AdaptiveController(interp, exclude=frozenset(strategy.plans))
+        profile = interp.run(self.app.entry_args(tokens, fvector))
+        if self.frozen_strategy is None:
+            self.repository.record_run(profile)
+        outcome = RunOutcome(
+            scenario="rep",
+            cmdline=cmd_str,
+            result=interp.result,
+            profile=profile,
+            fvector=fvector,
+            predicted=strategy.final_levels(),
+            applied_prediction=len(strategy) > 0,
+        )
+        self.outcomes.append(outcome)
+        return outcome

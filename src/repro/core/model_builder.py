@@ -1,0 +1,98 @@
+"""The model builder: per-method input→level classification trees.
+
+One application owns one :class:`ModelBuilder`, which owns one
+:class:`~repro.learning.incremental.IncrementalClassifier` per Java method.
+After each run the builder observes (input feature vector → the method's
+posterior ideal level); before a run it assembles a
+:class:`~repro.aos.strategy.LevelStrategy` by querying every method model
+with the new input's features.
+"""
+
+from __future__ import annotations
+
+from ..aos.strategy import LevelStrategy
+from ..learning.incremental import IncrementalClassifier
+from ..learning.tree import TreeParams
+from ..xicl.features import FeatureVector
+
+
+class ModelBuilder:
+    """Builds and queries the per-method predictive models."""
+
+    def __init__(self, tree_params: TreeParams = TreeParams(), min_rows: int = 2):
+        self.tree_params = tree_params
+        self.min_rows = min_rows
+        self._models: dict[str, IncrementalClassifier] = {}
+
+    # -- learning -------------------------------------------------------------
+    def observe_run(self, fvector: FeatureVector, ideal: LevelStrategy) -> None:
+        """Record one finished run: its input features and ideal strategy."""
+        for method, level in ideal.levels.items():
+            model = self._models.get(method)
+            if model is None:
+                model = IncrementalClassifier(self.tree_params, self.min_rows)
+                self._models[method] = model
+            model.observe(fvector, level)
+
+    def refit_all(self) -> None:
+        """Offline model construction: rebuild every method's tree."""
+        for model in self._models.values():
+            model.refit()
+
+    # -- prediction -------------------------------------------------------------
+    def predict(self, fvector: FeatureVector) -> LevelStrategy:
+        """Predicted per-method levels for the input *fvector*.
+
+        Methods whose models lack history are omitted (no advice).
+        """
+        levels: dict[str, int] = {}
+        for method, model in self._models.items():
+            level = model.predict(fvector)
+            if level is not None:
+                levels[method] = int(level)
+        return LevelStrategy(levels)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def method_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._models))
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def model_for(self, method: str) -> IncrementalClassifier | None:
+        return self._models.get(method)
+
+    def used_features(self) -> tuple[str, ...]:
+        """Union of features any method model actually splits on."""
+        names: list[str] = []
+        for method in sorted(self._models):
+            for feature in self._models[method].used_features():
+                if feature not in names:
+                    names.append(feature)
+        return tuple(names)
+
+    def raw_feature_count(self) -> int:
+        """Width of the raw feature vectors the models were trained on."""
+        widths = [
+            len(model.dataset.columns)
+            for model in self._models.values()
+            if len(model.dataset) > 0
+        ]
+        return max(widths, default=0)
+
+    def mean_cv_accuracy(self, k: int = 5, seed: int = 0) -> float:
+        """Average per-method cross-validated accuracy (model diagnostic).
+
+        The run-loop confidence (Figure 7) is the operational quality
+        measure; this CV score is the offline complement used for
+        model-quality reporting and ablations.
+        """
+        scores = [
+            model.cv_accuracy(k=k, seed=seed)
+            for model in self._models.values()
+            if model.n_observations >= 2
+        ]
+        if not scores:
+            return 0.0
+        return sum(scores) / len(scores)

@@ -1,0 +1,110 @@
+"""Persistence of the evolvable VM's learned state across processes.
+
+The paper's VM evolves across *production runs* — separate process
+lifetimes. This module serializes what must survive: the per-method
+training datasets (feature rows + ideal levels) and the confidence value.
+Models are rebuilt from data on load (they are cheap to refit and this
+keeps the format version-stable).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..aos.strategy import LevelStrategy
+from ..xicl.features import FeatureKind, FeatureVector
+from .evolvable import EvolvableVM
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """A compact, serializable summary of one evolvable run."""
+
+    run_index: int
+    cmdline: str
+    total_cycles: float
+    overhead_cycles: float
+    accuracy: float | None
+    confidence_after: float | None
+    applied_prediction: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "run_index": self.run_index,
+            "cmdline": self.cmdline,
+            "total_cycles": self.total_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "accuracy": self.accuracy,
+            "confidence_after": self.confidence_after,
+            "applied_prediction": self.applied_prediction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(**data)
+
+
+def state_to_dict(vm: EvolvableVM) -> dict:
+    """Serialize *vm*'s learned state (models' data + confidence)."""
+    methods: dict[str, dict] = {}
+    for method in vm.models.method_names:
+        model = vm.models.model_for(method)
+        ds = model.dataset
+        methods[method] = {
+            "columns": list(ds.columns),
+            "kinds": [ds.kind_of(c).value for c in ds.columns],
+            "rows": [
+                {"values": list(row.values), "label": row.label}
+                for row in ds.rows
+            ],
+        }
+    return {
+        "format": FORMAT_VERSION,
+        "application": vm.app.name,
+        "confidence": vm.confidence.value,
+        "gamma": vm.confidence.gamma,
+        "threshold": vm.confidence.threshold,
+        "run_count": vm.run_count,
+        "methods": methods,
+    }
+
+
+def load_state(vm: EvolvableVM, state: dict) -> None:
+    """Restore serialized state into a freshly constructed *vm*.
+
+    The VM must wrap the same application (checked by name).
+    """
+    if state.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported state format {state.get('format')!r}")
+    if state.get("application") != vm.app.name:
+        raise ValueError(
+            f"state is for {state.get('application')!r}, VM runs {vm.app.name!r}"
+        )
+    vm.confidence.value = float(state["confidence"])
+    vm.run_count = int(state["run_count"])
+    for method, payload in state["methods"].items():
+        columns = payload["columns"]
+        kinds = [FeatureKind(kind) for kind in payload["kinds"]]
+        for row in payload["rows"]:
+            vector = FeatureVector()
+            for name, kind, value in zip(columns, kinds, row["values"]):
+                if value is None:
+                    continue
+                vector.append_value(name, value, kind)
+            vm.models.observe_run(
+                vector, LevelStrategy({method: int(row["label"])})
+            )
+    vm.models.refit_all()
+
+
+def save_state(vm: EvolvableVM, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(state_to_dict(vm), handle)
+
+
+def load_state_file(vm: EvolvableVM, path: str) -> None:
+    with open(path, "r", encoding="utf-8") as handle:
+        load_state(vm, json.load(handle))

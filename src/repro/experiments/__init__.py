@@ -1,0 +1,22 @@
+"""Experiment harness: one module per paper table/figure plus the shared
+scenario runner. See DESIGN.md's experiment index (E1–E8)."""
+
+from .runner import BoxStats, ExperimentResult, run_experiment
+from .export import (
+    figure8_csv,
+    figure9_csv,
+    figure10_csv,
+    runs_csv,
+    table1_csv,
+)
+
+__all__ = [
+    "BoxStats",
+    "ExperimentResult",
+    "figure8_csv",
+    "figure9_csv",
+    "figure10_csv",
+    "run_experiment",
+    "runs_csv",
+    "table1_csv",
+]

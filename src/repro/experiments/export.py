@@ -1,0 +1,133 @@
+"""CSV export of experiment artifacts, for external plotting.
+
+The harness prints ASCII tables; anyone reproducing the paper's actual
+*plots* (scatter curves, boxplots) needs the raw series. These writers
+emit one tidy CSV per artifact with stable column names.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from .figure8 import Figure8Curves
+from .figure9 import Figure9Curve
+from .figure10 import Figure10Summary
+from .runner import ExperimentResult
+from .table1 import Table1Row
+
+
+def _write(rows: list[dict], fieldnames: list[str]) -> str:
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def table1_csv(rows: list[Table1Row]) -> str:
+    return _write(
+        [
+            {
+                "program": row.program,
+                "suite": row.suite,
+                "n_inputs": row.n_inputs,
+                "time_min_s": f"{row.time_min:.4f}",
+                "time_max_s": f"{row.time_max:.4f}",
+                "features_total": row.features_total,
+                "features_used": row.features_used,
+                "confidence": f"{row.mean_confidence:.4f}",
+                "accuracy": f"{row.mean_accuracy:.4f}",
+            }
+            for row in rows
+        ],
+        [
+            "program",
+            "suite",
+            "n_inputs",
+            "time_min_s",
+            "time_max_s",
+            "features_total",
+            "features_used",
+            "confidence",
+            "accuracy",
+        ],
+    )
+
+
+def figure8_csv(curves: Figure8Curves) -> str:
+    rows = []
+    for index in range(len(curves.evolve_speedup)):
+        rows.append(
+            {
+                "run": index + 1,
+                "confidence": f"{curves.confidence[index]:.4f}",
+                "accuracy": f"{curves.accuracy[index]:.4f}",
+                "evolve_speedup": f"{curves.evolve_speedup[index]:.4f}",
+                "rep_speedup": f"{curves.rep_speedup[index]:.4f}",
+            }
+        )
+    return _write(
+        rows, ["run", "confidence", "accuracy", "evolve_speedup", "rep_speedup"]
+    )
+
+
+def figure9_csv(curve: Figure9Curve) -> str:
+    return _write(
+        [
+            {
+                "default_time_s": f"{point.default_seconds:.4f}",
+                "evolve_speedup": f"{point.evolve_speedup:.4f}",
+                "rep_speedup": f"{point.rep_speedup:.4f}",
+            }
+            for point in curve.points
+        ],
+        ["default_time_s", "evolve_speedup", "rep_speedup"],
+    )
+
+
+def figure10_csv(summary: Figure10Summary) -> str:
+    rows = []
+    for row in summary.rows:
+        for scenario, stats in (("evolve", row.evolve), ("rep", row.rep)):
+            rows.append(
+                {
+                    "program": row.program,
+                    "scenario": scenario,
+                    "input_sensitive": int(row.input_sensitive),
+                    "min": f"{stats.minimum:.4f}",
+                    "q1": f"{stats.q1:.4f}",
+                    "median": f"{stats.median:.4f}",
+                    "q3": f"{stats.q3:.4f}",
+                    "max": f"{stats.maximum:.4f}",
+                }
+            )
+    return _write(
+        rows,
+        ["program", "scenario", "input_sensitive", "min", "q1", "median", "q3", "max"],
+    )
+
+
+def runs_csv(result: ExperimentResult) -> str:
+    """Raw per-run series of one experiment (all executed scenarios)."""
+    rows = []
+    for index in range(len(result.default)):
+        row: dict = {
+            "run": index + 1,
+            "cmdline": result.inputs[result.sequence[index]].cmdline,
+            "default_cycles": f"{result.default[index].total_cycles:.1f}",
+        }
+        if result.rep:
+            row["rep_speedup"] = f"{result.speedups('rep')[index]:.4f}"
+        if result.evolve:
+            row["evolve_speedup"] = f"{result.speedups('evolve')[index]:.4f}"
+            outcome = result.evolve[index]
+            row["applied"] = int(outcome.applied_prediction)
+            row["accuracy"] = (
+                f"{outcome.accuracy:.4f}" if outcome.accuracy is not None else ""
+            )
+        if result.phase:
+            row["phase_speedup"] = f"{result.speedups('phase')[index]:.4f}"
+        rows.append(row)
+    fieldnames = list(rows[0].keys()) if rows else ["run"]
+    return _write(rows, fieldnames)

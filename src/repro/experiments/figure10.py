@@ -1,0 +1,127 @@
+"""Figure 10 reproduction: speedup box-plots for all 11 benchmarks.
+
+For each program, the five-number summary (min/25%/median/75%/max) of
+per-run speedups under Evolve and under Rep, both normalized by the
+default VM — plus the paper's headline aggregates: the input-sensitive
+group's median/max advantage and the overall average improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench.suite import INPUT_SENSITIVE_GROUP, all_benchmarks
+from ..vm.config import DEFAULT_CONFIG, VMConfig
+from .report import format_table
+from .runner import BoxStats, run_experiment
+
+
+@dataclass
+class Figure10Row:
+    program: str
+    input_sensitive: bool
+    evolve: BoxStats
+    rep: BoxStats
+
+
+@dataclass
+class Figure10Summary:
+    rows: list[Figure10Row]
+
+    def sensitive_rows(self) -> list[Figure10Row]:
+        return [row for row in self.rows if row.program in INPUT_SENSITIVE_GROUP]
+
+    def mean_median_speedup(self, scenario: str, rows: list[Figure10Row]) -> float:
+        values = [
+            (row.evolve if scenario == "evolve" else row.rep).median for row in rows
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_max_speedup(self, scenario: str, rows: list[Figure10Row]) -> float:
+        values = [
+            (row.evolve if scenario == "evolve" else row.rep).maximum for row in rows
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def better_min_count(self) -> int:
+        """Programs where Evolve's worst run beats Rep's worst run — the
+        paper's evidence for the discriminative guard."""
+        return sum(
+            1 for row in self.rows if row.evolve.minimum >= row.rep.minimum
+        )
+
+
+def run_figure10(
+    seed: int = 0,
+    runs_override: int | None = None,
+    config: VMConfig = DEFAULT_CONFIG,
+    benchmarks: list | None = None,
+) -> Figure10Summary:
+    rows: list[Figure10Row] = []
+    for bench in benchmarks if benchmarks is not None else all_benchmarks():
+        result = run_experiment(bench, seed=seed, runs=runs_override, config=config)
+        rows.append(
+            Figure10Row(
+                program=bench.name,
+                input_sensitive=bench.input_sensitive,
+                evolve=BoxStats.of(result.speedups("evolve")),
+                rep=BoxStats.of(result.speedups("rep")),
+            )
+        )
+    return Figure10Summary(rows)
+
+
+def render(summary: Figure10Summary) -> str:
+    def fmt(stats: BoxStats) -> list[str]:
+        return [
+            f"{stats.minimum:.3f}",
+            f"{stats.q1:.3f}",
+            f"{stats.median:.3f}",
+            f"{stats.q3:.3f}",
+            f"{stats.maximum:.3f}",
+        ]
+
+    rows = []
+    for row in summary.rows:
+        rows.append(
+            [row.program + (" *" if row.input_sensitive else "")]
+            + fmt(row.evolve)
+            + fmt(row.rep)
+        )
+    table = format_table(
+        ["Program"]
+        + [f"E.{c}" for c in ("min", "q1", "med", "q3", "max")]
+        + [f"R.{c}" for c in ("min", "q1", "med", "q3", "max")],
+        rows,
+    )
+    sensitive = summary.sensitive_rows()
+    lines = [
+        "Figure 10 — speedup boxplots (Evolve vs Rep, * = input-sensitive group)",
+        table,
+        "",
+        (
+            "input-sensitive group: "
+            f"median {summary.mean_median_speedup('evolve', sensitive):.3f} vs "
+            f"{summary.mean_median_speedup('rep', sensitive):.3f}, "
+            f"max {summary.mean_max_speedup('evolve', sensitive):.3f} vs "
+            f"{summary.mean_max_speedup('rep', sensitive):.3f}"
+        ),
+        (
+            "all programs: "
+            f"median {summary.mean_median_speedup('evolve', summary.rows):.3f} vs "
+            f"{summary.mean_median_speedup('rep', summary.rows):.3f}; "
+            f"Evolve min >= Rep min in {summary.better_min_count()}/"
+            f"{len(summary.rows)} programs"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def main(seed: int = 0, runs_override: int | None = None) -> str:
+    output = render(run_figure10(seed=seed, runs_override=runs_override))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Figure 8 reproduction: temporal learning curves for Mtrt and RayTracer.
+
+For each program, the experiment runs a random-input sequence and reports
+four series over the run index: Evolve's model confidence, its prediction
+accuracy, its per-run speedup over the default VM, and Rep's speedup —
+the paper's circles, dots, pluses, and triangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench.suite import get_benchmark
+from ..vm.config import DEFAULT_CONFIG, VMConfig
+from .report import format_series, sparkline
+from .runner import run_experiment
+
+#: The two programs the paper plots.
+FIGURE8_PROGRAMS = ("Mtrt", "RayTracer")
+
+
+@dataclass
+class Figure8Curves:
+    program: str
+    confidence: list[float]
+    accuracy: list[float]
+    evolve_speedup: list[float]
+    rep_speedup: list[float]
+
+    def series(self) -> dict[str, list[float]]:
+        return {
+            "conf": self.confidence,
+            "acc": self.accuracy,
+            "evolve": self.evolve_speedup,
+            "rep": self.rep_speedup,
+        }
+
+
+def run_figure8(
+    program: str,
+    seed: int = 0,
+    runs: int | None = None,
+    config: VMConfig = DEFAULT_CONFIG,
+) -> Figure8Curves:
+    bench = get_benchmark(program)
+    result = run_experiment(bench, seed=seed, runs=runs, config=config)
+    return Figure8Curves(
+        program=program,
+        confidence=result.confidences(),
+        accuracy=result.accuracies(),
+        evolve_speedup=result.speedups("evolve"),
+        rep_speedup=result.speedups("rep"),
+    )
+
+
+def render(curves: Figure8Curves) -> str:
+    parts = [
+        format_series(f"Figure 8 — {curves.program}", curves.series()),
+        "",
+        f"conf   |{sparkline(curves.confidence)}|",
+        f"acc    |{sparkline(curves.accuracy)}|",
+        f"evolve |{sparkline(curves.evolve_speedup)}|",
+        f"rep    |{sparkline(curves.rep_speedup)}|",
+    ]
+    return "\n".join(parts)
+
+
+def main(seed: int = 0, runs: int | None = None) -> str:
+    outputs = []
+    for program in FIGURE8_PROGRAMS:
+        curves = run_figure8(program, seed=seed, runs=runs)
+        outputs.append(render(curves))
+    output = "\n\n".join(outputs)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

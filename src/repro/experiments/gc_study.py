@@ -1,0 +1,201 @@
+"""Extension experiment: input-specific garbage-collector selection (§VI).
+
+Beyond the paper's measured results — its discussion names GC selection as
+a further application of the same learning machinery. The study runs an
+allocation-heavy service whose inputs vary in allocation volume and
+survival ratio (the axis that flips which collector wins), under four
+regimes:
+
+- fixed **semispace**, fixed **marksweep** (the static choices),
+- **oracle** (per-input ideal, computed posterior), and
+- **evolve-gc** (the learned, confidence-guarded selector).
+
+Reported: total GC pause per regime, the selector's accuracy, and the
+fraction of the oracle's improvement the learned selector captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..core.application import Application
+from ..core.evolvable import EvolvableVM
+from ..lang.compiler import compile_source
+from ..vm.heap import GCCostModel, ideal_gc_policy
+from ..vm.interpreter import Interpreter
+from ..xicl.parser import parse_spec
+from .report import format_table
+
+#: A request-processing service: each request allocates a scratch buffer
+#: (short-lived) and caches a fraction of results (long-lived, retired at
+#: phase ends). Inputs control request count and the cache (survival) rate.
+SERVICE_SOURCE = """
+fn handle_request(scratch, cached) {
+  alloc(scratch);
+  burn(400);
+  if (cached > 0) { retain(cached); }
+  return 0;
+}
+
+fn phase_end(cached_total) {
+  release(cached_total / 2);
+  burn(900);
+  return 0;
+}
+
+fn main(requests, scratch, cached) {
+  var r = 0;
+  var held = 0;
+  while (r < requests) {
+    handle_request(scratch, cached);
+    held = held + cached;
+    if (r % 64 == 63) { phase_end(held); held = held / 2; }
+    r = r + 1;
+  }
+  return r;
+}
+"""
+
+SERVICE_SPEC = """
+option {name=-r; type=NUM; attr=VAL; default=500; has_arg=y}
+option {name=-s; type=NUM; attr=VAL; default=2000; has_arg=y}
+option {name=-c; type=NUM; attr=VAL; default=0; has_arg=y}
+"""
+
+
+def build_service_app() -> Application:
+    program = compile_source(SERVICE_SOURCE, name="gc-service")
+    spec = parse_spec(SERVICE_SPEC)
+
+    def launcher(tokens, fvector, fs):
+        return (
+            int(fvector["-r.VAL"]),
+            int(fvector["-s.VAL"]),
+            int(fvector["-c.VAL"]),
+        )
+
+    return Application(
+        name="gc-service", program=program, spec=spec, launcher=launcher
+    )
+
+
+def generate_inputs(rng: Random, count: int = 14) -> list[str]:
+    """Inputs spanning the collector trade-off: low-survival (semispace
+    territory) through high-survival (marksweep territory)."""
+    inputs = []
+    for __ in range(count):
+        requests = rng.choice([400, 800, 1600])
+        scratch = rng.choice([1500, 3000, 6000])
+        cached = rng.choice([0, 0, 1500, 4000, 8000])
+        inputs.append(f"-r {requests} -s {scratch} -c {cached}")
+    return inputs
+
+
+@dataclass
+class GCStudyResult:
+    total_pause: dict[str, float]       # regime -> summed pause cycles
+    selection_accuracy: float
+    oracle_capture: float               # fraction of oracle's saving captured
+    steady_state_capture: float         # same, over the second half of runs
+    runs: int
+
+
+def run_gc_study(
+    seed: int = 0, runs: int = 40, gc_model: GCCostModel = GCCostModel()
+) -> GCStudyResult:
+    app = build_service_app()
+    rng = Random(seed * 31 + 5)
+    population = generate_inputs(Random(seed))
+    sequence = [rng.randrange(len(population)) for _ in range(runs)]
+
+    pause: dict[str, float] = {
+        "semispace": 0.0,
+        "marksweep": 0.0,
+        "oracle": 0.0,
+        "evolve-gc": 0.0,
+    }
+    per_run: dict[str, list[float]] = {regime: [] for regime in pause}
+
+    # Fixed policies and the posterior oracle.
+    profiles = {}
+    for policy in ("semispace", "marksweep"):
+        for run_index, input_index in enumerate(sequence):
+            cmdline = population[input_index]
+            tokens = app.split_cmdline(cmdline)
+            translator = app.make_translator()
+            fvector = translator.build_fvector(tokens)
+            interp = Interpreter(
+                app.program,
+                rng_seed=run_index,
+                gc_policy=policy,
+                gc_model=gc_model,
+            )
+            profile = interp.run(app.entry_args(tokens, fvector))
+            pause[policy] += profile.gc_pause_cycles
+            per_run[policy].append(profile.gc_pause_cycles)
+            profiles[(policy, run_index)] = profile
+
+    for run_index in range(len(sequence)):
+        reference = profiles[("semispace", run_index)]
+        ideal = ideal_gc_policy(
+            reference.allocated_bytes,
+            reference.peak_live_bytes,
+            reference.allocation_count,
+            gc_model,
+        )
+        oracle_pause = profiles[(ideal, run_index)].gc_pause_cycles
+        pause["oracle"] += oracle_pause
+        per_run["oracle"].append(oracle_pause)
+
+    # The learned selector.
+    vm = EvolvableVM(app, select_gc=True, gc_model=gc_model)
+    for run_index, input_index in enumerate(sequence):
+        outcome = vm.run(population[input_index], rng_seed=run_index)
+        pause["evolve-gc"] += outcome.profile.gc_pause_cycles
+        per_run["evolve-gc"].append(outcome.profile.gc_pause_cycles)
+
+    def capture_over(start: int) -> float:
+        best_fixed = min(
+            sum(per_run["semispace"][start:]), sum(per_run["marksweep"][start:])
+        )
+        oracle_saving = best_fixed - sum(per_run["oracle"][start:])
+        evolve_saving = best_fixed - sum(per_run["evolve-gc"][start:])
+        if oracle_saving <= 0:
+            return 1.0
+        return max(0.0, min(1.0, evolve_saving / oracle_saving))
+
+    return GCStudyResult(
+        total_pause=pause,
+        selection_accuracy=vm.gc_selector.selection_accuracy(),
+        oracle_capture=capture_over(0),
+        steady_state_capture=capture_over(len(sequence) // 2),
+        runs=runs,
+    )
+
+
+def render(result: GCStudyResult) -> str:
+    rows = [
+        [regime, f"{cycles / 1e6:.3f}"]
+        for regime, cycles in sorted(
+            result.total_pause.items(), key=lambda kv: kv[1]
+        )
+    ]
+    table = format_table(["regime", "total GC pause (Ms cycles)"], rows)
+    return (
+        f"GC-selection study ({result.runs} runs)\n{table}\n"
+        f"selection accuracy: {result.selection_accuracy:.2f}\n"
+        f"captured {result.oracle_capture:.0%} of the oracle's improvement "
+        f"over the best fixed collector "
+        f"({result.steady_state_capture:.0%} after warm-up)"
+    )
+
+
+def main(seed: int = 0, runs: int = 40) -> str:
+    output = render(run_gc_study(seed=seed, runs=runs))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment outputs (tables and ASCII series).
+
+The harness prints the same rows/series the paper reports; these helpers
+keep formatting in one place.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, series: dict[str, list[float]], precision: int = 3
+) -> str:
+    """Render aligned numeric series (one row per run index)."""
+    names = list(series)
+    length = max((len(values) for values in series.values()), default=0)
+    headers = ["run"] + names
+    rows: list[list[object]] = []
+    for index in range(length):
+        row: list[object] = [index + 1]
+        for name in names:
+            values = series[name]
+            row.append(
+                f"{values[index]:.{precision}f}" if index < len(values) else ""
+            )
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """A coarse one-line chart for quick visual checks in terminals."""
+    if not values:
+        return ""
+    marks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    sampled = values[::step]
+    return "".join(
+        marks[min(int((value - lo) / span * (len(marks) - 1)), len(marks) - 1)]
+        for value in sampled
+    )

@@ -1,0 +1,186 @@
+"""Semantic analysis for MiniLang.
+
+Checks performed before code generation:
+
+- duplicate function definitions; functions shadowing builtins;
+- undefined variables; duplicate declarations within one scope;
+- assignment to undeclared names;
+- calls to unknown functions; arity mismatches (user functions, builtins,
+  and the ``array``/``len`` special forms);
+- ``break``/``continue`` outside loops;
+- a designated entry function exists.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import SemanticError
+
+#: Builtin (intrinsic) functions visible to MiniLang programs, with arities.
+#: ``array`` and ``len`` are special forms compiled to dedicated opcodes.
+BUILTIN_ARITY: dict[str, int] = {
+    "burn": 1,
+    "alloc": 1,
+    "retain": 1,
+    "release": 1,
+    "print": 1,
+    "abs": 1,
+    "min": 2,
+    "max": 2,
+    "sqrt": 1,
+    "floor": 1,
+    "exp": 1,
+    "log": 1,
+    "sin": 1,
+    "cos": 1,
+    "rand": 0,
+    "randint": 2,
+    "itof": 1,
+    "ftoi": 1,
+    "array": 1,
+    "len": 1,
+}
+
+
+class _FunctionChecker:
+    def __init__(self, signatures: dict[str, int], fn: ast.Function):
+        self.signatures = signatures
+        self.fn = fn
+        self.scopes: list[set[str]] = [set(fn.params)]
+        self.loop_depth = 0
+        if len(set(fn.params)) != len(fn.params):
+            raise SemanticError(
+                f"duplicate parameter in {fn.name!r}", fn.line, fn.col
+            )
+
+    def _declared(self, name: str) -> bool:
+        return any(name in scope for scope in self.scopes)
+
+    def check(self) -> None:
+        self._block(self.fn.body, new_scope=False)
+
+    def _block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append(set())
+        for stmt in block.statements:
+            self._stmt(stmt)
+        if new_scope:
+            self.scopes.pop()
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._expr(stmt.init)
+            if stmt.name in self.scopes[-1]:
+                raise SemanticError(
+                    f"duplicate declaration of {stmt.name!r}", stmt.line, stmt.col
+                )
+            self.scopes[-1].add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            if not self._declared(stmt.name):
+                raise SemanticError(
+                    f"assignment to undeclared variable {stmt.name!r}",
+                    stmt.line,
+                    stmt.col,
+                )
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.IndexAssign):
+            self._expr(stmt.array)
+            self._expr(stmt.index)
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.cond)
+            self._block(stmt.then_body)
+            if stmt.else_body is not None:
+                self._block(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.cond)
+            self.loop_depth += 1
+            self._block(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            # for-scope: the init declaration is visible in cond/step/body.
+            self.scopes.append(set())
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            if stmt.cond is not None:
+                self._expr(stmt.cond)
+            if stmt.step is not None:
+                self._stmt(stmt.step)
+            self.loop_depth += 1
+            self._block(stmt.body)
+            self.loop_depth -= 1
+            self.scopes.pop()
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+        elif isinstance(stmt, ast.Break):
+            if self.loop_depth == 0:
+                raise SemanticError("break outside loop", stmt.line, stmt.col)
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_depth == 0:
+                raise SemanticError("continue outside loop", stmt.line, stmt.col)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"unknown statement {type(stmt).__name__}")
+
+    def _expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            return
+        if isinstance(expr, ast.Name):
+            if not self._declared(expr.ident):
+                raise SemanticError(
+                    f"undefined variable {expr.ident!r}", expr.line, expr.col
+                )
+            return
+        if isinstance(expr, ast.Unary):
+            self._expr(expr.operand)
+            return
+        if isinstance(expr, ast.Binary):
+            self._expr(expr.left)
+            self._expr(expr.right)
+            return
+        if isinstance(expr, ast.Index):
+            self._expr(expr.array)
+            self._expr(expr.index)
+            return
+        if isinstance(expr, ast.Call):
+            expected = self.signatures.get(expr.callee)
+            if expected is None:
+                expected = BUILTIN_ARITY.get(expr.callee)
+            if expected is None:
+                raise SemanticError(
+                    f"call to unknown function {expr.callee!r}", expr.line, expr.col
+                )
+            if len(expr.args) != expected:
+                raise SemanticError(
+                    f"{expr.callee!r} expects {expected} args, got {len(expr.args)}",
+                    expr.line,
+                    expr.col,
+                )
+            for arg in expr.args:
+                self._expr(arg)
+            return
+        raise SemanticError(  # pragma: no cover
+            f"unknown expression {type(expr).__name__}"
+        )
+
+
+def analyze(module: ast.Module, entry: str = "main") -> dict[str, int]:
+    """Check *module*; return the function signature table (name → arity)."""
+    signatures: dict[str, int] = {}
+    for fn in module.functions:
+        if fn.name in signatures:
+            raise SemanticError(f"duplicate function {fn.name!r}", fn.line, fn.col)
+        if fn.name in BUILTIN_ARITY:
+            raise SemanticError(
+                f"function {fn.name!r} shadows a builtin", fn.line, fn.col
+            )
+        signatures[fn.name] = len(fn.params)
+    if entry not in signatures:
+        raise SemanticError(f"entry function {entry!r} not defined")
+    for fn in module.functions:
+        _FunctionChecker(signatures, fn).check()
+    return signatures

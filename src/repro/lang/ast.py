@@ -1,0 +1,155 @@
+"""MiniLang abstract syntax tree.
+
+All nodes are frozen dataclasses carrying source positions for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+# -- Expressions ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expr(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str = ""          # '-' or '!'
+    operand: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str = ""          # + - * / % == != < <= > >= && ||
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    callee: str = ""
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    array: Expr | None = None
+    index: Expr | None = None
+
+
+# -- Statements --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stmt(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str = ""
+    value: Expr | None = None
+
+
+@dataclass(frozen=True)
+class IndexAssign(Stmt):
+    array: Expr | None = None
+    index: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    statements: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr | None = None
+    then_body: Block | None = None
+    else_body: Block | None = None
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr | None = None
+    body: Block | None = None
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for (init; cond; step) body`` — desugared by codegen to a while."""
+
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: Block | None = None
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    pass
+
+
+# -- Top level ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Function(Node):
+    name: str = ""
+    params: tuple[str, ...] = ()
+    body: Block | None = None
+
+
+@dataclass(frozen=True)
+class Module(Node):
+    functions: tuple[Function, ...] = ()
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,232 @@
+"""MiniLang code generation: AST → VM bytecode.
+
+Each function compiles to one :class:`~repro.vm.program.Method`. Local
+variables get dedicated slots (params first, then declarations in lexical
+order; shadowing allocates fresh slots). Short-circuit ``&&``/``||`` compile
+to branch sequences producing canonical 0/1 values. A trailing implicit
+``return 0`` covers functions whose control flow reaches the end.
+"""
+
+from __future__ import annotations
+
+from ..vm.program import Method, MethodBuilder
+from . import ast
+from .analysis import BUILTIN_ARITY
+from .errors import SemanticError
+
+
+class _FunctionCodegen:
+    def __init__(self, fn: ast.Function, signatures: dict[str, int]):
+        self.fn = fn
+        self.signatures = signatures
+        self.builder = MethodBuilder(fn.name, num_params=len(fn.params))
+        self.scopes: list[dict[str, int]] = [
+            {name: slot for slot, name in enumerate(fn.params)}
+        ]
+        self.next_slot = len(fn.params)
+        self._label_counter = 0
+        # (break_label, continue_label) stack for nested loops.
+        self.loop_labels: list[tuple[str, str]] = []
+
+    # -- helpers -------------------------------------------------------------
+    def _fresh_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"__{hint}_{self._label_counter}"
+
+    def _declare(self, name: str) -> int:
+        slot = self.next_slot
+        self.next_slot += 1
+        self.scopes[-1][name] = slot
+        return slot
+
+    def _lookup(self, name: str) -> int:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise SemanticError(f"undefined variable {name!r}")  # pragma: no cover
+
+    # -- entry -------------------------------------------------------------
+    def generate(self) -> Method:
+        self._gen_block(self.fn.body, new_scope=False)
+        # Implicit `return 0` if control reaches the end.
+        self.builder.const(0).ret()
+        return self.builder.build(num_locals=self.next_slot)
+
+    # -- statements ------------------------------------------------------------
+    def _gen_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append({})
+        for stmt in block.statements:
+            self._gen_stmt(stmt)
+        if new_scope:
+            self.scopes.pop()
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        b = self.builder
+        if isinstance(stmt, ast.VarDecl):
+            self._gen_expr(stmt.init)
+            b.store(self._declare(stmt.name))
+        elif isinstance(stmt, ast.Assign):
+            self._gen_expr(stmt.value)
+            b.store(self._lookup(stmt.name))
+        elif isinstance(stmt, ast.IndexAssign):
+            self._gen_expr(stmt.array)
+            self._gen_expr(stmt.index)
+            self._gen_expr(stmt.value)
+            b.astore()
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr)
+            b.pop()
+        elif isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                b.const(0)
+            else:
+                self._gen_expr(stmt.value)
+            b.ret()
+        elif isinstance(stmt, ast.Break):
+            b.jmp(self.loop_labels[-1][0])
+        elif isinstance(stmt, ast.Continue):
+            b.jmp(self.loop_labels[-1][1])
+        else:  # pragma: no cover
+            raise SemanticError(f"cannot generate {type(stmt).__name__}")
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        b = self.builder
+        else_label = self._fresh_label("else")
+        end_label = self._fresh_label("endif")
+        self._gen_expr(stmt.cond)
+        b.jz(else_label if stmt.else_body is not None else end_label)
+        self._gen_block(stmt.then_body)
+        if stmt.else_body is not None:
+            b.jmp(end_label)
+            b.label(else_label)
+            self._gen_block(stmt.else_body)
+        b.label(end_label)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        b = self.builder
+        cond_label = self._fresh_label("while_cond")
+        end_label = self._fresh_label("while_end")
+        b.label(cond_label)
+        self._gen_expr(stmt.cond)
+        b.jz(end_label)
+        self.loop_labels.append((end_label, cond_label))
+        self._gen_block(stmt.body)
+        self.loop_labels.pop()
+        b.jmp(cond_label)
+        b.label(end_label)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        b = self.builder
+        cond_label = self._fresh_label("for_cond")
+        step_label = self._fresh_label("for_step")
+        end_label = self._fresh_label("for_end")
+        self.scopes.append({})
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        b.label(cond_label)
+        if stmt.cond is not None:
+            self._gen_expr(stmt.cond)
+            b.jz(end_label)
+        self.loop_labels.append((end_label, step_label))
+        self._gen_block(stmt.body)
+        self.loop_labels.pop()
+        b.label(step_label)
+        if stmt.step is not None:
+            self._gen_stmt(stmt.step)
+        b.jmp(cond_label)
+        b.label(end_label)
+        self.scopes.pop()
+
+    # -- expressions ---------------------------------------------------------
+    _BINOP_EMIT = {
+        "+": "add",
+        "-": "sub",
+        "*": "mul",
+        "/": "div",
+        "%": "mod",
+        "==": "eq",
+        "!=": "ne",
+        "<": "lt",
+        "<=": "le",
+        ">": "gt",
+        ">=": "ge",
+    }
+
+    def _gen_expr(self, expr: ast.Expr) -> None:
+        b = self.builder
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            b.const(expr.value)
+        elif isinstance(expr, ast.Name):
+            b.load(self._lookup(expr.ident))
+        elif isinstance(expr, ast.Unary):
+            self._gen_expr(expr.operand)
+            if expr.op == "-":
+                b.neg()
+            else:
+                b.not_()
+        elif isinstance(expr, ast.Binary):
+            if expr.op in ("&&", "||"):
+                self._gen_shortcircuit(expr)
+            else:
+                self._gen_expr(expr.left)
+                self._gen_expr(expr.right)
+                getattr(b, self._BINOP_EMIT[expr.op])()
+        elif isinstance(expr, ast.Index):
+            self._gen_expr(expr.array)
+            self._gen_expr(expr.index)
+            b.aload()
+        elif isinstance(expr, ast.Call):
+            self._gen_call(expr)
+        else:  # pragma: no cover
+            raise SemanticError(f"cannot generate {type(expr).__name__}")
+
+    def _gen_shortcircuit(self, expr: ast.Binary) -> None:
+        b = self.builder
+        end_label = self._fresh_label("sc_end")
+        if expr.op == "&&":
+            short_label = self._fresh_label("sc_false")
+            self._gen_expr(expr.left)
+            b.jz(short_label)
+            self._gen_expr(expr.right)
+            b.jz(short_label)
+            b.const(1).jmp(end_label)
+            b.label(short_label).const(0)
+        else:  # "||"
+            short_label = self._fresh_label("sc_true")
+            self._gen_expr(expr.left)
+            b.jnz(short_label)
+            self._gen_expr(expr.right)
+            b.jnz(short_label)
+            b.const(0).jmp(end_label)
+            b.label(short_label).const(1)
+        b.label(end_label)
+
+    def _gen_call(self, expr: ast.Call) -> None:
+        b = self.builder
+        name = expr.callee
+        for arg in expr.args:
+            self._gen_expr(arg)
+        if name in self.signatures:
+            b.call(name, len(expr.args))
+        elif name == "array":
+            b.newarr()
+        elif name == "len":
+            b.alen()
+        elif name in BUILTIN_ARITY:
+            b.intrin(name, len(expr.args))
+        else:  # pragma: no cover - analysis rejects unknown callees
+            raise SemanticError(f"unknown function {name!r}")
+
+
+def generate_module(module: ast.Module, signatures: dict[str, int]) -> list[Method]:
+    """Generate methods for every function in *module*."""
+    return [_FunctionCodegen(fn, signatures).generate() for fn in module.functions]

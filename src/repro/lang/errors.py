@@ -1,0 +1,24 @@
+"""Front-end error types, all carrying source positions."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for MiniLang front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        super().__init__(f"{message} (line {line}, col {col})" if line else message)
+
+
+class LexError(LangError):
+    """Malformed input at the character level."""
+
+
+class ParseError(LangError):
+    """Token stream does not match the grammar."""
+
+
+class SemanticError(LangError):
+    """Program is grammatical but ill-formed (undefined names, arity...)."""

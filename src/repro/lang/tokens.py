@@ -1,0 +1,78 @@
+"""Token definitions for MiniLang."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    # Literals / identifiers
+    INT = "int"
+    FLOAT = "float"
+    IDENT = "ident"
+
+    # Keywords
+    FN = "fn"
+    VAR = "var"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    FOR = "for"
+    RETURN = "return"
+    BREAK = "break"
+    CONTINUE = "continue"
+
+    # Punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+
+    # Operators
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    BANG = "!"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "&&"
+    OR = "||"
+
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "fn": TokenKind.FN,
+    "var": TokenKind.VAR,
+    "if": TokenKind.IF,
+    "else": TokenKind.ELSE,
+    "while": TokenKind.WHILE,
+    "for": TokenKind.FOR,
+    "return": TokenKind.RETURN,
+    "break": TokenKind.BREAK,
+    "continue": TokenKind.CONTINUE,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+    value: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"

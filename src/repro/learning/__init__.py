@@ -1,0 +1,20 @@
+"""Learning substrate: classification trees, cross-validation, incremental
+model maintenance. All implemented from scratch (no sklearn)."""
+
+from .crossval import cross_validated_accuracy, kfold_indices
+from .dataset import Dataset, Row
+from .incremental import IncrementalClassifier
+from .tree import ClassificationTree, Node, Split, TreeParams, entropy
+
+__all__ = [
+    "ClassificationTree",
+    "Dataset",
+    "IncrementalClassifier",
+    "Node",
+    "Row",
+    "Split",
+    "TreeParams",
+    "cross_validated_accuracy",
+    "entropy",
+    "kfold_indices",
+]

@@ -1,0 +1,66 @@
+"""Cross-validation utilities for model-quality estimation.
+
+The paper's discriminative predictor measures model quality through
+cross-validation; these helpers provide deterministic k-fold (and
+leave-one-out for small histories) accuracy estimates.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from .dataset import Dataset
+from .tree import ClassificationTree, TreeParams
+
+
+def kfold_indices(n: int, k: int, seed: int = 0) -> list[list[int]]:
+    """Deterministically shuffle ``range(n)`` into *k* folds (possibly
+    uneven; never empty as long as ``n >= k``)."""
+    if n <= 0:
+        raise ValueError("need at least one row")
+    k = max(2, min(k, n))
+    indices = list(range(n))
+    Random(seed).shuffle(indices)
+    folds: list[list[int]] = [[] for _ in range(k)]
+    for position, index in enumerate(indices):
+        folds[position % k].append(index)
+    return folds
+
+
+def cross_validated_accuracy(
+    dataset: Dataset,
+    params: TreeParams = TreeParams(),
+    k: int = 5,
+    seed: int = 0,
+) -> float:
+    """Mean held-out accuracy of trees fit on k−1 folds.
+
+    Falls back to leave-one-out when the dataset is smaller than *k*.
+    Returns 0.0 for datasets too small to validate at all (a single row),
+    keeping early-history confidence conservative.
+    """
+    n = len(dataset)
+    if n < 2:
+        return 0.0
+    folds = kfold_indices(n, k, seed=seed)
+    correct = 0
+    counted = 0
+    for fold in folds:
+        if not fold:
+            continue
+        held = set(fold)
+        train_idx = [i for i in range(n) if i not in held]
+        if not train_idx:
+            continue
+        train = dataset.subset(train_idx)
+        tree = ClassificationTree(params).fit(train)
+        for i in fold:
+            row = dataset.rows[i]
+            # Project the row onto the training column order (identical
+            # columns; subset shares them).
+            if tree.predict_values(row.values) == row.label:
+                correct += 1
+            counted += 1
+    if counted == 0:
+        return 0.0
+    return correct / counted

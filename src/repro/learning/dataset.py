@@ -1,0 +1,101 @@
+"""Tabular dataset of (feature vector, label) observations.
+
+The dataset aligns feature vectors by name into fixed columns so the tree
+learner can address features positionally. Vectors from different runs of
+one application normally share a shape (XICL guarantees it), but the
+dataset tolerates drift: unseen features grow new columns, and rows missing
+a column hold ``None`` (the tree routes missing values to the larger
+child).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xicl.features import FeatureKind, FeatureVector
+
+
+@dataclass(frozen=True, slots=True)
+class Row:
+    values: tuple
+    label: object
+
+
+class Dataset:
+    """A mutable, column-aligned training set."""
+
+    def __init__(self):
+        self._columns: list[str] = []
+        self._kinds: dict[str, FeatureKind] = {}
+        self._rows: list[Row] = []
+
+    # -- construction ---------------------------------------------------------
+    def add(self, vector: FeatureVector, label: object) -> None:
+        """Append one observation, aligning columns by feature name."""
+        widened = False
+        for feature in vector:
+            if feature.name not in self._kinds:
+                self._columns.append(feature.name)
+                self._kinds[feature.name] = feature.kind
+                widened = True
+        if widened and self._rows:
+            width = len(self._columns)
+            self._rows = [
+                Row(row.values + (None,) * (width - len(row.values)), row.label)
+                for row in self._rows
+            ]
+        values = tuple(vector.get(name) for name in self._columns)
+        self._rows.append(Row(values, label))
+
+    @classmethod
+    def from_pairs(cls, pairs: list[tuple[FeatureVector, object]]) -> "Dataset":
+        ds = cls()
+        for vector, label in pairs:
+            ds.add(vector, label)
+        return ds
+
+    # -- access -------------------------------------------------------------
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    def kind_of(self, column: str) -> FeatureKind:
+        return self._kinds[column]
+
+    def column_index(self, column: str) -> int:
+        return self._columns.index(column)
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def labels(self) -> tuple:
+        return tuple(row.label for row in self._rows)
+
+    def label_counts(self) -> dict[object, int]:
+        counts: dict[object, int] = {}
+        for row in self._rows:
+            counts[row.label] = counts.get(row.label, 0) + 1
+        return counts
+
+    def majority_label(self) -> object:
+        """Most frequent label (ties broken deterministically by repr)."""
+        counts = self.label_counts()
+        if not counts:
+            raise ValueError("empty dataset has no majority label")
+        return max(counts.items(), key=lambda kv: (kv[1], repr(kv[0])))[0]
+
+    def vector_values(self, vector: FeatureVector) -> tuple:
+        """Project *vector* onto this dataset's column order."""
+        return tuple(vector.get(name) for name in self._columns)
+
+    def subset(self, indices: list[int]) -> "Dataset":
+        """A new dataset containing the given row indices (columns shared)."""
+        out = Dataset()
+        out._columns = list(self._columns)
+        out._kinds = dict(self._kinds)
+        out._rows = [self._rows[i] for i in indices]
+        return out

@@ -1,0 +1,74 @@
+"""Incremental model wrapper: accumulate observations, refit on demand.
+
+The paper separates learning into *online lightweight data collection*
+(append the run's feature vector and observed label) and *offline model
+construction* (rebuild the classification tree after the run ends). This
+wrapper implements that split: :meth:`observe` is O(1) bookkeeping;
+:meth:`refit` rebuilds the tree from the accumulated history.
+"""
+
+from __future__ import annotations
+
+from ..xicl.features import FeatureVector
+from .crossval import cross_validated_accuracy
+from .dataset import Dataset
+from .tree import ClassificationTree, TreeParams
+
+
+class IncrementalClassifier:
+    """A classification tree that grows with the run history."""
+
+    def __init__(self, params: TreeParams = TreeParams(), min_rows: int = 2):
+        self.params = params
+        self.min_rows = min_rows
+        self.dataset = Dataset()
+        self._tree: ClassificationTree | None = None
+        self._stale = True
+
+    # -- online stage ---------------------------------------------------------
+    def observe(self, vector: FeatureVector, label: object) -> None:
+        """Record one (input features, observed label) pair."""
+        self.dataset.add(vector, label)
+        self._stale = True
+
+    @property
+    def n_observations(self) -> int:
+        return len(self.dataset)
+
+    # -- offline stage --------------------------------------------------------
+    def refit(self) -> None:
+        """Rebuild the tree from all accumulated observations."""
+        if len(self.dataset) >= self.min_rows:
+            self._tree = ClassificationTree(self.params).fit(self.dataset)
+        self._stale = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._tree is not None
+
+    def _ensure_fresh(self) -> None:
+        if self._stale:
+            self.refit()
+
+    def predict(self, vector: FeatureVector) -> object | None:
+        """Predicted label, or None when the model has too little history."""
+        self._ensure_fresh()
+        if self._tree is None:
+            return None
+        return self._tree.predict(vector)
+
+    def used_features(self) -> tuple[str, ...]:
+        self._ensure_fresh()
+        if self._tree is None:
+            return ()
+        return self._tree.used_features()
+
+    def cv_accuracy(self, k: int = 5, seed: int = 0) -> float:
+        """Cross-validated accuracy over the accumulated history."""
+        return cross_validated_accuracy(self.dataset, self.params, k=k, seed=seed)
+
+    def render(self) -> str:
+        self._ensure_fresh()
+        if self._tree is None:
+            return "<insufficient history>"
+        return self._tree.render()

@@ -1,0 +1,96 @@
+"""The virtual machine substrate: bytecode, interpreter, tiered JIT, sampler.
+
+Public surface::
+
+    from repro.vm import (
+        Instr, Op, Method, MethodBuilder, Program,
+        VMConfig, DEFAULT_CONFIG, OPT_LEVELS,
+        Interpreter, run_program, RunProfile,
+        JITCompiler, CompiledCode,
+    )
+"""
+
+from .config import BASELINE_LEVEL, DEFAULT_CONFIG, OPT_LEVELS, VMConfig
+from .disasm import (
+    AsmError,
+    assemble,
+    assemble_program,
+    disassemble_method,
+    disassemble_program,
+)
+from .heap import (
+    DEFAULT_GC_POLICY,
+    GC_POLICIES,
+    GCCostModel,
+    Heap,
+    HeapStats,
+    estimate_gc_cost,
+    ideal_gc_policy,
+)
+from .errors import (
+    ExecutionError,
+    FuelExhaustedError,
+    StackOverflowError,
+    UnknownIntrinsicError,
+    UnknownMethodError,
+    VerificationError,
+    VMError,
+)
+from .instructions import BASE_COST, Instr, Op
+from .interpreter import Interpreter, run_program
+from .opt.jit import CompiledCode, JITCompiler, method_optimizability
+from .profiles import CompileEvent, RunProfile
+from .program import Method, MethodBuilder, Program
+from .sampler import Sampler
+from .verifier import (
+    locals_write_before_read,
+    max_stack_depth,
+    stack_depths,
+    verify_program_stacks,
+    verify_stack_discipline,
+)
+
+__all__ = [
+    "AsmError",
+    "DEFAULT_GC_POLICY",
+    "GC_POLICIES",
+    "GCCostModel",
+    "Heap",
+    "HeapStats",
+    "estimate_gc_cost",
+    "ideal_gc_policy",
+    "BASE_COST",
+    "assemble",
+    "assemble_program",
+    "disassemble_method",
+    "disassemble_program",
+    "locals_write_before_read",
+    "max_stack_depth",
+    "stack_depths",
+    "verify_program_stacks",
+    "verify_stack_discipline",
+    "BASELINE_LEVEL",
+    "CompiledCode",
+    "CompileEvent",
+    "DEFAULT_CONFIG",
+    "ExecutionError",
+    "FuelExhaustedError",
+    "Instr",
+    "Interpreter",
+    "JITCompiler",
+    "Method",
+    "MethodBuilder",
+    "OPT_LEVELS",
+    "Op",
+    "Program",
+    "RunProfile",
+    "Sampler",
+    "StackOverflowError",
+    "UnknownIntrinsicError",
+    "UnknownMethodError",
+    "VMConfig",
+    "VMError",
+    "VerificationError",
+    "method_optimizability",
+    "run_program",
+]

@@ -1,0 +1,194 @@
+"""Textual bytecode: disassembler and assembler.
+
+The disassembler prints methods in a stable, labelled format; the
+assembler parses that exact format back into verified
+:class:`~repro.vm.program.Method` objects — a lossless round-trip used for
+golden tests, debugging JIT output, and shipping programs as text.
+
+Format::
+
+    .method square params=1 locals=1
+        LOAD 0
+        LOAD 0
+        MUL
+        RET
+    .end
+
+    .method main params=1 locals=3
+        CONST 0
+        STORE 1
+    L0:
+        LOAD 1
+        LOAD 0
+        LT
+        JZ L1
+        ...
+        JMP L0
+    L1:
+        LOAD 2
+        RET
+    .end
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import VerificationError
+from .instructions import Instr, JUMP_OPS, Op
+from .program import Method, Program
+
+
+# ---------------------------------------------------------------------------
+# Disassembly
+# ---------------------------------------------------------------------------
+
+def disassemble_method(method: Method) -> str:
+    """Render *method* as labelled assembly text."""
+    targets = sorted(
+        {ins.arg for ins in method.code if ins.op in JUMP_OPS}
+    )
+    labels = {pc: f"L{i}" for i, pc in enumerate(targets)}
+    lines = [
+        f".method {method.name} params={method.num_params} "
+        f"locals={method.num_locals}"
+    ]
+    for pc, ins in enumerate(method.code):
+        if pc in labels:
+            lines.append(f"{labels[pc]}:")
+        lines.append(f"    {_render_instr(ins, labels)}")
+    lines.append(".end")
+    return "\n".join(lines)
+
+
+def _render_instr(ins: Instr, labels: dict[int, str]) -> str:
+    op = ins.op
+    if op in JUMP_OPS:
+        return f"{op.name} {labels[ins.arg]}"
+    if op in (Op.CALL, Op.INTRIN):
+        name, argc = ins.arg
+        return f"{op.name} {name}/{argc}"
+    if ins.arg is None:
+        return op.name
+    if isinstance(ins.arg, str):
+        return f'{op.name} "{ins.arg}"'
+    return f"{op.name} {ins.arg!r}"
+
+
+def disassemble_program(program: Program) -> str:
+    """Render every method of *program* (entry first, rest sorted)."""
+    order = [program.entry] + sorted(
+        name for name in program.method_names if name != program.entry
+    )
+    return "\n\n".join(
+        disassemble_method(program.method(name)) for name in order
+    )
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+_METHOD_RE = re.compile(
+    r"^\.method\s+(?P<name>\w+)\s+params=(?P<params>\d+)\s+locals=(?P<locals>\d+)\s*$"
+)
+_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_]\w*):\s*$")
+_CALLISH_RE = re.compile(r"^(?P<name>[\w.]+)/(?P<argc>\d+)$")
+
+
+class AsmError(VerificationError):
+    """Malformed assembly text."""
+
+    def __init__(self, message: str, line_number: int):
+        super().__init__(f"{message} (line {line_number})")
+        self.line_number = line_number
+
+
+def _parse_operand(op: Op, text: str, line_number: int, labels_used: list):
+    if op in JUMP_OPS:
+        labels_used.append((text, line_number))
+        return text  # patched after labels resolve
+    if op in (Op.CALL, Op.INTRIN):
+        match = _CALLISH_RE.match(text)
+        if not match:
+            raise AsmError(f"expected name/argc, got {text!r}", line_number)
+        return (match.group("name"), int(match.group("argc")))
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise AsmError(f"bad operand {text!r}", line_number) from None
+
+
+def assemble(text: str) -> list[Method]:
+    """Parse assembly *text* into verified methods."""
+    methods: list[Method] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        index += 1
+        if not line or line.startswith("#") or line.startswith(";"):
+            continue
+        header = _METHOD_RE.match(line)
+        if not header:
+            raise AsmError(f"expected .method header, got {line!r}", index)
+        instrs: list[Instr] = []
+        labels: dict[str, int] = {}
+        fixups: list[tuple[int, str, int]] = []
+        closed = False
+        while index < len(lines):
+            line = lines[index].strip()
+            index += 1
+            if not line or line.startswith("#") or line.startswith(";"):
+                continue
+            if line == ".end":
+                closed = True
+                break
+            label = _LABEL_RE.match(line)
+            if label:
+                name = label.group("label")
+                if name in labels:
+                    raise AsmError(f"duplicate label {name!r}", index)
+                labels[name] = len(instrs)
+                continue
+            parts = line.split(None, 1)
+            try:
+                op = Op[parts[0]]
+            except KeyError:
+                raise AsmError(f"unknown opcode {parts[0]!r}", index) from None
+            if len(parts) == 1:
+                instrs.append(Instr(op))
+                continue
+            pending: list = []
+            operand = _parse_operand(op, parts[1].strip(), index, pending)
+            if pending:
+                fixups.append((len(instrs), operand, index))
+                instrs.append(Instr(op, -1))
+            else:
+                instrs.append(Instr(op, operand))
+        if not closed:
+            raise AsmError("missing .end", index)
+        for pc, label_name, line_number in fixups:
+            if label_name not in labels:
+                raise AsmError(f"undefined label {label_name!r}", line_number)
+            instrs[pc] = Instr(instrs[pc].op, labels[label_name])
+        methods.append(
+            Method(
+                name=header.group("name"),
+                num_params=int(header.group("params")),
+                num_locals=int(header.group("locals")),
+                code=tuple(instrs),
+            )
+        )
+    return methods
+
+
+def assemble_program(text: str, entry: str = "main", name: str = "") -> Program:
+    """Assemble *text* into a complete program."""
+    return Program(assemble(text), entry=entry, name=name or entry)

@@ -1,0 +1,44 @@
+"""Error hierarchy for the virtual machine substrate.
+
+Every failure raised by the VM proper derives from :class:`VMError` so that
+callers embedding the VM (the adaptive optimization system, the experiment
+harness) can catch substrate failures without masking ordinary Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for all virtual machine errors."""
+
+
+class VerificationError(VMError):
+    """A program or method failed static verification before execution."""
+
+
+class ExecutionError(VMError):
+    """A runtime fault inside the interpreter (bad operand, stack fault...)."""
+
+    def __init__(self, message: str, method: str | None = None, pc: int | None = None):
+        self.method = method
+        self.pc = pc
+        location = ""
+        if method is not None:
+            location = f" in {method}" + (f" at pc={pc}" if pc is not None else "")
+        super().__init__(message + location)
+
+
+class StackOverflowError(ExecutionError):
+    """The call stack exceeded the configured maximum depth."""
+
+
+class UnknownMethodError(ExecutionError):
+    """A CALL referenced a method name absent from the program."""
+
+
+class UnknownIntrinsicError(ExecutionError):
+    """An INTRIN referenced an intrinsic that is not registered."""
+
+
+class FuelExhaustedError(ExecutionError):
+    """Execution exceeded the configured instruction budget (runaway guard)."""

@@ -1,0 +1,168 @@
+"""Heap and garbage-collection cost model.
+
+The paper's discussion (§VI) names *input-specific selection of garbage
+collectors* as a further use of the same machinery (following the authors'
+VEE'08 study). To support that extension, the VM models a managed heap:
+
+- programs allocate through the ``alloc`` (short-lived) and ``retain`` /
+  ``release`` (long-lived) intrinsics;
+- when the allocated-since-last-GC volume exhausts the usable heap, a
+  collection runs and its pause is charged to the virtual clock
+  (unscaled — collector work does not speed up with the mutator's JIT
+  tier);
+- two collectors with the classic opposite trade-offs are provided:
+
+  **semispace** (copying): pause proportional to *live* bytes only, but
+  just half the heap is usable, so high-survival workloads collect often.
+
+  **marksweep**: the whole heap is usable and the sweep touches the whole
+  heap, so pauses scale with heap size — plus a per-allocation free-list
+  overhead; it wins when survival is high, loses on allocation-heavy,
+  short-lived workloads.
+
+Which collector minimizes total GC cost depends on the input's allocation
+volume and survival profile — exactly the input↦behaviour relation the
+evolvable VM learns (:mod:`repro.core.gc_selection`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The available collector policies.
+GC_POLICIES: tuple[str, ...] = ("semispace", "marksweep")
+
+#: Default collector (what the unmodified VM uses).
+DEFAULT_GC_POLICY = "semispace"
+
+
+@dataclass(frozen=True)
+class GCCostModel:
+    """Collector cost constants (cycles per byte, per collection)."""
+
+    heap_bytes: int = 2_000_000
+    copy_cycles_per_live_byte: float = 0.5
+    mark_cycles_per_live_byte: float = 0.35
+    sweep_cycles_per_heap_byte: float = 0.04
+    freelist_cycles_per_alloc: float = 9.0
+    gc_dispatch_cycles: float = 2_000.0
+
+    def usable_bytes(self, policy: str, live: float) -> float:
+        capacity = (
+            self.heap_bytes / 2 if policy == "semispace" else self.heap_bytes
+        )
+        return max(capacity - live, capacity * 0.05)
+
+    def pause_cycles(self, policy: str, live: float) -> float:
+        if policy == "semispace":
+            return self.gc_dispatch_cycles + live * self.copy_cycles_per_live_byte
+        return (
+            self.gc_dispatch_cycles
+            + live * self.mark_cycles_per_live_byte
+            + self.heap_bytes * self.sweep_cycles_per_heap_byte
+        )
+
+    def alloc_overhead(self, policy: str) -> float:
+        """Extra cycles per allocation request under *policy*."""
+        return self.freelist_cycles_per_alloc if policy == "marksweep" else 0.0
+
+
+@dataclass
+class HeapStats:
+    """Aggregate allocation/GC observations for one run."""
+
+    allocated_bytes: float = 0.0
+    allocation_count: int = 0
+    peak_live_bytes: float = 0.0
+    gc_count: int = 0
+    gc_pause_cycles: float = 0.0
+
+
+class Heap:
+    """Mutable heap state for one execution under one collector policy."""
+
+    def __init__(self, policy: str = DEFAULT_GC_POLICY, model: GCCostModel = GCCostModel()):
+        if policy not in GC_POLICIES:
+            raise ValueError(
+                f"unknown GC policy {policy!r} (known: {GC_POLICIES})"
+            )
+        self.policy = policy
+        self.model = model
+        self.live_bytes = 0.0
+        self.nursery_bytes = 0.0  # short-lived data since the last GC
+        self.stats = HeapStats()
+
+    def _maybe_collect(self) -> float:
+        """Run a collection if the usable space is exhausted; return the
+        pause cycles incurred (0 if no collection ran)."""
+        usable = self.model.usable_bytes(self.policy, self.live_bytes)
+        if self.nursery_bytes < usable:
+            return 0.0
+        pause = self.model.pause_cycles(self.policy, self.live_bytes)
+        self.nursery_bytes = 0.0
+        self.stats.gc_count += 1
+        self.stats.gc_pause_cycles += pause
+        return pause
+
+    def alloc(self, nbytes: float) -> float:
+        """Allocate short-lived data; returns cycles to charge the clock."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        self.nursery_bytes += nbytes
+        self.stats.allocated_bytes += nbytes
+        self.stats.allocation_count += 1
+        cost = self.model.alloc_overhead(self.policy)
+        cost += self._maybe_collect()
+        return cost
+
+    def retain(self, nbytes: float) -> float:
+        """Allocate long-lived (surviving) data."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        self.live_bytes += nbytes
+        self.stats.allocated_bytes += nbytes
+        self.stats.allocation_count += 1
+        self.stats.peak_live_bytes = max(
+            self.stats.peak_live_bytes, self.live_bytes
+        )
+        cost = self.model.alloc_overhead(self.policy)
+        cost += self._maybe_collect()
+        return cost
+
+    def release(self, nbytes: float) -> None:
+        """Drop long-lived data (e.g. a phase's working set retiring)."""
+        self.live_bytes = max(0.0, self.live_bytes - nbytes)
+
+
+def estimate_gc_cost(
+    policy: str,
+    allocated_bytes: float,
+    peak_live_bytes: float,
+    allocation_count: int,
+    model: GCCostModel = GCCostModel(),
+) -> float:
+    """Analytic total GC cost of running a whole execution under *policy*.
+
+    Uses the same constants as the live heap, assuming allocation spread
+    uniformly against the peak live size — the posterior model the
+    evolvable VM uses to compute each run's *ideal* collector.
+    """
+    usable = model.usable_bytes(policy, peak_live_bytes)
+    collections = allocated_bytes / usable
+    pause = model.pause_cycles(policy, peak_live_bytes)
+    return collections * pause + allocation_count * model.alloc_overhead(policy)
+
+
+def ideal_gc_policy(
+    allocated_bytes: float,
+    peak_live_bytes: float,
+    allocation_count: int,
+    model: GCCostModel = GCCostModel(),
+) -> str:
+    """The collector minimizing estimated total GC cost for one run."""
+    return min(
+        GC_POLICIES,
+        key=lambda policy: estimate_gc_cost(
+            policy, allocated_bytes, peak_live_bytes, allocation_count, model
+        ),
+    )

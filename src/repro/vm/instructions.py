@@ -1,0 +1,199 @@
+"""Instruction set of the stack-based bytecode VM.
+
+The ISA is deliberately small but complete enough to express real programs:
+arithmetic, comparisons, structured control flow via conditional jumps,
+method calls, local variables, arrays, and intrinsic calls (I/O, math,
+and the ``burn`` virtual-work primitive used by workload kernels).
+
+Each opcode carries a *base cycle cost*, the number of virtual cycles one
+execution of the instruction costs at optimization level −1 (the baseline
+interpreter tier). Higher JIT tiers scale these costs down by the compiled
+code's speed factor; see :mod:`repro.vm.opt.jit`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Op(enum.IntEnum):
+    """Opcodes. Integer-valued for fast dispatch in the interpreter."""
+
+    # Stack / constants
+    CONST = 0       # push literal operand
+    POP = 1         # discard top of stack
+    DUP = 2         # duplicate top of stack
+    SWAP = 3        # swap top two values
+
+    # Locals
+    LOAD = 4        # push local slot [operand]
+    STORE = 5       # pop into local slot [operand]
+
+    # Arithmetic (pop b, pop a, push a <op> b)
+    ADD = 6
+    SUB = 7
+    MUL = 8
+    DIV = 9         # true division for floats, floor-style for ints
+    MOD = 10
+    NEG = 11        # pop a, push -a
+    NOT = 12        # pop a, push 1 if a == 0 else 0
+
+    # Comparisons (pop b, pop a, push 1/0)
+    EQ = 13
+    NE = 14
+    LT = 15
+    LE = 16
+    GT = 17
+    GE = 18
+
+    # Control flow (operand = absolute instruction index)
+    JMP = 19
+    JZ = 20         # jump if popped value is zero/falsey
+    JNZ = 21        # jump if popped value is nonzero/truthy
+
+    # Calls (operand = (method_name, argc) / None for RET)
+    CALL = 22
+    RET = 23
+
+    # Arrays
+    NEWARR = 24     # pop n, push zero-filled array of length n
+    ALOAD = 25      # pop idx, pop arr, push arr[idx]
+    ASTORE = 26     # pop val, pop idx, pop arr; arr[idx] = val
+    ALEN = 27       # pop arr, push len(arr)
+
+    # Intrinsics (operand = (name, argc)); result always pushed
+    INTRIN = 28
+
+    # No-op (kept by some passes as a neutral placeholder before compaction)
+    NOP = 29
+
+
+#: Base virtual-cycle cost of one execution of each opcode at level −1.
+#: Values loosely mirror the relative latencies of interpreted Java bytecode:
+#: cheap stack traffic, slightly dearer arithmetic, expensive call setup.
+BASE_COST: dict[int, int] = {
+    Op.CONST: 1,
+    Op.POP: 1,
+    Op.DUP: 1,
+    Op.SWAP: 1,
+    Op.LOAD: 1,
+    Op.STORE: 1,
+    Op.ADD: 2,
+    Op.SUB: 2,
+    Op.MUL: 3,
+    Op.DIV: 6,
+    Op.MOD: 6,
+    Op.NEG: 1,
+    Op.NOT: 1,
+    Op.EQ: 2,
+    Op.NE: 2,
+    Op.LT: 2,
+    Op.LE: 2,
+    Op.GT: 2,
+    Op.GE: 2,
+    Op.JMP: 1,
+    Op.JZ: 2,
+    Op.JNZ: 2,
+    Op.CALL: 12,
+    Op.RET: 4,
+    Op.NEWARR: 8,
+    Op.ALOAD: 3,
+    Op.ASTORE: 3,
+    Op.ALEN: 2,
+    Op.INTRIN: 6,
+    Op.NOP: 1,
+}
+
+#: Opcodes whose operand is an absolute jump target (patched by passes).
+JUMP_OPS = frozenset({Op.JMP, Op.JZ, Op.JNZ})
+
+#: Opcodes with no observable side effect whose result is only the pushed
+#: value; safe for dead-code elimination when the value is unused.
+PURE_OPS = frozenset(
+    {
+        Op.CONST,
+        Op.LOAD,
+        Op.ADD,
+        Op.SUB,
+        Op.MUL,
+        Op.NEG,
+        Op.NOT,
+        Op.EQ,
+        Op.NE,
+        Op.LT,
+        Op.LE,
+        Op.GT,
+        Op.GE,
+        Op.DUP,
+    }
+)
+
+#: Arithmetic/comparison opcodes that pop two operands and push one result.
+BINARY_OPS = frozenset(
+    {Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE}
+)
+
+#: Opcodes that pop one operand and push one result.
+UNARY_OPS = frozenset({Op.NEG, Op.NOT})
+
+
+@dataclass(frozen=True, slots=True)
+class Instr:
+    """A single bytecode instruction: an opcode plus an optional operand.
+
+    Operand meaning by opcode:
+
+    - ``CONST``: the literal value (int, float, or str).
+    - ``LOAD``/``STORE``: local slot index.
+    - jumps: absolute target instruction index.
+    - ``CALL``/``INTRIN``: ``(name, argc)`` tuple.
+    - everything else: ``None``.
+    """
+
+    op: Op
+    arg: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.arg is None:
+            return self.op.name
+        return f"{self.op.name} {self.arg!r}"
+
+
+def stack_effect(instr: Instr) -> tuple[int, int]:
+    """Return ``(pops, pushes)`` for *instr*.
+
+    Used by the bytecode verifier and by optimization passes that reason
+    about stack depth. ``CALL``/``INTRIN`` derive their pop count from the
+    recorded arg count; both always push exactly one result.
+    """
+    op = instr.op
+    if op in BINARY_OPS:
+        return 2, 1
+    if op in UNARY_OPS:
+        return 1, 1
+    if op == Op.CONST or op == Op.LOAD:
+        return 0, 1
+    if op == Op.STORE or op == Op.POP or op == Op.JZ or op == Op.JNZ:
+        return 1, 0
+    if op == Op.DUP:
+        return 1, 2
+    if op == Op.SWAP:
+        return 2, 2
+    if op == Op.JMP or op == Op.NOP:
+        return 0, 0
+    if op == Op.CALL or op == Op.INTRIN:
+        __, argc = instr.arg
+        return argc, 1
+    if op == Op.RET:
+        return 1, 0
+    if op == Op.NEWARR:
+        return 1, 1
+    if op == Op.ALOAD:
+        return 2, 1
+    if op == Op.ASTORE:
+        return 3, 0
+    if op == Op.ALEN:
+        return 1, 1
+    raise ValueError(f"unknown opcode: {op!r}")

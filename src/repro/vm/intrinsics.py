@@ -1,0 +1,209 @@
+"""Intrinsic (built-in) functions callable from bytecode via ``INTRIN``.
+
+Intrinsics model the parts of a real runtime library the benchmarks need:
+math helpers, bounded output, a deterministic per-run RNG, and — centrally —
+``burn``, the virtual-work primitive. ``burn(n)`` advances the virtual clock
+by ``n`` cycles *scaled by the executing method's current speed factor*, so
+a kernel dominated by ``burn`` speeds up under higher JIT tiers exactly like
+its surrounding bytecode. This lets workload programs exhibit realistic
+(seconds-scale) virtual running times while staying cheap to interpret.
+
+Intrinsics receive an :class:`IntrinsicContext` so they can interact with the
+clock and the run's RNG without reaching into interpreter internals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable
+
+from .errors import ExecutionError, UnknownIntrinsicError
+from .heap import DEFAULT_GC_POLICY, Heap
+
+
+@dataclass
+class IntrinsicContext:
+    """Execution-environment view handed to every intrinsic invocation.
+
+    Attributes:
+        rng: Deterministic per-run random generator (seeded by the harness).
+        output: Captured ``print`` lines (the VM never writes to stdout).
+        burned: Extra cycles requested by ``burn`` during the current
+            instruction; the interpreter drains this after each INTRIN.
+            Scaled by the executing method's JIT speed factor.
+        gc_cycles: Collector pauses and allocation overhead accumulated
+            during the current instruction. Drained like ``burned`` but
+            charged *unscaled*: GC work does not speed up with the
+            mutator's optimization level.
+        heap: The managed heap backing alloc/retain/release.
+    """
+
+    rng: Random = field(default_factory=lambda: Random(0))
+    output: list[str] = field(default_factory=list)
+    burned: float = 0.0
+    gc_cycles: float = 0.0
+    heap: Heap = field(default_factory=lambda: Heap(DEFAULT_GC_POLICY))
+
+    def burn(self, cycles: float) -> None:
+        self.burned += cycles
+
+
+IntrinsicFn = Callable[..., object]
+
+_REGISTRY: dict[str, Callable[[IntrinsicContext, tuple], object]] = {}
+
+
+def intrinsic(name: str):
+    """Register a function as an intrinsic under *name*."""
+
+    def deco(fn: Callable[[IntrinsicContext, tuple], object]):
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def lookup(name: str) -> Callable[[IntrinsicContext, tuple], object]:
+    fn = _REGISTRY.get(name)
+    if fn is None:
+        raise UnknownIntrinsicError(f"unknown intrinsic {name!r}")
+    return fn
+
+
+def registered_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Intrinsic definitions
+# ---------------------------------------------------------------------------
+
+@intrinsic("burn")
+def _burn(ctx: IntrinsicContext, args: tuple) -> int:
+    """burn(n): consume n virtual cycles of kernel work; returns 0."""
+    (n,) = args
+    if not isinstance(n, (int, float)) or n < 0:
+        raise ExecutionError(f"burn expects a non-negative number, got {n!r}")
+    ctx.burn(float(n))
+    return 0
+
+
+@intrinsic("print")
+def _print(ctx: IntrinsicContext, args: tuple) -> int:
+    ctx.output.append(" ".join(str(a) for a in args))
+    return 0
+
+
+@intrinsic("abs")
+def _abs(ctx: IntrinsicContext, args: tuple) -> object:
+    (x,) = args
+    return abs(x)
+
+
+@intrinsic("min")
+def _min(ctx: IntrinsicContext, args: tuple) -> object:
+    a, b = args
+    return a if a <= b else b
+
+
+@intrinsic("max")
+def _max(ctx: IntrinsicContext, args: tuple) -> object:
+    a, b = args
+    return a if a >= b else b
+
+
+@intrinsic("sqrt")
+def _sqrt(ctx: IntrinsicContext, args: tuple) -> float:
+    (x,) = args
+    if x < 0:
+        raise ExecutionError(f"sqrt of negative value {x!r}")
+    return math.sqrt(x)
+
+
+@intrinsic("floor")
+def _floor(ctx: IntrinsicContext, args: tuple) -> int:
+    (x,) = args
+    return math.floor(x)
+
+
+@intrinsic("exp")
+def _exp(ctx: IntrinsicContext, args: tuple) -> float:
+    (x,) = args
+    return math.exp(min(x, 700.0))
+
+
+@intrinsic("log")
+def _log(ctx: IntrinsicContext, args: tuple) -> float:
+    (x,) = args
+    if x <= 0:
+        raise ExecutionError(f"log of non-positive value {x!r}")
+    return math.log(x)
+
+
+@intrinsic("sin")
+def _sin(ctx: IntrinsicContext, args: tuple) -> float:
+    (x,) = args
+    return math.sin(x)
+
+
+@intrinsic("cos")
+def _cos(ctx: IntrinsicContext, args: tuple) -> float:
+    (x,) = args
+    return math.cos(x)
+
+
+@intrinsic("rand")
+def _rand(ctx: IntrinsicContext, args: tuple) -> float:
+    """rand(): uniform float in [0, 1) from the per-run deterministic RNG."""
+    return ctx.rng.random()
+
+
+@intrinsic("randint")
+def _randint(ctx: IntrinsicContext, args: tuple) -> int:
+    """randint(lo, hi): uniform integer in [lo, hi]."""
+    lo, hi = args
+    return ctx.rng.randint(int(lo), int(hi))
+
+
+@intrinsic("itof")
+def _itof(ctx: IntrinsicContext, args: tuple) -> float:
+    (x,) = args
+    return float(x)
+
+
+@intrinsic("ftoi")
+def _ftoi(ctx: IntrinsicContext, args: tuple) -> int:
+    (x,) = args
+    return int(x)
+
+
+@intrinsic("alloc")
+def _alloc(ctx: IntrinsicContext, args: tuple) -> int:
+    """alloc(nbytes): allocate short-lived data; may trigger a GC pause."""
+    (n,) = args
+    if not isinstance(n, (int, float)) or n < 0:
+        raise ExecutionError(f"alloc expects a non-negative number, got {n!r}")
+    ctx.gc_cycles += ctx.heap.alloc(float(n))
+    return 0
+
+
+@intrinsic("retain")
+def _retain(ctx: IntrinsicContext, args: tuple) -> int:
+    """retain(nbytes): allocate long-lived (surviving) data."""
+    (n,) = args
+    if not isinstance(n, (int, float)) or n < 0:
+        raise ExecutionError(f"retain expects a non-negative number, got {n!r}")
+    ctx.gc_cycles += ctx.heap.retain(float(n))
+    return 0
+
+
+@intrinsic("release")
+def _release(ctx: IntrinsicContext, args: tuple) -> int:
+    """release(nbytes): retire previously retained data."""
+    (n,) = args
+    if not isinstance(n, (int, float)) or n < 0:
+        raise ExecutionError(f"release expects a non-negative number, got {n!r}")
+    ctx.heap.release(float(n))
+    return 0

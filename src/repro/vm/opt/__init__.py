@@ -1,0 +1,19 @@
+"""Tiered JIT optimizer: IR, passes, pipelines, and the compiler."""
+
+from .context import PassContext
+from .ir import CodeBuffer, basic_block_starts, reachable_pcs
+from .jit import CompiledCode, JITCompiler, method_optimizability
+from .pipeline import MAX_PIPELINE_ROUNDS, TIER_PASSES, run_pipeline
+
+__all__ = [
+    "CodeBuffer",
+    "CompiledCode",
+    "JITCompiler",
+    "MAX_PIPELINE_ROUNDS",
+    "PassContext",
+    "TIER_PASSES",
+    "basic_block_starts",
+    "method_optimizability",
+    "reachable_pcs",
+    "run_pipeline",
+]

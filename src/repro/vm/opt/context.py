@@ -1,0 +1,32 @@
+"""Shared context threaded through optimization passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..program import Method, Program
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may need beyond the code buffer itself.
+
+    Attributes:
+        program: The whole program (inlining resolves callees through it).
+        method: The method being compiled.
+        num_locals: Mutable local-slot count; inlining grows it.
+        inline_size_limit: Max callee size eligible for inlining.
+        inline_budget: Max total instructions inlining may add per method.
+        stats: Per-pass change counters, for tests and reporting.
+    """
+
+    program: Program
+    method: Method
+    num_locals: int
+    inline_size_limit: int = 24
+    inline_budget: int = 160
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def record(self, pass_name: str, changes: int) -> None:
+        if changes:
+            self.stats[pass_name] = self.stats.get(pass_name, 0) + changes

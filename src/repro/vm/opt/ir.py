@@ -1,0 +1,113 @@
+"""Mutable code buffer used by optimization passes.
+
+Passes work on a :class:`CodeBuffer`: a plain list of instructions plus
+helpers to replace instructions with NOPs and later *compact* the buffer —
+removing NOPs while remapping all jump targets. Working with NOP
+placeholders keeps every pass simple (no index bookkeeping mid-pass) while
+compaction guarantees the emitted code carries no dead dispatch cost.
+"""
+
+from __future__ import annotations
+
+from ..instructions import Instr, JUMP_OPS, Op
+
+
+class CodeBuffer:
+    """A mutable view of one method's bytecode during optimization."""
+
+    def __init__(self, code: tuple[Instr, ...] | list[Instr]):
+        self.instrs: list[Instr] = list(code)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __getitem__(self, pc: int) -> Instr:
+        return self.instrs[pc]
+
+    def __setitem__(self, pc: int, instr: Instr) -> None:
+        self.instrs[pc] = instr
+
+    def nop_out(self, pc: int) -> None:
+        """Replace the instruction at *pc* with a NOP placeholder."""
+        self.instrs[pc] = Instr(Op.NOP)
+
+    def is_jump_target(self, pc: int) -> bool:
+        """True if any jump in the buffer targets *pc*."""
+        return any(
+            ins.op in JUMP_OPS and ins.arg == pc for ins in self.instrs
+        )
+
+    def jump_targets(self) -> set[int]:
+        """All pcs that are the target of some jump."""
+        return {ins.arg for ins in self.instrs if ins.op in JUMP_OPS}
+
+    def compact(self) -> int:
+        """Drop NOPs, remapping jump targets. Returns instructions removed.
+
+        A NOP that is itself a jump target redirects to the next surviving
+        instruction (or, if it trails the code, to the final instruction —
+        which verification guarantees is reachable only behind a RET in
+        well-formed output, so this keeps targets in range).
+        """
+        old = self.instrs
+        keep = [pc for pc, ins in enumerate(old) if ins.op != Op.NOP]
+        if len(keep) == len(old):
+            return 0
+        # new_index[pc] = index in the compacted code of the first surviving
+        # instruction at or after pc.
+        new_index = [0] * (len(old) + 1)
+        j = 0
+        for pc in range(len(old)):
+            new_index[pc] = j
+            if j < len(keep) and keep[j] == pc:
+                j += 1
+        new_index[len(old)] = len(keep)
+        compacted: list[Instr] = []
+        for pc in keep:
+            ins = old[pc]
+            if ins.op in JUMP_OPS:
+                target = min(new_index[ins.arg], len(keep) - 1)
+                ins = Instr(ins.op, target)
+            compacted.append(ins)
+        removed = len(old) - len(compacted)
+        self.instrs = compacted
+        return removed
+
+    def to_code(self) -> tuple[Instr, ...]:
+        return tuple(self.instrs)
+
+
+def basic_block_starts(code: list[Instr]) -> list[int]:
+    """Return sorted pcs that begin a basic block (leaders)."""
+    leaders = {0}
+    for pc, ins in enumerate(code):
+        if ins.op in JUMP_OPS:
+            leaders.add(ins.arg)
+            if pc + 1 < len(code):
+                leaders.add(pc + 1)
+        elif ins.op == Op.RET and pc + 1 < len(code):
+            leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def reachable_pcs(code: list[Instr]) -> set[int]:
+    """Compute the set of pcs reachable from entry (pc 0)."""
+    seen: set[int] = set()
+    work = [0]
+    n = len(code)
+    while work:
+        pc = work.pop()
+        while pc not in seen and 0 <= pc < n:
+            seen.add(pc)
+            ins = code[pc]
+            op = ins.op
+            if op == Op.JMP:
+                pc = ins.arg
+            elif op in (Op.JZ, Op.JNZ):
+                work.append(ins.arg)
+                pc += 1
+            elif op == Op.RET:
+                break
+            else:
+                pc += 1
+    return seen

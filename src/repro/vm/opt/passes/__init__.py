@@ -1,0 +1,22 @@
+"""Optimization passes of the tiered JIT.
+
+Each pass is a callable ``pass_fn(buffer, context) -> bool`` where *buffer*
+is a :class:`~repro.vm.opt.ir.CodeBuffer` and the return value reports
+whether anything changed (drives fixpoint iteration in the pipeline).
+"""
+
+from .constant_folding import constant_folding
+from .dce import dead_code_elimination
+from .inline import inline_calls
+from .jump_threading import jump_threading
+from .peephole import peephole
+from .tail_call import eliminate_tail_calls
+
+__all__ = [
+    "constant_folding",
+    "dead_code_elimination",
+    "eliminate_tail_calls",
+    "inline_calls",
+    "jump_threading",
+    "peephole",
+]

@@ -1,0 +1,106 @@
+"""Constant folding.
+
+Folds constant expressions visible in the stack code:
+
+- ``CONST a; CONST b; <binop>``       →  ``CONST (a op b)``
+- ``CONST a; NEG`` / ``CONST a; NOT`` →  ``CONST (-a)`` / ``CONST (!a)``
+- ``CONST c; JZ t``                   →  ``JMP t`` (c falsey) or removed
+- ``CONST c; JNZ t``                  →  ``JMP t`` (c truthy) or removed
+
+A fold is only legal when the folded instructions are not jump targets
+(otherwise an incoming edge would observe a half-evaluated stack). Division
+and modulo by zero are left unfolded so the fault still occurs at runtime.
+"""
+
+from __future__ import annotations
+
+from ...instructions import Instr, Op
+from ..context import PassContext
+from ..ir import CodeBuffer
+
+_FOLDERS = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.EQ: lambda a, b: 1 if a == b else 0,
+    Op.NE: lambda a, b: 1 if a != b else 0,
+    Op.LT: lambda a, b: 1 if a < b else 0,
+    Op.LE: lambda a, b: 1 if a <= b else 0,
+    Op.GT: lambda a, b: 1 if a > b else 0,
+    Op.GE: lambda a, b: 1 if a >= b else 0,
+}
+
+
+def _div_like(op: Op, a, b):
+    if b == 0:
+        return None
+    if op == Op.DIV:
+        return a // b if isinstance(a, int) and isinstance(b, int) else a / b
+    return a % b
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def constant_folding(buf: CodeBuffer, ctx: PassContext) -> bool:
+    """Run one folding sweep; returns True if the buffer changed."""
+    changed = False
+    targets = buf.jump_targets()
+    code = buf.instrs
+    pc = 0
+    while pc < len(code):
+        ins = code[pc]
+        # Binary fold: needs two preceding CONSTs, none of the three
+        # instructions an incoming jump target (except the first is fine).
+        if ins.op in _FOLDERS or ins.op in (Op.DIV, Op.MOD):
+            if (
+                pc >= 2
+                and code[pc - 1].op == Op.CONST
+                and code[pc - 2].op == Op.CONST
+                and pc not in targets
+                and (pc - 1) not in targets
+                and _is_number(code[pc - 1].arg)
+                and _is_number(code[pc - 2].arg)
+            ):
+                a, b = code[pc - 2].arg, code[pc - 1].arg
+                if ins.op in _FOLDERS:
+                    value = _FOLDERS[ins.op](a, b)
+                else:
+                    value = _div_like(ins.op, a, b)
+                if value is not None:
+                    buf.nop_out(pc - 2)
+                    buf.nop_out(pc - 1)
+                    buf[pc] = Instr(Op.CONST, value)
+                    changed = True
+        elif ins.op in (Op.NEG, Op.NOT):
+            if (
+                pc >= 1
+                and code[pc - 1].op == Op.CONST
+                and pc not in targets
+                and _is_number(code[pc - 1].arg)
+            ):
+                a = code[pc - 1].arg
+                value = -a if ins.op == Op.NEG else (1 if a == 0 else 0)
+                buf.nop_out(pc - 1)
+                buf[pc] = Instr(Op.CONST, value)
+                changed = True
+        elif ins.op in (Op.JZ, Op.JNZ):
+            if (
+                pc >= 1
+                and code[pc - 1].op == Op.CONST
+                and pc not in targets
+                and _is_number(code[pc - 1].arg)
+            ):
+                cond = code[pc - 1].arg
+                taken = (cond == 0) if ins.op == Op.JZ else (cond != 0)
+                buf.nop_out(pc - 1)
+                if taken:
+                    buf[pc] = Instr(Op.JMP, ins.arg)
+                else:
+                    buf.nop_out(pc)
+                changed = True
+        pc += 1
+    if changed:
+        ctx.record("constant_folding", 1)
+    return changed

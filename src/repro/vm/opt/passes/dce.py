@@ -1,0 +1,43 @@
+"""Dead code elimination.
+
+Two independent forms:
+
+1. **Unreachable code**: instructions with no path from the method entry
+   (typically produced by constant-folded branches) are removed.
+2. **Push/pop cancellation**: a side-effect-free push (``CONST``/``LOAD``/
+   ``DUP``) immediately consumed by ``POP`` is removed together with the
+   ``POP``, provided no jump lands between them.
+"""
+
+from __future__ import annotations
+
+from ...instructions import Op
+from ..context import PassContext
+from ..ir import CodeBuffer, reachable_pcs
+
+
+def dead_code_elimination(buf: CodeBuffer, ctx: PassContext) -> bool:
+    changed = False
+
+    reachable = reachable_pcs(buf.instrs)
+    for pc, ins in enumerate(buf.instrs):
+        if pc not in reachable and ins.op != Op.NOP:
+            buf.nop_out(pc)
+            changed = True
+
+    targets = buf.jump_targets()
+    code = buf.instrs
+    for pc in range(len(code) - 1):
+        a, b = code[pc], code[pc + 1]
+        if (
+            b.op == Op.POP
+            and a.op in (Op.CONST, Op.LOAD, Op.DUP)
+            and (pc + 1) not in targets
+        ):
+            buf.nop_out(pc)
+            buf.nop_out(pc + 1)
+            changed = True
+
+    if changed:
+        ctx.record("dce", 1)
+    return changed

@@ -1,0 +1,114 @@
+"""Method inlining.
+
+Inlines calls to small leaf methods (no outgoing calls) directly into the
+caller, eliminating per-invocation ``CALL``/``RET`` overhead and exposing
+the callee body to the caller's later folding/peephole/DCE sweeps.
+
+At an eligible site ``... args ...; CALL f``, the call is replaced by:
+
+1. ``STORE`` instructions moving the arguments (top of stack first) into
+   freshly allocated caller local slots that shadow the callee's parameters;
+2. the callee body, with local slots remapped, internal jumps rebased, and
+   each ``RET`` rewritten into a ``JMP`` to a landing ``NOP`` appended after
+   the body (the return value simply stays on the caller's stack);
+3. the landing ``NOP`` (removed later by buffer compaction).
+
+Self-recursive callees, callees containing calls, and callees larger than
+``ctx.inline_size_limit`` are skipped; total growth per caller is capped by
+``ctx.inline_budget``.
+"""
+
+from __future__ import annotations
+
+from ...instructions import Instr, JUMP_OPS, Op
+from ...program import Method
+from ..context import PassContext
+from ..ir import CodeBuffer
+
+
+def _eligible(ctx: PassContext, callee_name: str) -> Method | None:
+    if callee_name == ctx.method.name:
+        return None
+    if callee_name not in ctx.program:
+        return None
+    callee = ctx.program.method(callee_name)
+    if callee.size > ctx.inline_size_limit:
+        return None
+    if any(ins.op == Op.CALL for ins in callee.code):
+        return None
+    return callee
+
+
+def _build_inline_sequence(
+    callee: Method, argc: int, base_slot: int, splice_at: int
+) -> list[Instr]:
+    """Materialize the replacement sequence for one call site.
+
+    *base_slot* is the first fresh caller slot; *splice_at* the absolute pc
+    where the sequence will begin in the caller.
+    """
+    stores = [
+        Instr(Op.STORE, base_slot + slot) for slot in reversed(range(argc))
+    ]
+    body_base = splice_at + len(stores)
+    body: list[Instr] = []
+    landing = body_base + len(callee.code)  # index of the landing NOP
+    for ins in callee.code:
+        if ins.op in JUMP_OPS:
+            body.append(Instr(ins.op, body_base + ins.arg))
+        elif ins.op == Op.RET:
+            body.append(Instr(Op.JMP, landing))
+        elif ins.op in (Op.LOAD, Op.STORE):
+            body.append(Instr(ins.op, base_slot + ins.arg))
+        else:
+            body.append(ins)
+    return stores + body + [Instr(Op.NOP)]
+
+
+def _splice(buf: CodeBuffer, pc: int, sequence: list[Instr]) -> None:
+    """Replace the single instruction at *pc* with *sequence*, shifting and
+    remapping all caller jumps that cross the splice point."""
+    growth = len(sequence) - 1
+    old = buf.instrs
+    patched: list[Instr] = []
+    for i, ins in enumerate(old):
+        if i == pc:
+            patched.extend(sequence)
+            continue
+        if ins.op in JUMP_OPS and ins.arg > pc:
+            ins = Instr(ins.op, ins.arg + growth)
+        patched.append(ins)
+    # Jumps inside the spliced sequence were built with absolute targets
+    # already; jumps before pc targeting <= pc are untouched and correct.
+    buf.instrs = patched
+
+
+def inline_calls(buf: CodeBuffer, ctx: PassContext) -> bool:
+    """Inline eligible call sites until the growth budget is exhausted."""
+    changed = False
+    budget = ctx.inline_budget
+    inlined_any = True
+    while inlined_any and budget > 0:
+        inlined_any = False
+        for pc, ins in enumerate(buf.instrs):
+            if ins.op != Op.CALL:
+                continue
+            name, argc = ins.arg
+            callee = _eligible(ctx, name)
+            if callee is None:
+                continue
+            sequence = _build_inline_sequence(
+                callee, argc, base_slot=ctx.num_locals, splice_at=pc
+            )
+            growth = len(sequence) - 1
+            if growth > budget:
+                continue
+            ctx.num_locals += callee.num_locals
+            _splice(buf, pc, sequence)
+            budget -= growth
+            changed = True
+            inlined_any = True
+            break  # indices shifted; rescan from the top
+    if changed:
+        ctx.record("inline", 1)
+    return changed

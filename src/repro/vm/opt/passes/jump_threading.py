@@ -1,0 +1,39 @@
+"""Jump threading.
+
+Redirects jumps whose target is an unconditional ``JMP`` straight to the
+final destination, collapsing jump chains that front ends and earlier passes
+leave behind. Cycles of JMPs (degenerate infinite loops) are left alone.
+"""
+
+from __future__ import annotations
+
+from ...instructions import Instr, JUMP_OPS, Op
+from ..context import PassContext
+from ..ir import CodeBuffer
+
+
+def _ultimate_target(code, start: int) -> int:
+    """Follow a chain of JMPs from *start*; stop on cycles."""
+    seen = {start}
+    target = start
+    while code[target].op == Op.JMP:
+        nxt = code[target].arg
+        if nxt in seen:
+            break
+        seen.add(nxt)
+        target = nxt
+    return target
+
+
+def jump_threading(buf: CodeBuffer, ctx: PassContext) -> bool:
+    changed = False
+    code = buf.instrs
+    for pc, ins in enumerate(code):
+        if ins.op in JUMP_OPS:
+            final = _ultimate_target(code, ins.arg)
+            if final != ins.arg:
+                buf[pc] = Instr(ins.op, final)
+                changed = True
+    if changed:
+        ctx.record("jump_threading", 1)
+    return changed

@@ -1,0 +1,71 @@
+"""Peephole simplification and strength reduction.
+
+Window patterns (each only applied when no jump lands mid-pattern):
+
+- ``CONST 0; ADD`` / ``CONST 0; SUB``     → removed (x+0, x−0)
+- ``CONST 1; MUL`` / ``CONST 1; DIV``     → removed (x*1, x/1)
+- ``CONST 2; MUL``                        → ``DUP; ADD``   (strength red.)
+- ``LOAD x; LOAD x``                      → ``LOAD x; DUP``
+- ``STORE x; LOAD x``                     → ``DUP; STORE x``
+- ``NOT; NOT`` preceding ``JZ``/``JNZ``   → removed (branch reads truthiness)
+- ``JMP`` to the immediately next pc      → removed
+- ``SWAP; SWAP``                          → removed
+"""
+
+from __future__ import annotations
+
+from ...instructions import Instr, Op
+from ..context import PassContext
+from ..ir import CodeBuffer
+
+
+def peephole(buf: CodeBuffer, ctx: PassContext) -> bool:
+    changed = False
+    targets = buf.jump_targets()
+    code = buf.instrs
+    for pc in range(len(code) - 1):
+        a, b = code[pc], code[pc + 1]
+        mid_is_target = (pc + 1) in targets
+        if mid_is_target:
+            continue
+        if a.op == Op.CONST and a.arg == 0 and b.op in (Op.ADD, Op.SUB):
+            buf.nop_out(pc)
+            buf.nop_out(pc + 1)
+            changed = True
+        elif a.op == Op.CONST and a.arg == 1 and b.op in (Op.MUL, Op.DIV):
+            buf.nop_out(pc)
+            buf.nop_out(pc + 1)
+            changed = True
+        elif a.op == Op.CONST and a.arg == 2 and b.op == Op.MUL:
+            buf[pc] = Instr(Op.DUP)
+            buf[pc + 1] = Instr(Op.ADD)
+            changed = True
+        elif a.op == Op.LOAD and b.op == Op.LOAD and a.arg == b.arg:
+            buf[pc + 1] = Instr(Op.DUP)
+            changed = True
+        elif a.op == Op.STORE and b.op == Op.LOAD and a.arg == b.arg:
+            buf[pc] = Instr(Op.DUP)
+            buf[pc + 1] = Instr(Op.STORE, a.arg)
+            changed = True
+        elif a.op == Op.NOT and b.op == Op.NOT:
+            nxt = code[pc + 2] if pc + 2 < len(code) else None
+            if (
+                nxt is not None
+                and nxt.op in (Op.JZ, Op.JNZ)
+                and (pc + 2) not in targets
+            ):
+                buf.nop_out(pc)
+                buf.nop_out(pc + 1)
+                changed = True
+        elif a.op == Op.SWAP and b.op == Op.SWAP:
+            buf.nop_out(pc)
+            buf.nop_out(pc + 1)
+            changed = True
+    # JMP-to-next removal is independent of the two-instruction window.
+    for pc, ins in enumerate(buf.instrs):
+        if ins.op == Op.JMP and ins.arg == pc + 1:
+            buf.nop_out(pc)
+            changed = True
+    if changed:
+        ctx.record("peephole", 1)
+    return changed

@@ -1,0 +1,70 @@
+"""Tier definitions: which passes run at each optimization level.
+
+Mirrors the Jikes RVM structure: level −1 is the non-optimizing baseline
+compiler (straight translation), level 0 a quick pass-free tier, and levels
+1 and 2 run increasingly aggressive pass pipelines iterated to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import OPT_LEVELS
+from ..program import Method, Program
+from .context import PassContext
+from .ir import CodeBuffer
+from .passes import (
+    constant_folding,
+    dead_code_elimination,
+    eliminate_tail_calls,
+    inline_calls,
+    jump_threading,
+    peephole,
+)
+
+PassFn = Callable[[CodeBuffer, PassContext], bool]
+
+#: Pass pipeline per optimization level.
+TIER_PASSES: dict[int, tuple[PassFn, ...]] = {
+    -1: (),
+    0: (),
+    1: (constant_folding, peephole, dead_code_elimination, jump_threading),
+    2: (
+        eliminate_tail_calls,
+        inline_calls,
+        constant_folding,
+        peephole,
+        dead_code_elimination,
+        jump_threading,
+    ),
+}
+
+#: Safety valve on fixpoint iteration.
+MAX_PIPELINE_ROUNDS = 8
+
+
+def run_pipeline(
+    program: Program, method: Method, level: int
+) -> tuple[tuple, int, dict[str, int]]:
+    """Optimize *method* at *level*.
+
+    Returns ``(code, num_locals, pass_stats)``. Levels −1 and 0 return the
+    original code untouched; higher levels iterate their pipeline until no
+    pass reports a change (bounded by :data:`MAX_PIPELINE_ROUNDS`), then
+    compact NOPs out.
+    """
+    if level not in OPT_LEVELS:
+        raise ValueError(f"unknown optimization level {level}")
+    passes = TIER_PASSES[level]
+    if not passes:
+        return method.code, method.num_locals, {}
+    buf = CodeBuffer(method.code)
+    ctx = PassContext(program=program, method=method, num_locals=method.num_locals)
+    for _ in range(MAX_PIPELINE_ROUNDS):
+        changed = False
+        for pass_fn in passes:
+            changed |= pass_fn(buf, ctx)
+        buf.compact()
+        if not changed:
+            break
+    return buf.to_code(), ctx.num_locals, ctx.stats

@@ -1,0 +1,87 @@
+"""Runtime profiles produced by one VM execution.
+
+A :class:`RunProfile` is the record the adaptive optimization system and the
+evolvable-VM learner consume after a run: per-method timer-sample counts
+(the paper's hotness measure), per-method exact cycle accounting (used for
+the posterior *ideal strategy* computation and speedup reporting), compile
+events, and total clock figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class CompileEvent:
+    """One (re)compilation: which method, to what level, at what cost."""
+
+    method: str
+    level: int
+    cycles: float
+    at_clock: float
+
+
+@dataclass
+class RunProfile:
+    """Aggregate observation of a single execution.
+
+    Attributes:
+        samples: Timer samples per method name (hotness, as in Jikes).
+        method_cycles: Exact execution cycles attributed to each method
+            (excludes compile time).
+        method_work: Baseline-equivalent cycles per method — what the same
+            execution would have cost at level −1. The posterior ideal-
+            strategy computation is driven by this tier-independent measure
+            of how much work each method performed.
+        final_levels: The optimization level each method ended the run at.
+        compile_events: Every compilation in run order.
+        total_cycles: Full virtual clock at exit (execution + compilation).
+        compile_cycles: Portion of the clock spent compiling.
+        instructions_executed: Interpreted instruction count (all methods).
+        invocations: Method invocation counts.
+    """
+
+    samples: dict[str, int] = field(default_factory=dict)
+    method_cycles: dict[str, float] = field(default_factory=dict)
+    method_work: dict[str, float] = field(default_factory=dict)
+    final_levels: dict[str, int] = field(default_factory=dict)
+    compile_events: list[CompileEvent] = field(default_factory=list)
+    total_cycles: float = 0.0
+    compile_cycles: float = 0.0
+    instructions_executed: int = 0
+    invocations: dict[str, int] = field(default_factory=dict)
+    gc_policy: str = "semispace"
+    gc_count: int = 0
+    gc_pause_cycles: float = 0.0
+    allocated_bytes: float = 0.0
+    allocation_count: int = 0
+    peak_live_bytes: float = 0.0
+
+    @property
+    def execution_cycles(self) -> float:
+        """Cycles spent running application code (clock minus compilation)."""
+        return self.total_cycles - self.compile_cycles
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def hot_methods(self, top: int | None = None) -> list[tuple[str, int]]:
+        """Methods ordered by sample count, hottest first."""
+        ranked = sorted(self.samples.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked if top is None else ranked[:top]
+
+    def sample_fraction(self, method: str) -> float:
+        """Fraction of all samples landing in *method* (0 if unsampled)."""
+        total = self.total_samples
+        if total == 0:
+            return 0.0
+        return self.samples.get(method, 0) / total
+
+    def compile_count(self, method: str) -> int:
+        return sum(1 for ev in self.compile_events if ev.method == method)
+
+    def methods_seen(self) -> tuple[str, ...]:
+        """All methods that were invoked at least once, sorted."""
+        return tuple(sorted(self.invocations))

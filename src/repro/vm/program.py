@@ -1,0 +1,312 @@
+"""Program and method model, plus a bytecode verifier and a builder API.
+
+A :class:`Program` is a set of named :class:`Method` objects. Methods hold
+immutable bytecode (a tuple of :class:`~repro.vm.instructions.Instr`); the
+tiered JIT produces :class:`~repro.vm.opt.jit.CompiledCode` views of them at
+runtime without mutating the originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .errors import VerificationError
+from .instructions import Instr, JUMP_OPS, Op, stack_effect
+
+
+@dataclass(frozen=True)
+class Method:
+    """A verified bytecode method.
+
+    Attributes:
+        name: Globally unique method name within its program.
+        num_params: Number of parameters (occupying local slots 0..n-1).
+        num_locals: Total local slots, including parameters.
+        code: The bytecode, ending in at least one reachable ``RET``.
+    """
+
+    name: str
+    num_params: int
+    num_locals: int
+    code: tuple[Instr, ...]
+
+    def __post_init__(self) -> None:
+        verify_method(self)
+
+    @property
+    def size(self) -> int:
+        """Instruction count; the unit of the JIT compile-cost model."""
+        return len(self.code)
+
+    def loop_count(self) -> int:
+        """Number of backward jumps — a cheap static proxy for loop density.
+
+        The JIT's per-method optimizability model uses this: loopy methods
+        benefit more from higher optimization levels, mirroring how loop
+        transformations dominate the payoff of an optimizing compiler.
+        """
+        return sum(
+            1 for pc, ins in enumerate(self.code) if ins.op in JUMP_OPS and ins.arg <= pc
+        )
+
+    def arithmetic_density(self) -> float:
+        """Fraction of instructions that are arithmetic — second static proxy."""
+        if not self.code:
+            return 0.0
+        arith = sum(
+            1
+            for ins in self.code
+            if ins.op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.NEG)
+        )
+        return arith / len(self.code)
+
+
+def verify_method(method: Method) -> None:
+    """Statically verify *method*: jump targets, slots, terminator, arities.
+
+    Raises:
+        VerificationError: on any malformed bytecode.
+    """
+    code = method.code
+    if not code:
+        raise VerificationError(f"{method.name}: empty code")
+    if method.num_params < 0 or method.num_locals < method.num_params:
+        raise VerificationError(
+            f"{method.name}: bad slot counts "
+            f"(params={method.num_params}, locals={method.num_locals})"
+        )
+    n = len(code)
+    has_ret = False
+    for pc, ins in enumerate(code):
+        op = ins.op
+        if op in JUMP_OPS:
+            if not isinstance(ins.arg, int) or not (0 <= ins.arg < n):
+                raise VerificationError(
+                    f"{method.name}: jump at pc={pc} targets {ins.arg!r} (code size {n})"
+                )
+        elif op in (Op.LOAD, Op.STORE):
+            if not isinstance(ins.arg, int) or not (0 <= ins.arg < method.num_locals):
+                raise VerificationError(
+                    f"{method.name}: local slot {ins.arg!r} out of range at pc={pc}"
+                )
+        elif op in (Op.CALL, Op.INTRIN):
+            arg = ins.arg
+            if (
+                not isinstance(arg, tuple)
+                or len(arg) != 2
+                or not isinstance(arg[0], str)
+                or not isinstance(arg[1], int)
+                or arg[1] < 0
+            ):
+                raise VerificationError(
+                    f"{method.name}: {op.name} operand must be (name, argc), "
+                    f"got {arg!r} at pc={pc}"
+                )
+        elif op == Op.RET:
+            has_ret = True
+        # stack_effect also validates that the opcode is known
+        stack_effect(ins)
+    if not has_ret:
+        raise VerificationError(f"{method.name}: no RET instruction")
+
+
+class Program:
+    """An immutable collection of methods with a designated entry point."""
+
+    def __init__(self, methods: Iterable[Method], entry: str = "main", name: str = ""):
+        self._methods: dict[str, Method] = {}
+        for m in methods:
+            if m.name in self._methods:
+                raise VerificationError(f"duplicate method name: {m.name}")
+            self._methods[m.name] = m
+        if entry not in self._methods:
+            raise VerificationError(f"entry method {entry!r} not defined")
+        self.entry = entry
+        self.name = name or entry
+        self._verify_call_graph()
+
+    def _verify_call_graph(self) -> None:
+        for m in self._methods.values():
+            for ins in m.code:
+                if ins.op == Op.CALL:
+                    callee, argc = ins.arg
+                    target = self._methods.get(callee)
+                    if target is None:
+                        raise VerificationError(
+                            f"{m.name}: CALL to unknown method {callee!r}"
+                        )
+                    if target.num_params != argc:
+                        raise VerificationError(
+                            f"{m.name}: CALL {callee!r} with {argc} args, "
+                            f"expects {target.num_params}"
+                        )
+
+    def method(self, name: str) -> Method:
+        return self._methods[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._methods
+
+    def __iter__(self) -> Iterator[Method]:
+        return iter(self._methods.values())
+
+    def __len__(self) -> int:
+        return len(self._methods)
+
+    @property
+    def method_names(self) -> tuple[str, ...]:
+        return tuple(self._methods)
+
+    def total_size(self) -> int:
+        """Total instruction count across all methods."""
+        return sum(m.size for m in self._methods.values())
+
+
+@dataclass
+class MethodBuilder:
+    """Mutable builder assembling one method's bytecode with labels.
+
+    Example::
+
+        b = MethodBuilder("abs_diff", num_params=2)
+        b.load(0).load(1).lt()
+        b.jz("ge")
+        b.load(1).load(0).sub().ret()
+        b.label("ge")
+        b.load(0).load(1).sub().ret()
+        method = b.build()
+    """
+
+    name: str
+    num_params: int = 0
+    _instrs: list[Instr] = field(default_factory=list)
+    _labels: dict[str, int] = field(default_factory=dict)
+    _fixups: list[tuple[int, str]] = field(default_factory=list)
+    _max_slot: int = -1
+
+    def __post_init__(self) -> None:
+        self._max_slot = self.num_params - 1
+
+    # -- emission helpers ------------------------------------------------
+    def emit(self, op: Op, arg: object = None) -> "MethodBuilder":
+        self._instrs.append(Instr(op, arg))
+        return self
+
+    def const(self, value: object) -> "MethodBuilder":
+        return self.emit(Op.CONST, value)
+
+    def load(self, slot: int) -> "MethodBuilder":
+        self._max_slot = max(self._max_slot, slot)
+        return self.emit(Op.LOAD, slot)
+
+    def store(self, slot: int) -> "MethodBuilder":
+        self._max_slot = max(self._max_slot, slot)
+        return self.emit(Op.STORE, slot)
+
+    def add(self) -> "MethodBuilder":
+        return self.emit(Op.ADD)
+
+    def sub(self) -> "MethodBuilder":
+        return self.emit(Op.SUB)
+
+    def mul(self) -> "MethodBuilder":
+        return self.emit(Op.MUL)
+
+    def div(self) -> "MethodBuilder":
+        return self.emit(Op.DIV)
+
+    def mod(self) -> "MethodBuilder":
+        return self.emit(Op.MOD)
+
+    def neg(self) -> "MethodBuilder":
+        return self.emit(Op.NEG)
+
+    def lt(self) -> "MethodBuilder":
+        return self.emit(Op.LT)
+
+    def le(self) -> "MethodBuilder":
+        return self.emit(Op.LE)
+
+    def gt(self) -> "MethodBuilder":
+        return self.emit(Op.GT)
+
+    def ge(self) -> "MethodBuilder":
+        return self.emit(Op.GE)
+
+    def eq(self) -> "MethodBuilder":
+        return self.emit(Op.EQ)
+
+    def ne(self) -> "MethodBuilder":
+        return self.emit(Op.NE)
+
+    def not_(self) -> "MethodBuilder":
+        return self.emit(Op.NOT)
+
+    def newarr(self) -> "MethodBuilder":
+        return self.emit(Op.NEWARR)
+
+    def aload(self) -> "MethodBuilder":
+        return self.emit(Op.ALOAD)
+
+    def astore(self) -> "MethodBuilder":
+        return self.emit(Op.ASTORE)
+
+    def alen(self) -> "MethodBuilder":
+        return self.emit(Op.ALEN)
+
+    def swap(self) -> "MethodBuilder":
+        return self.emit(Op.SWAP)
+
+    def pop(self) -> "MethodBuilder":
+        return self.emit(Op.POP)
+
+    def dup(self) -> "MethodBuilder":
+        return self.emit(Op.DUP)
+
+    def ret(self) -> "MethodBuilder":
+        return self.emit(Op.RET)
+
+    def call(self, name: str, argc: int) -> "MethodBuilder":
+        return self.emit(Op.CALL, (name, argc))
+
+    def intrin(self, name: str, argc: int) -> "MethodBuilder":
+        return self.emit(Op.INTRIN, (name, argc))
+
+    # -- labels and jumps --------------------------------------------------
+    def label(self, name: str) -> "MethodBuilder":
+        if name in self._labels:
+            raise VerificationError(f"{self.name}: duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return self
+
+    def _jump(self, op: Op, target: str) -> "MethodBuilder":
+        self._fixups.append((len(self._instrs), target))
+        return self.emit(op, target)
+
+    def jmp(self, target: str) -> "MethodBuilder":
+        return self._jump(Op.JMP, target)
+
+    def jz(self, target: str) -> "MethodBuilder":
+        return self._jump(Op.JZ, target)
+
+    def jnz(self, target: str) -> "MethodBuilder":
+        return self._jump(Op.JNZ, target)
+
+    # -- finalization ------------------------------------------------------
+    def build(self, num_locals: int | None = None) -> Method:
+        """Resolve labels and produce a verified :class:`Method`."""
+        instrs = list(self._instrs)
+        for pc, target in self._fixups:
+            if target not in self._labels:
+                raise VerificationError(f"{self.name}: undefined label {target!r}")
+            instrs[pc] = Instr(instrs[pc].op, self._labels[target])
+        locals_needed = max(self._max_slot + 1, self.num_params)
+        if num_locals is not None:
+            locals_needed = max(locals_needed, num_locals)
+        return Method(
+            name=self.name,
+            num_params=self.num_params,
+            num_locals=locals_needed,
+            code=tuple(instrs),
+        )

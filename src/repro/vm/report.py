@@ -1,0 +1,128 @@
+"""Human-readable reports over run profiles — observability tooling.
+
+Zero-cost introspection built entirely from the :class:`RunProfile` the
+interpreter already produces: per-method breakdowns, the compilation
+timeline, and side-by-side comparisons of two runs (e.g. default vs.
+evolved). Used by examples and handy when debugging cost-model changes.
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_CONFIG, VMConfig
+from .profiles import RunProfile
+
+
+def _table(headers: list[str], rows: list[list[object]]) -> str:
+    cells = [[str(h) for h in headers]] + [[str(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def profile_report(
+    profile: RunProfile, config: VMConfig = DEFAULT_CONFIG, top: int = 12
+) -> str:
+    """A per-method breakdown of one run, hottest methods first."""
+    methods = sorted(
+        profile.invocations,
+        key=lambda m: -profile.method_cycles.get(m, 0.0),
+    )[:top]
+    total = profile.total_cycles or 1.0
+    rows = []
+    for method in methods:
+        cycles = profile.method_cycles.get(method, 0.0)
+        rows.append(
+            [
+                method,
+                profile.invocations.get(method, 0),
+                profile.samples.get(method, 0),
+                f"{cycles / 1e6:.3f}",
+                f"{100 * cycles / total:.1f}%",
+                profile.final_levels.get(method, -1),
+                profile.compile_count(method),
+            ]
+        )
+    header = (
+        f"run: {config.seconds(profile.total_cycles):.3f}s total "
+        f"({config.seconds(profile.compile_cycles):.3f}s compiling, "
+        f"{profile.total_samples} samples, "
+        f"{profile.instructions_executed} instructions)"
+    )
+    gc_line = ""
+    if profile.gc_count or profile.allocated_bytes:
+        gc_line = (
+            f"\ngc[{profile.gc_policy}]: {profile.gc_count} collections, "
+            f"{config.seconds(profile.gc_pause_cycles):.3f}s paused, "
+            f"{profile.allocated_bytes / 1e6:.2f} MB allocated "
+            f"(peak live {profile.peak_live_bytes / 1e6:.2f} MB)"
+        )
+    body = _table(
+        ["method", "calls", "samples", "cycles (M)", "share", "level", "compiles"],
+        rows,
+    )
+    return f"{header}{gc_line}\n{body}"
+
+
+def compile_timeline(profile: RunProfile, config: VMConfig = DEFAULT_CONFIG) -> str:
+    """The run's compilation events in order, with virtual timestamps."""
+    rows = [
+        [
+            f"{config.seconds(event.at_clock):.3f}s",
+            event.method,
+            event.level,
+            f"{event.cycles:.0f}",
+        ]
+        for event in profile.compile_events
+    ]
+    return _table(["at", "method", "level", "cost (cycles)"], rows)
+
+
+def compare_profiles(
+    a: RunProfile,
+    b: RunProfile,
+    label_a: str = "a",
+    label_b: str = "b",
+    config: VMConfig = DEFAULT_CONFIG,
+) -> str:
+    """Side-by-side per-method comparison of two runs (same program)."""
+    methods = sorted(
+        set(a.invocations) | set(b.invocations),
+        key=lambda m: -(a.method_cycles.get(m, 0.0) + b.method_cycles.get(m, 0.0)),
+    )
+    rows = []
+    for method in methods:
+        cycles_a = a.method_cycles.get(method, 0.0)
+        cycles_b = b.method_cycles.get(method, 0.0)
+        rows.append(
+            [
+                method,
+                f"{cycles_a / 1e6:.3f}",
+                f"{cycles_b / 1e6:.3f}",
+                f"{cycles_a / cycles_b:.2f}x" if cycles_b else "-",
+                a.final_levels.get(method, -1),
+                b.final_levels.get(method, -1),
+            ]
+        )
+    summary = (
+        f"total: {label_a}={config.seconds(a.total_cycles):.3f}s "
+        f"{label_b}={config.seconds(b.total_cycles):.3f}s "
+        f"(ratio {a.total_cycles / b.total_cycles:.3f})"
+    )
+    body = _table(
+        [
+            "method",
+            f"{label_a} (M)",
+            f"{label_b} (M)",
+            f"{label_a}/{label_b}",
+            f"{label_a} lvl",
+            f"{label_b} lvl",
+        ],
+        rows,
+    )
+    return f"{summary}\n{body}"

@@ -1,0 +1,129 @@
+"""Abstract-interpretation bytecode verifier: stack-depth safety.
+
+The structural checks in :mod:`repro.vm.program` validate operands and
+targets; this verifier goes further, proving that no execution path can
+underflow the operand stack and that stack depth is *consistent* — every
+program point is reached with one statically-known depth regardless of the
+path taken (the classic JVM-verifier invariant). The JIT relies on this
+when it splices inlined bodies into callers.
+
+Verification runs a worklist dataflow over the instruction graph with the
+abstract state being the operand-stack depth.
+"""
+
+from __future__ import annotations
+
+from .errors import VerificationError
+from .instructions import Op, stack_effect
+from .program import Method, Program
+
+
+def stack_depths(code, name: str = "<code>") -> dict[int, int]:
+    """Dataflow over raw *code*: the stack depth at every reachable pc.
+
+    Raises:
+        VerificationError: on stack underflow, inconsistent depths at a
+            join point, or a path that falls off the end of the code.
+    """
+    n = len(code)
+    depth_at: dict[int, int] = {0: 0}
+    work = [0]
+    while work:
+        pc = work.pop()
+        depth = depth_at[pc]
+        ins = code[pc]
+        pops, pushes = stack_effect(ins)
+        if depth < pops:
+            raise VerificationError(
+                f"{name}: stack underflow at pc={pc} "
+                f"({ins.op.name} pops {pops}, depth {depth})"
+            )
+        new_depth = depth - pops + pushes
+        successors: list[int] = []
+        if ins.op == Op.JMP:
+            successors = [ins.arg]
+        elif ins.op in (Op.JZ, Op.JNZ):
+            successors = [ins.arg, pc + 1]
+        elif ins.op == Op.RET:
+            successors = []
+        else:
+            successors = [pc + 1]
+        for succ in successors:
+            if succ >= n:
+                raise VerificationError(
+                    f"{name}: control falls off code end at pc={pc}"
+                )
+            known = depth_at.get(succ)
+            if known is None:
+                depth_at[succ] = new_depth
+                work.append(succ)
+            elif known != new_depth:
+                raise VerificationError(
+                    f"{name}: inconsistent stack depth at pc={succ} "
+                    f"({known} vs {new_depth})"
+                )
+    return depth_at
+
+
+def verify_stack_discipline(method: Method) -> dict[int, int]:
+    """Verify *method*'s stack behaviour; return the depth at each pc."""
+    return stack_depths(method.code, method.name)
+
+
+def locals_write_before_read(code, num_params: int) -> bool:
+    """True if every LOAD of a non-parameter slot is definitely preceded
+    by a STORE to that slot on every path from entry.
+
+    A forward dataflow with must-assign sets (meet = intersection).
+    Front-end-generated code always satisfies this (every ``var`` has an
+    initializer); the tail-call pass requires it before reusing a frame,
+    since re-entry via JMP skips the fresh-zero initialization a real
+    invocation would perform.
+    """
+    n = len(code)
+    entry_state = frozenset(range(num_params))
+    states: dict[int, frozenset[int]] = {0: entry_state}
+    work = [0]
+    while work:
+        pc = work.pop()
+        state = states[pc]
+        ins = code[pc]
+        if ins.op == Op.LOAD and ins.arg not in state:
+            return False
+        new_state = state | {ins.arg} if ins.op == Op.STORE else state
+        if ins.op == Op.JMP:
+            successors = [ins.arg]
+        elif ins.op in (Op.JZ, Op.JNZ):
+            successors = [ins.arg, pc + 1]
+        elif ins.op == Op.RET:
+            successors = []
+        else:
+            successors = [pc + 1]
+        for succ in successors:
+            if succ >= n:
+                continue  # stack verifier reports this separately
+            known = states.get(succ)
+            if known is None:
+                states[succ] = new_state
+                work.append(succ)
+            else:
+                merged = known & new_state
+                if merged != known:
+                    states[succ] = merged
+                    work.append(succ)
+    return True
+
+
+def max_stack_depth(method: Method) -> int:
+    """The maximum operand-stack depth any reachable point attains."""
+    depths = verify_stack_discipline(method)
+    peak = 0
+    for pc, depth in depths.items():
+        pops, pushes = stack_effect(method.code[pc])
+        peak = max(peak, depth - pops + pushes, depth)
+    return peak
+
+
+def verify_program_stacks(program: Program) -> dict[str, int]:
+    """Verify every method in *program*; returns per-method max depths."""
+    return {method.name: max_stack_depth(method) for method in program}

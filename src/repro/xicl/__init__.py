@@ -1,0 +1,65 @@
+"""XICL: the extensible input characterization language and translator.
+
+Typical use::
+
+    from repro.xicl import parse_spec, XICLTranslator, XFMethodRegistry
+
+    spec = parse_spec('''
+        option  {name=-n; type=NUM; attr=VAL; default=1; has_arg=y}
+        option  {name=-e:--echo; type=BIN; attr=VAL; default=0; has_arg=n}
+        operand {position=1:$; type=FILE; attr=mNodes:mEdges}
+    ''')
+    translator = XICLTranslator(spec, registry=my_registry)
+    fvector = translator.build_fvector("-n 3 graph1")
+"""
+
+from .errors import (
+    SpecSyntaxError,
+    SpecValidationError,
+    TranslationError,
+    UnknownFeatureMethodError,
+    XICLError,
+)
+from .features import Feature, FeatureKind, FeatureVector
+from .feedback import LOW_ACCURACY, SpecFeedback, analyze_models
+from .filesystem import InMemoryFileSystem, MemoryFile, OSFileSystem
+from .methods import MetadataFeature, XFMethod, XFMethodRegistry, xf_method
+from .parser import parse_spec
+from .runtime_values import RuntimeValueChannel
+from .spec import (
+    END_POSITION,
+    ComponentType,
+    OperandSpec,
+    OptionSpec,
+    XICLSpec,
+)
+from .translator import XICLTranslator
+
+__all__ = [
+    "ComponentType",
+    "END_POSITION",
+    "Feature",
+    "FeatureKind",
+    "FeatureVector",
+    "InMemoryFileSystem",
+    "LOW_ACCURACY",
+    "SpecFeedback",
+    "analyze_models",
+    "MemoryFile",
+    "MetadataFeature",
+    "OSFileSystem",
+    "OperandSpec",
+    "OptionSpec",
+    "RuntimeValueChannel",
+    "SpecSyntaxError",
+    "SpecValidationError",
+    "TranslationError",
+    "UnknownFeatureMethodError",
+    "XFMethod",
+    "XFMethodRegistry",
+    "XICLError",
+    "XICLSpec",
+    "XICLTranslator",
+    "parse_spec",
+    "xf_method",
+]

@@ -1,0 +1,28 @@
+"""XICL error types."""
+
+from __future__ import annotations
+
+
+class XICLError(Exception):
+    """Base class for XICL failures."""
+
+
+class SpecSyntaxError(XICLError):
+    """The XICL specification text is malformed."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"{message} (line {line})" if line else message)
+
+
+class SpecValidationError(XICLError):
+    """The specification parsed but is semantically invalid."""
+
+
+class TranslationError(XICLError):
+    """A command line could not be translated against the specification."""
+
+
+class UnknownFeatureMethodError(XICLError):
+    """An ``attr`` referenced a feature-extraction method that is not
+    registered and could not be imported."""

@@ -1,0 +1,107 @@
+"""Feature vectors: the output of XICL translation, the input of learning.
+
+A :class:`FeatureVector` is an ordered mapping from feature names to typed
+values. Feature *kind* (numeric vs. categorical) matters downstream: the
+classification trees split numerics by threshold and categoricals by
+equality — the separation the paper highlights as important for behaviour
+modeling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FeatureKind(enum.Enum):
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True, slots=True)
+class Feature:
+    """One named, typed feature value."""
+
+    name: str
+    value: object
+    kind: FeatureKind
+
+    def __post_init__(self) -> None:
+        if self.kind is FeatureKind.NUMERIC and not isinstance(
+            self.value, (int, float)
+        ):
+            raise TypeError(
+                f"feature {self.name!r} is numeric but holds {self.value!r}"
+            )
+
+
+class FeatureVector:
+    """An ordered, name-addressable collection of features.
+
+    Appending a feature whose name already exists *replaces* its value in
+    place (used by the runtime-value channel to refine features mid-run).
+    """
+
+    def __init__(self, features: list[Feature] | None = None):
+        self._order: list[str] = []
+        self._by_name: dict[str, Feature] = {}
+        for feature in features or []:
+            self.append(feature)
+
+    def append(self, feature: Feature) -> None:
+        if feature.name not in self._by_name:
+            self._order.append(feature.name)
+        self._by_name[feature.name] = feature
+
+    def append_value(
+        self, name: str, value: object, kind: FeatureKind | None = None
+    ) -> None:
+        if kind is None:
+            kind = (
+                FeatureKind.NUMERIC
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+                else FeatureKind.CATEGORICAL
+            )
+        self.append(Feature(name, value, kind))
+
+    def extend(self, other: "FeatureVector") -> None:
+        for feature in other:
+            self.append(feature)
+
+    def __iter__(self):
+        return (self._by_name[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> object:
+        return self._by_name[name].value
+
+    def get(self, name: str, default: object = None) -> object:
+        feature = self._by_name.get(name)
+        return feature.value if feature is not None else default
+
+    def kind_of(self, name: str) -> FeatureKind:
+        return self._by_name[name].kind
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._order)
+
+    def values(self) -> tuple:
+        return tuple(self._by_name[name].value for name in self._order)
+
+    def as_dict(self) -> dict[str, object]:
+        return {name: self._by_name[name].value for name in self._order}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FeatureVector):
+            return NotImplemented
+        return self.as_dict() == other.as_dict() and self.names == other.names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{f.name}={f.value!r}" for f in self)
+        return f"FeatureVector({inner})"

@@ -1,0 +1,112 @@
+"""Specification feedback: the VM advising the programmer (§VI).
+
+The paper proposes letting the virtual machine "offer feedback to the
+programmers for the refinement of the specifications". This module
+implements that loop: given the learned per-method models and the
+specification they were trained against, it reports
+
+- **unused features** — attrs whose extracted features never appear in any
+  model's splits (candidates to drop, or signs the attr is misdefined);
+- **influential features** — ranked by how many method models split on
+  them (worth keeping and refining);
+- **constant features** — identical across all observed runs, typically
+  options the user population never exercises (the trees ignore them
+  automatically, but the spec author may want to know);
+- a **coverage warning** when the models' overall quality is poor, which
+  the paper attributes to missing important features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .spec import XICLSpec
+
+
+@dataclass(frozen=True)
+class SpecFeedback:
+    """The advice produced for one application's specification."""
+
+    influential: tuple[tuple[str, int], ...]   # (feature, #models splitting)
+    unused: tuple[str, ...]
+    constant: tuple[str, ...]
+    mean_cv_accuracy: float
+    warnings: tuple[str, ...] = field(default=())
+
+    def render(self) -> str:
+        lines = ["XICL specification feedback"]
+        if self.influential:
+            lines.append("  influential features:")
+            for name, count in self.influential:
+                lines.append(f"    {name}  (split on by {count} method models)")
+        if self.unused:
+            lines.append("  never used by any model (drop or redefine?):")
+            for name in self.unused:
+                lines.append(f"    {name}")
+        if self.constant:
+            lines.append("  constant across all observed runs:")
+            for name in self.constant:
+                lines.append(f"    {name}")
+        lines.append(f"  mean cross-validated model accuracy: {self.mean_cv_accuracy:.2f}")
+        for warning in self.warnings:
+            lines.append(f"  WARNING: {warning}")
+        return "\n".join(lines)
+
+
+#: CV accuracy below which the feedback suspects missing features.
+LOW_ACCURACY = 0.6
+
+
+def analyze_models(model_builder, spec: XICLSpec | None = None) -> SpecFeedback:
+    """Produce :class:`SpecFeedback` from a trained
+    :class:`~repro.core.model_builder.ModelBuilder`.
+
+    *spec* is optional; when given, the warning text can reference its
+    extractor names.
+    """
+    # Count, per feature, how many method models split on it.
+    split_counts: dict[str, int] = {}
+    observed_columns: list[str] = []
+    constant: set[str] = set()
+    varying: set[str] = set()
+    for method in model_builder.method_names:
+        model = model_builder.model_for(method)
+        for feature in model.used_features():
+            split_counts[feature] = split_counts.get(feature, 0) + 1
+        ds = model.dataset
+        for column in ds.columns:
+            if column not in observed_columns:
+                observed_columns.append(column)
+            index = ds.column_index(column)
+            values = {row.values[index] for row in ds.rows}
+            if len(values) <= 1:
+                constant.add(column)
+            else:
+                varying.add(column)
+    constant -= varying
+
+    influential = tuple(
+        sorted(split_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    )
+    unused = tuple(
+        name for name in observed_columns if name not in split_counts
+    )
+    accuracy = model_builder.mean_cv_accuracy()
+    warnings: list[str] = []
+    if model_builder.method_names and accuracy < LOW_ACCURACY:
+        attr_hint = ""
+        if spec is not None:
+            attr_hint = (
+                f" (spec attrs: {', '.join(spec.all_attrs())})"
+            )
+        warnings.append(
+            "model quality is low; the specification may be missing an "
+            "important input feature" + attr_hint
+        )
+    return SpecFeedback(
+        influential=influential,
+        unused=unused,
+        constant=tuple(sorted(constant)),
+        mean_cv_accuracy=accuracy,
+        warnings=tuple(warnings),
+    )

@@ -1,0 +1,101 @@
+"""File abstraction backing FILE-typed input components.
+
+Predefined extractors (``SIZE``, ``LINES``, ``WORDS``) and programmer-
+defined ``XFMethod`` implementations often inspect input *files*. The
+translator resolves paths through a :class:`FileSystem` so experiments can
+supply thousands of synthetic inputs without touching the disk, while real
+deployments use :class:`OSFileSystem` unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from .errors import TranslationError
+
+
+class FileSystem(Protocol):
+    """Minimal file interface the extractors need."""
+
+    def exists(self, path: str) -> bool: ...
+
+    def size(self, path: str) -> int: ...
+
+    def read_text(self, path: str) -> str: ...
+
+    def metadata(self, path: str) -> dict[str, object]:
+        """Out-of-band attributes (synthetic inputs carry parsed features
+        here; real filesystems return an empty mapping)."""
+        ...
+
+
+class OSFileSystem:
+    """The real filesystem."""
+
+    def exists(self, path: str) -> bool:
+        return os.path.isfile(path)
+
+    def size(self, path: str) -> int:
+        return os.stat(path).st_size
+
+    def read_text(self, path: str) -> str:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            return handle.read()
+
+    def metadata(self, path: str) -> dict[str, object]:
+        return {}
+
+
+@dataclass
+class MemoryFile:
+    """An in-memory file: explicit content and/or synthesized stats."""
+
+    content: str | None = None
+    size_bytes: int | None = None
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        if self.size_bytes is not None:
+            return self.size_bytes
+        return len(self.content or "")
+
+
+class InMemoryFileSystem:
+    """A dict-backed :class:`FileSystem` for synthetic workloads."""
+
+    def __init__(self, files: dict[str, MemoryFile] | None = None):
+        self._files: dict[str, MemoryFile] = dict(files or {})
+
+    def add(self, path: str, file: MemoryFile) -> None:
+        self._files[path] = file
+
+    def add_text(self, path: str, content: str, **extra: object) -> None:
+        self._files[path] = MemoryFile(content=content, extra=dict(extra))
+
+    def add_stub(self, path: str, size_bytes: int, **extra: object) -> None:
+        """A file with stats/metadata but no materialized content."""
+        self._files[path] = MemoryFile(size_bytes=size_bytes, extra=dict(extra))
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def _entry(self, path: str) -> MemoryFile:
+        entry = self._files.get(path)
+        if entry is None:
+            raise TranslationError(f"no such file: {path!r}")
+        return entry
+
+    def size(self, path: str) -> int:
+        return self._entry(path).size
+
+    def read_text(self, path: str) -> str:
+        entry = self._entry(path)
+        if entry.content is None:
+            raise TranslationError(f"file {path!r} has no materialized content")
+        return entry.content
+
+    def metadata(self, path: str) -> dict[str, object]:
+        return dict(self._entry(path).extra)

@@ -1,0 +1,222 @@
+"""Feature-extraction methods: XICL's extension point.
+
+Every ``attr`` name in a specification resolves to an :class:`XFMethod`.
+The predefined set (``VAL``, ``LEN``, ``SIZE``, ``LINES``, ``WORDS``)
+covers common cases; programmers add their own by subclassing
+:class:`XFMethod` (or decorating a function with :func:`xf_method`) and
+registering it — the Python analogue of dropping an ``XFMethod``
+implementation into the ``org.jikesrvm.xicl`` package, including the
+``Class.forName``-style lookup by dotted import path.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from .errors import TranslationError, UnknownFeatureMethodError
+from .features import Feature, FeatureKind, FeatureVector
+from .filesystem import FileSystem
+
+
+class XFMethod:
+    """Base class for feature extractors.
+
+    Subclasses implement :meth:`xfeature`, receiving the raw string value of
+    one input component plus the resolver environment, and returning the
+    extracted features. ``prefix`` names the component (e.g. ``-n`` or
+    ``operand1``) so produced feature names are globally unique.
+    """
+
+    #: Registry name; subclasses override (defaults to the class name).
+    name: str = ""
+
+    def xfeature(
+        self, value: str, prefix: str, fs: FileSystem
+    ) -> FeatureVector:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _single(self, prefix: str, suffix: str, value, kind: FeatureKind) -> FeatureVector:
+        return FeatureVector([Feature(f"{prefix}.{suffix}", value, kind)])
+
+
+class _Val(XFMethod):
+    """VAL: the component's value itself (numeric when it parses as one)."""
+
+    name = "VAL"
+
+    def xfeature(self, value: str, prefix: str, fs: FileSystem) -> FeatureVector:
+        parsed: object
+        kind = FeatureKind.CATEGORICAL
+        try:
+            parsed = int(value)
+            kind = FeatureKind.NUMERIC
+        except (TypeError, ValueError):
+            try:
+                parsed = float(value)
+                kind = FeatureKind.NUMERIC
+            except (TypeError, ValueError):
+                parsed = value
+        return self._single(prefix, "VAL", parsed, kind)
+
+
+class _Len(XFMethod):
+    """LEN: length of the component's string value."""
+
+    name = "LEN"
+
+    def xfeature(self, value: str, prefix: str, fs: FileSystem) -> FeatureVector:
+        return self._single(prefix, "LEN", len(value or ""), FeatureKind.NUMERIC)
+
+
+class _Size(XFMethod):
+    """SIZE: byte size of the referenced file."""
+
+    name = "SIZE"
+
+    def xfeature(self, value: str, prefix: str, fs: FileSystem) -> FeatureVector:
+        if not fs.exists(value):
+            raise TranslationError(f"{prefix}: no such file {value!r}")
+        return self._single(prefix, "SIZE", fs.size(value), FeatureKind.NUMERIC)
+
+
+class _Lines(XFMethod):
+    """LINES: line count of the referenced file (metadata-aware)."""
+
+    name = "LINES"
+
+    def xfeature(self, value: str, prefix: str, fs: FileSystem) -> FeatureVector:
+        meta = fs.metadata(value) if fs.exists(value) else {}
+        if "lines" in meta:
+            count = meta["lines"]
+        else:
+            count = fs.read_text(value).count("\n") + 1 if fs.exists(value) else 0
+        return self._single(prefix, "LINES", int(count), FeatureKind.NUMERIC)
+
+
+class _Words(XFMethod):
+    """WORDS: whitespace-token count of the referenced file (metadata-aware)."""
+
+    name = "WORDS"
+
+    def xfeature(self, value: str, prefix: str, fs: FileSystem) -> FeatureVector:
+        meta = fs.metadata(value) if fs.exists(value) else {}
+        if "words" in meta:
+            count = meta["words"]
+        else:
+            count = len(fs.read_text(value).split()) if fs.exists(value) else 0
+        return self._single(prefix, "WORDS", int(count), FeatureKind.NUMERIC)
+
+
+class MetadataFeature(XFMethod):
+    """Programmer-defined extractor reading one key from file metadata.
+
+    The synthetic-benchmark analogue of a custom parser: a real ``mNodes``
+    implementation would parse the graph file; synthetic inputs carry the
+    parsed value in metadata. Falls back to parsing ``key=value`` lines in
+    the file content when metadata lacks the key.
+    """
+
+    def __init__(self, name: str, key: str, default: float = 0.0):
+        self.name = name
+        self.key = key
+        self.default = default
+
+    def xfeature(self, value: str, prefix: str, fs: FileSystem) -> FeatureVector:
+        if fs.exists(value):
+            meta = fs.metadata(value)
+            if self.key in meta:
+                return self._single(
+                    prefix, self.name, meta[self.key], FeatureKind.NUMERIC
+                )
+            try:
+                text = fs.read_text(value)
+            except TranslationError:
+                text = ""
+            for line in text.splitlines():
+                if line.startswith(f"{self.key}="):
+                    return self._single(
+                        prefix,
+                        self.name,
+                        float(line.split("=", 1)[1]),
+                        FeatureKind.NUMERIC,
+                    )
+        return self._single(prefix, self.name, self.default, FeatureKind.NUMERIC)
+
+
+class _FunctionXFMethod(XFMethod):
+    def __init__(self, name: str, fn: Callable[[str, str, FileSystem], FeatureVector]):
+        self.name = name
+        self._fn = fn
+
+    def xfeature(self, value: str, prefix: str, fs: FileSystem) -> FeatureVector:
+        return self._fn(value, prefix, fs)
+
+
+class XFMethodRegistry:
+    """Maps ``attr`` names to extractor instances.
+
+    Mirrors the paper's ``xfMethodsMap`` + ``getMethod``: lookups hit the
+    map first, then attempt a dynamic import of a dotted path (the
+    ``Class.forName`` analogue), caching the result.
+    """
+
+    def __init__(self, include_predefined: bool = True):
+        self._methods: dict[str, XFMethod] = {}
+        if include_predefined:
+            for cls in (_Val, _Len, _Size, _Lines, _Words):
+                self.register(cls())
+
+    def register(self, method: XFMethod) -> None:
+        if not method.name:
+            raise ValueError("XFMethod must carry a non-empty name")
+        self._methods[method.name] = method
+
+    def register_function(
+        self, name: str, fn: Callable[[str, str, FileSystem], FeatureVector]
+    ) -> None:
+        self.register(_FunctionXFMethod(name, fn))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._methods
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._methods))
+
+    def get(self, name: str) -> XFMethod:
+        method = self._methods.get(name)
+        if method is not None:
+            return method
+        # Class.forName analogue: "pkg.module.ClassName" imports and
+        # instantiates, then caches under the requested name.
+        if "." in name:
+            module_name, _, attr = name.rpartition(".")
+            try:
+                module = importlib.import_module(module_name)
+                cls = getattr(module, attr)
+                instance = cls()
+            except (ImportError, AttributeError, TypeError) as exc:
+                raise UnknownFeatureMethodError(
+                    f"cannot load feature method {name!r}: {exc}"
+                ) from exc
+            if not isinstance(instance, XFMethod):
+                raise UnknownFeatureMethodError(
+                    f"{name!r} is not an XFMethod implementation"
+                )
+            self._methods[name] = instance
+            return instance
+        raise UnknownFeatureMethodError(f"unknown feature method {name!r}")
+
+
+def xf_method(name: str, registry: XFMethodRegistry):
+    """Decorator registering a plain function as an XFMethod.
+
+    The function receives ``(value, prefix, fs)`` and returns a
+    :class:`FeatureVector`.
+    """
+
+    def deco(fn: Callable[[str, str, FileSystem], FeatureVector]):
+        registry.register_function(name, fn)
+        return fn
+
+    return deco

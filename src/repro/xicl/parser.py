@@ -1,0 +1,177 @@
+"""Parser for XICL specification text.
+
+Concrete syntax (one construct per ``{...}`` block, ``;``-separated
+``key=value`` fields, ``:``-separated value lists, ``#`` comments) —
+matching the paper's Figure 2::
+
+    # route finder
+    option  {name=-n; type=NUM; attr=VAL; default=1; has_arg=y}
+    option  {name=-e:--echo; type=BIN; attr=VAL; default=0; has_arg=n}
+    operand {position=1:$; type=FILE; attr=mNodes:mEdges}
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import SpecSyntaxError, SpecValidationError
+from .spec import (
+    END_POSITION,
+    ComponentType,
+    OperandSpec,
+    OptionSpec,
+    XICLSpec,
+)
+
+_CONSTRUCT_RE = re.compile(
+    r"(?P<kind>option|operand)\s*\{(?P<body>[^{}]*)\}", re.IGNORECASE
+)
+
+_VALID_OPTION_KEYS = {"name", "type", "attr", "default", "has_arg"}
+_VALID_OPERAND_KEYS = {"position", "type", "attr"}
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        hash_pos = line.find("#")
+        lines.append(line if hash_pos < 0 else line[:hash_pos])
+    return "\n".join(lines)
+
+
+def _line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def _parse_fields(body: str, kind: str, line: int) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    for raw in body.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        if "=" not in raw:
+            raise SpecSyntaxError(f"malformed field {raw!r} in {kind}", line)
+        key, _, value = raw.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if key in fields:
+            raise SpecSyntaxError(f"duplicate field {key!r} in {kind}", line)
+        fields[key] = value
+    valid = _VALID_OPTION_KEYS if kind == "option" else _VALID_OPERAND_KEYS
+    unknown = set(fields) - valid
+    if unknown:
+        raise SpecSyntaxError(
+            f"unknown field(s) {sorted(unknown)} in {kind}", line
+        )
+    return fields
+
+
+def _parse_type(value: str, line: int) -> ComponentType:
+    try:
+        return ComponentType(value.strip().lower())
+    except ValueError:
+        raise SpecSyntaxError(f"unknown type {value!r}", line) from None
+
+
+def _parse_bool(value: str, line: int) -> bool:
+    lowered = value.strip().lower()
+    if lowered in ("y", "yes", "true", "1"):
+        return True
+    if lowered in ("n", "no", "false", "0"):
+        return False
+    raise SpecSyntaxError(f"expected y/n, got {value!r}", line)
+
+
+def _parse_position(value: str, line: int) -> tuple[int | str, int | str]:
+    parts = value.split(":")
+
+    def _one(part: str) -> int | str:
+        part = part.strip()
+        if part == END_POSITION:
+            return END_POSITION
+        try:
+            return int(part)
+        except ValueError:
+            raise SpecSyntaxError(f"bad position {part!r}", line) from None
+
+    if len(parts) == 1:
+        pos = _one(parts[0])
+        return (pos, pos)
+    if len(parts) == 2:
+        return (_one(parts[0]), _one(parts[1]))
+    raise SpecSyntaxError(f"bad position spec {value!r}", line)
+
+
+def parse_spec(text: str, application: str = "") -> XICLSpec:
+    """Parse XICL specification *text* into an :class:`XICLSpec`."""
+    stripped = _strip_comments(text)
+    options: list[OptionSpec] = []
+    operands: list[OperandSpec] = []
+    consumed_spans: list[tuple[int, int]] = []
+    for match in _CONSTRUCT_RE.finditer(stripped):
+        line = _line_of(stripped, match.start())
+        kind = match.group("kind").lower()
+        fields = _parse_fields(match.group("body"), kind, line)
+        consumed_spans.append(match.span())
+        if kind == "option":
+            if "name" not in fields:
+                raise SpecSyntaxError("option requires a name field", line)
+            names = tuple(
+                name.strip() for name in fields["name"].split(":") if name.strip()
+            )
+            ctype = _parse_type(fields.get("type", "str"), line)
+            attrs = tuple(
+                attr.strip()
+                for attr in fields.get("attr", "VAL").split(":")
+                if attr.strip()
+            )
+            has_arg = (
+                _parse_bool(fields["has_arg"], line)
+                if "has_arg" in fields
+                else ctype is not ComponentType.BIN
+            )
+            try:
+                options.append(
+                    OptionSpec(
+                        names=names,
+                        type=ctype,
+                        attrs=attrs,
+                        default=fields.get("default", ""),
+                        has_arg=has_arg,
+                    )
+                )
+            except SpecValidationError as exc:
+                raise SpecSyntaxError(str(exc), line) from exc
+        else:
+            if "position" not in fields:
+                raise SpecSyntaxError("operand requires a position field", line)
+            ctype = _parse_type(fields.get("type", "str"), line)
+            attrs = tuple(
+                attr.strip()
+                for attr in fields.get("attr", "VAL").split(":")
+                if attr.strip()
+            )
+            try:
+                operands.append(
+                    OperandSpec(
+                        position=_parse_position(fields["position"], line),
+                        type=ctype,
+                        attrs=attrs,
+                    )
+                )
+            except SpecValidationError as exc:
+                raise SpecSyntaxError(str(exc), line) from exc
+    # Anything left over (besides whitespace) is a syntax error.
+    leftover = stripped
+    for start, end in sorted(consumed_spans, reverse=True):
+        leftover = leftover[:start] + leftover[end:]
+    residue = leftover.strip()
+    if residue:
+        first = residue.splitlines()[0].strip()
+        raise SpecSyntaxError(f"unrecognized specification text: {first!r}")
+    try:
+        return XICLSpec(
+            options=tuple(options), operands=tuple(operands), application=application
+        )
+    except SpecValidationError as exc:
+        raise SpecSyntaxError(str(exc)) from exc

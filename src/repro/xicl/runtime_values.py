@@ -1,0 +1,56 @@
+"""Runtime value passing: the ``updateV``/``done`` channel.
+
+Applications can hand values computed during their own initialization (or
+at interactive points) to the translator as input features, sparing the
+extractor redundant work — the paper's
+``XICLFeatureVector.updateV(mFeature, subV)`` / ``done()`` interface.
+
+``update_v`` inserts or replaces features in the translator's current
+vector; ``done`` signals that no more values will arrive, firing any
+registered callbacks (the evolvable VM hooks prediction here, including
+re-prediction at interactive points).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .features import FeatureKind, FeatureVector
+
+DoneCallback = Callable[[FeatureVector], None]
+
+
+class RuntimeValueChannel:
+    """Mutable bridge between a running application and its feature vector."""
+
+    def __init__(self, fvector: FeatureVector | None = None):
+        self._fvector = fvector if fvector is not None else FeatureVector()
+        self._done_callbacks: list[DoneCallback] = []
+        self.done_count = 0
+
+    @property
+    def fvector(self) -> FeatureVector:
+        return self._fvector
+
+    def bind(self, fvector: FeatureVector) -> None:
+        """Point the channel at a (new) feature vector."""
+        self._fvector = fvector
+
+    def on_done(self, callback: DoneCallback) -> None:
+        self._done_callbacks.append(callback)
+
+    def update_v(
+        self, name: str, value: object, kind: FeatureKind | None = None
+    ) -> None:
+        """Insert or replace the feature *name* with *value*."""
+        self._fvector.append_value(name, value, kind)
+
+    def update_many(self, values: dict[str, object]) -> None:
+        for name, value in values.items():
+            self.update_v(name, value)
+
+    def done(self) -> None:
+        """No more values are coming; notify listeners (e.g. the predictor)."""
+        self.done_count += 1
+        for callback in self._done_callbacks:
+            callback(self._fvector)

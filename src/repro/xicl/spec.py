@@ -1,0 +1,136 @@
+"""XICL specification model: the ``option`` and ``operand`` constructs.
+
+A specification describes every component a legal command line may carry:
+
+- **options** (``-n 5``, ``--echo``): flag name(s), value type, the feature
+  extractors to apply (``attr``), a default used when absent, and whether
+  the option consumes an argument;
+- **operands** (positional arguments): a position range, type, extractors.
+
+See :mod:`repro.xicl.parser` for the concrete syntax.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import SpecValidationError
+
+#: Position sentinel meaning "end of the command line".
+END_POSITION = "$"
+
+
+class ComponentType(enum.Enum):
+    """Value type of an input component."""
+
+    NUM = "num"    # numeric value
+    BIN = "bin"    # boolean flag
+    STR = "str"    # free string (categorical)
+    FILE = "file"  # path to an input file
+
+
+@dataclass(frozen=True)
+class OptionSpec:
+    """One ``option`` construct.
+
+    Attributes:
+        names: All aliases (e.g. ``('-e', '--echo')``); the first is
+            canonical and prefixes extracted feature names.
+        type: Component type.
+        attrs: Feature-extractor names applied to the option's value.
+        default: Value assumed when the option is absent.
+        has_arg: Whether the option consumes a following argument.
+    """
+
+    names: tuple[str, ...]
+    type: ComponentType
+    attrs: tuple[str, ...] = ("VAL",)
+    default: str = ""
+    has_arg: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise SpecValidationError("option requires at least one name")
+        for name in self.names:
+            if not name.startswith("-"):
+                raise SpecValidationError(
+                    f"option name {name!r} must start with '-'"
+                )
+        if not self.attrs:
+            raise SpecValidationError(f"option {self.canonical}: empty attr list")
+        if self.type is ComponentType.BIN and self.has_arg:
+            raise SpecValidationError(
+                f"option {self.canonical}: BIN options take no argument"
+            )
+
+    @property
+    def canonical(self) -> str:
+        return self.names[0]
+
+    def matches(self, token: str) -> bool:
+        return token in self.names
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """One ``operand`` construct covering a 1-based position range.
+
+    ``position=(2, '$')`` covers positions 2 through the end; a single
+    position is ``(k, k)``.
+    """
+
+    position: tuple[int | str, int | str]
+    type: ComponentType
+    attrs: tuple[str, ...] = ("VAL",)
+
+    def __post_init__(self) -> None:
+        start, end = self.position
+        if not isinstance(start, int) or start < 1:
+            raise SpecValidationError(
+                f"operand start position must be a positive int, got {start!r}"
+            )
+        if end != END_POSITION and (not isinstance(end, int) or end < start):
+            raise SpecValidationError(
+                f"operand end position must be >= start or '$', got {end!r}"
+            )
+        if not self.attrs:
+            raise SpecValidationError("operand: empty attr list")
+
+    def covers(self, index: int, total: int) -> bool:
+        """True if this construct covers the 1-based operand *index*."""
+        start, end = self.position
+        upper = total if end == END_POSITION else end
+        return start <= index <= upper
+
+
+@dataclass(frozen=True)
+class XICLSpec:
+    """A complete specification for one application."""
+
+    options: tuple[OptionSpec, ...] = ()
+    operands: tuple[OperandSpec, ...] = ()
+    application: str = ""
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for option in self.options:
+            for name in option.names:
+                if name in seen:
+                    raise SpecValidationError(f"duplicate option name {name!r}")
+                seen.add(name)
+
+    def option_for(self, token: str) -> OptionSpec | None:
+        for option in self.options:
+            if option.matches(token):
+                return option
+        return None
+
+    def all_attrs(self) -> tuple[str, ...]:
+        """Every extractor name referenced anywhere in the spec."""
+        names: list[str] = []
+        for option in self.options:
+            names.extend(option.attrs)
+        for operand in self.operands:
+            names.extend(operand.attrs)
+        return tuple(dict.fromkeys(names))

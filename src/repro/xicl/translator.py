@@ -1,0 +1,186 @@
+"""The XICL translator: command line + specification → feature vector.
+
+The translator determines the role of every component in an arbitrary
+(legal) invocation and applies each component's feature-extraction methods,
+producing a *well-formed* vector: fixed length for a given specification,
+with defaults filled for absent options and empty-slot markers for absent
+fixed-position operands.
+
+Variable-arity operand ranges (``position=2:$``) are summarized into fixed
+features: an operand count plus per-extractor aggregates (numeric features
+sum across the covered operands; categoricals keep the first), so learning
+downstream always sees vectors of one shape.
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from .errors import TranslationError
+from .features import FeatureKind, FeatureVector
+from .filesystem import FileSystem, OSFileSystem
+from .methods import XFMethodRegistry
+from .runtime_values import RuntimeValueChannel
+from .spec import END_POSITION, ComponentType, OperandSpec, OptionSpec, XICLSpec
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+class XICLTranslator:
+    """Translates command lines for one application against one spec."""
+
+    def __init__(
+        self,
+        spec: XICLSpec,
+        registry: XFMethodRegistry | None = None,
+        filesystem: FileSystem | None = None,
+    ):
+        self.spec = spec
+        self.registry = registry if registry is not None else XFMethodRegistry()
+        self.filesystem = filesystem if filesystem is not None else OSFileSystem()
+        self.channel = RuntimeValueChannel()
+        self._fvector = FeatureVector()
+
+    @property
+    def fvector(self) -> FeatureVector:
+        """The most recently built (and possibly runtime-updated) vector."""
+        return self._fvector
+
+    # -- command line scanning -------------------------------------------------
+    def _scan(self, tokens: list[str]) -> tuple[dict[str, str], list[str]]:
+        """Split *tokens* into option values (by canonical name) and operands."""
+        values: dict[str, str] = {}
+        operands: list[str] = []
+        i = 0
+        operands_only = False
+        while i < len(tokens):
+            token = tokens[i]
+            if operands_only:
+                operands.append(token)
+                i += 1
+                continue
+            if token == "--":
+                operands_only = True
+                i += 1
+                continue
+            option: OptionSpec | None = None
+            inline_value: str | None = None
+            if token.startswith("-") and not _is_number(token):
+                option = self.spec.option_for(token)
+                if option is None and "=" in token:
+                    head, _, tail = token.partition("=")
+                    option = self.spec.option_for(head)
+                    if option is not None and not option.has_arg:
+                        raise TranslationError(
+                            f"option {head!r} does not take an argument"
+                        )
+                    inline_value = tail
+                if option is None:
+                    raise TranslationError(f"unknown option {token!r}")
+            if option is None:
+                operands.append(token)
+                i += 1
+                continue
+            if option.has_arg:
+                if inline_value is not None:
+                    values[option.canonical] = inline_value
+                else:
+                    if i + 1 >= len(tokens):
+                        raise TranslationError(
+                            f"option {token!r} expects an argument"
+                        )
+                    values[option.canonical] = tokens[i + 1]
+                    i += 1
+            else:
+                values[option.canonical] = "1"
+            i += 1
+        return values, operands
+
+    # -- feature extraction ------------------------------------------------
+    def _extract(self, attrs: tuple[str, ...], value: str, prefix: str) -> FeatureVector:
+        out = FeatureVector()
+        for attr in attrs:
+            method = self.registry.get(attr)
+            out.extend(method.xfeature(value, prefix, self.filesystem))
+        return out
+
+    def _operand_prefix(self, operand: OperandSpec) -> str:
+        start, end = operand.position
+        if start == end:
+            return f"operand{start}"
+        end_label = "end" if end == END_POSITION else str(end)
+        return f"operands{start}_{end_label}"
+
+    def _operand_features(
+        self, operand: OperandSpec, operand_tokens: list[str]
+    ) -> FeatureVector:
+        start, end = operand.position
+        total = len(operand_tokens)
+        covered = [
+            operand_tokens[i - 1]
+            for i in range(1, total + 1)
+            if operand.covers(i, total)
+        ]
+        prefix = self._operand_prefix(operand)
+        if start == end:
+            value = covered[0] if covered else ""
+            return self._extract(operand.attrs, value, prefix)
+        # Range construct: fixed-shape aggregate features.
+        out = FeatureVector()
+        out.append_value(f"{prefix}.count", len(covered), FeatureKind.NUMERIC)
+        aggregate: dict[str, object] = {}
+        kinds: dict[str, FeatureKind] = {}
+        for value in covered:
+            for feature in self._extract(operand.attrs, value, prefix):
+                kinds[feature.name] = feature.kind
+                if feature.kind is FeatureKind.NUMERIC:
+                    aggregate[feature.name] = (
+                        aggregate.get(feature.name, 0) + feature.value
+                    )
+                elif feature.name not in aggregate:
+                    aggregate[feature.name] = feature.value
+        if not covered:
+            # Materialize zero-valued aggregates so the vector shape is
+            # stable even when the range is empty.
+            for attr in operand.attrs:
+                aggregate.setdefault(f"{prefix}.{attr}", 0)
+                kinds.setdefault(f"{prefix}.{attr}", FeatureKind.NUMERIC)
+        for name, value in aggregate.items():
+            out.append_value(name, value, kinds[name])
+        return out
+
+    def build_fvector(self, cmdline: str | list[str]) -> FeatureVector:
+        """Translate *cmdline* into the application's feature vector.
+
+        *cmdline* holds only the application's arguments (no program name),
+        either as a shell-style string or a pre-split token list.
+        """
+        tokens = shlex.split(cmdline) if isinstance(cmdline, str) else list(cmdline)
+        values, operands = self._scan(tokens)
+        fvector = FeatureVector()
+        for option in self.spec.options:
+            value = values.get(option.canonical, option.default)
+            if option.type is ComponentType.BIN and option.canonical not in values:
+                value = option.default or "0"
+            fvector.extend(self._extract(option.attrs, value, option.canonical))
+        total = len(operands)
+        uncovered = [
+            i
+            for i in range(1, total + 1)
+            if not any(spec.covers(i, total) for spec in self.spec.operands)
+        ]
+        if uncovered:
+            raise TranslationError(
+                f"operand position(s) {uncovered} not covered by the specification"
+            )
+        for operand in self.spec.operands:
+            fvector.extend(self._operand_features(operand, operands))
+        self._fvector = fvector
+        self.channel.bind(fvector)
+        return fvector

@@ -1,0 +1,68 @@
+"""Shared fixtures: small programs and applications used across test files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Application
+from repro.lang import compile_source
+from repro.vm import MethodBuilder, Program
+from repro.xicl import parse_spec
+
+
+@pytest.fixture
+def loop_program() -> Program:
+    """sum of squares 0..n-1 via a helper call — exercises calls + loops."""
+    source = """
+    fn square(x) { return x * x; }
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) { s = s + square(i); }
+      return s;
+    }
+    """
+    return compile_source(source, name="loop")
+
+
+@pytest.fixture
+def hot_program() -> Program:
+    """A burn-heavy kernel called many times — recompilation pays off."""
+    source = """
+    fn kernel(x) { burn(2000); return x + 1; }
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) { s = kernel(s); }
+      return s;
+    }
+    """
+    return compile_source(source, name="hot")
+
+
+@pytest.fixture
+def identity_method():
+    return MethodBuilder("ident", num_params=1).load(0).ret().build()
+
+
+@pytest.fixture
+def toy_app() -> Application:
+    """A two-kernel input-sensitive application with an XICL spec."""
+    source = """
+    fn light(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { burn(250); s = s + i; } return s; }
+    fn heavy(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { burn(800); s = s + i * i; } return s; }
+    fn main(mode, n) {
+      if (mode == 1) { return light(n); }
+      return heavy(n);
+    }
+    """
+    program = compile_source(source, name="toy")
+    spec = parse_spec(
+        """
+        option {name=-m; type=NUM; attr=VAL; default=1; has_arg=y}
+        option {name=-n; type=NUM; attr=VAL; default=100; has_arg=y}
+        """
+    )
+
+    def launcher(tokens, fvector, fs):
+        return (int(fvector["-m.VAL"]), int(fvector["-n.VAL"]))
+
+    return Application(name="toy", program=program, spec=spec, launcher=launcher)

@@ -1,0 +1,117 @@
+"""Tests for the phase-based adaptive recompilation comparator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.aos import (
+    AdaptiveController,
+    PhaseAdaptiveController,
+    PhaseDetector,
+    window_similarity,
+)
+from repro.lang import compile_source
+from repro.vm import Interpreter
+
+TWO_PHASE = """
+fn phase_a(n) { for (var i = 0; i < n; i = i + 1) { burn(1500); } return 0; }
+fn phase_b(n) { for (var i = 0; i < n; i = i + 1) { burn(1500); } return 0; }
+fn main(n) { phase_a(n); phase_b(n); return 0; }
+"""
+
+
+class TestWindowSimilarity:
+    def test_identical_windows(self):
+        w = Counter({"a": 5, "b": 3})
+        assert window_similarity(w, w) == pytest.approx(1.0)
+
+    def test_disjoint_windows(self):
+        assert window_similarity(Counter({"a": 5}), Counter({"b": 5})) == 0.0
+
+    def test_empty_windows(self):
+        assert window_similarity(Counter(), Counter({"a": 1})) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        s = window_similarity(Counter({"a": 4, "b": 4}), Counter({"a": 4, "c": 4}))
+        assert 0.0 < s < 1.0
+
+    def test_symmetric(self):
+        a, b = Counter({"a": 3, "b": 1}), Counter({"a": 1, "b": 3})
+        assert window_similarity(a, b) == pytest.approx(window_similarity(b, a))
+
+
+class TestPhaseDetector:
+    def feed(self, detector, method, count, clock_start=0):
+        changed = 0
+        for i in range(count):
+            if detector.observe(method, clock_start + i):
+                changed += 1
+        return changed
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseDetector(window_samples=0)
+
+    def test_single_phase_stays_single(self):
+        detector = PhaseDetector(window_samples=4)
+        assert self.feed(detector, "hot", 40) == 0
+        assert detector.phase_index == 0
+
+    def test_distribution_shift_detected(self):
+        detector = PhaseDetector(window_samples=4)
+        self.feed(detector, "a", 16)
+        changed = self.feed(detector, "b", 16, clock_start=100)
+        assert changed == 1
+        assert detector.phase_index == 1
+
+    def test_stability_grows_within_phase(self):
+        detector = PhaseDetector(window_samples=4)
+        self.feed(detector, "a", 4)
+        early = detector.stability
+        self.feed(detector, "a", 28)
+        assert detector.stability > early
+        assert detector.stability == 1.0
+
+    def test_boundaries_recorded_with_clocks(self):
+        detector = PhaseDetector(window_samples=4)
+        self.feed(detector, "a", 8)
+        self.feed(detector, "b", 8, clock_start=500)
+        assert len(detector.boundaries) == 1
+        assert detector.boundaries[0] >= 500
+
+
+class TestPhaseAdaptiveController:
+    def test_detects_phases_and_optimizes_both_kernels(self):
+        program = compile_source(TWO_PHASE)
+        interp = Interpreter(program)
+        controller = PhaseAdaptiveController(interp)
+        profile = interp.run((2500,))
+        assert controller.phase_count >= 2
+        assert profile.final_levels["phase_a"] > -1
+        assert profile.final_levels["phase_b"] > -1
+
+    def test_competitive_with_default_on_stable_workload(self, hot_program):
+        phase_interp = Interpreter(hot_program)
+        PhaseAdaptiveController(phase_interp)
+        phase_profile = phase_interp.run((2000,))
+
+        default_interp = Interpreter(hot_program)
+        AdaptiveController(default_interp)
+        default_profile = default_interp.run((2000,))
+
+        # On a single stable phase, the schemes should land within ~15%.
+        ratio = phase_profile.total_cycles / default_profile.total_cycles
+        assert 0.85 < ratio < 1.15
+
+    def test_short_run_not_overcompiled(self, hot_program):
+        interp = Interpreter(hot_program)
+        PhaseAdaptiveController(interp)
+        profile = interp.run((3,))
+        assert all(level == -1 for level in profile.final_levels.values())
+
+    def test_decisions_recorded(self, hot_program):
+        interp = Interpreter(hot_program)
+        controller = PhaseAdaptiveController(interp)
+        interp.run((2000,))
+        assert controller.decisions
+        assert all(level > -1 for _, _, level in controller.decisions)

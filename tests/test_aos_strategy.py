@@ -1,0 +1,124 @@
+"""Unit tests for strategy types and the cost-benefit model."""
+
+import pytest
+
+from repro.aos import (
+    CostBenefitModel,
+    LevelStrategy,
+    PairStrategy,
+    RecompilePair,
+)
+from repro.vm import DEFAULT_CONFIG, JITCompiler, run_program
+
+
+class TestLevelStrategy:
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            LevelStrategy({"m": 5})
+
+    def test_lookup(self):
+        strategy = LevelStrategy({"a": 2, "b": -1})
+        assert strategy.level_for("a") == 2
+        assert strategy.level_for("missing") is None
+        assert strategy.methods() == ("a", "b")
+        assert len(strategy) == 2
+
+    def test_agreement_treats_absent_as_baseline(self):
+        a = LevelStrategy({"m": 2, "n": -1})
+        b = LevelStrategy({"m": 2})
+        agreement = a.agreement(b)
+        assert agreement == {"m": True, "n": True}
+
+    def test_agreement_disagrees_on_level(self):
+        a = LevelStrategy({"m": 2})
+        b = LevelStrategy({"m": 1})
+        assert a.agreement(b) == {"m": False}
+
+
+class TestPairStrategy:
+    def test_thresholds_must_increase(self):
+        with pytest.raises(ValueError):
+            PairStrategy({"m": (RecompilePair(5, 0), RecompilePair(3, 2))})
+
+    def test_levels_must_increase(self):
+        with pytest.raises(ValueError):
+            PairStrategy({"m": (RecompilePair(1, 2), RecompilePair(5, 0))})
+
+    def test_at_sample_positive(self):
+        with pytest.raises(ValueError):
+            RecompilePair(0, 1)
+
+    def test_final_levels(self):
+        strategy = PairStrategy(
+            {"m": (RecompilePair(1, 0), RecompilePair(10, 2)), "n": ()}
+        )
+        assert strategy.final_levels().levels == {"m": 2}
+
+    def test_plan_lookup(self):
+        strategy = PairStrategy({"m": (RecompilePair(2, 1),)})
+        assert strategy.plan_for("m")[0].level == 1
+        assert strategy.plan_for("other") == ()
+
+
+class TestCostBenefitOnline:
+    @pytest.fixture
+    def model(self, hot_program):
+        jit = JITCompiler(hot_program, DEFAULT_CONFIG)
+        return CostBenefitModel(jit, DEFAULT_CONFIG.sample_interval)
+
+    def test_cold_method_not_recompiled(self, model):
+        assert model.choose_recompile_level("kernel", -1, 1) in (None, 0, 1, 2)
+
+    def test_hot_method_recompiled_upward(self, model):
+        level = model.choose_recompile_level("kernel", -1, 200)
+        assert level is not None and level > -1
+
+    def test_hotter_methods_get_higher_levels(self, model):
+        levels = [
+            model.choose_recompile_level("kernel", -1, samples) or -1
+            for samples in (1, 30, 3000)
+        ]
+        assert levels == sorted(levels)
+
+    def test_never_suggests_downgrade(self, model):
+        level = model.choose_recompile_level("kernel", 2, 100_000)
+        assert level is None
+
+
+class TestIdealStrategy:
+    @pytest.fixture
+    def model(self, hot_program):
+        jit = JITCompiler(hot_program, DEFAULT_CONFIG)
+        return CostBenefitModel(jit, DEFAULT_CONFIG.sample_interval)
+
+    def test_tiny_work_stays_baseline(self, model):
+        assert model.ideal_level("kernel", 100.0) == -1
+
+    def test_huge_work_reaches_top_level(self, model):
+        assert model.ideal_level("kernel", 1e9) == 2
+
+    def test_ideal_monotone_in_work(self, model):
+        levels = [
+            model.ideal_level("kernel", w)
+            for w in (1e2, 1e4, 1e5, 1e6, 1e7, 1e9)
+        ]
+        assert levels == sorted(levels)
+
+    def test_ideal_strategy_covers_invoked_methods(self, hot_program, model):
+        _, profile = run_program(hot_program, args=(300,))
+        strategy = model.ideal_strategy(profile)
+        assert set(strategy.levels) == {"main", "kernel"}
+
+    def test_ideal_minimizes_total_cost(self, model):
+        """Brute-force check of the argmin over a work sweep."""
+        jit = model.jit
+        for work in (1e3, 5e4, 2e5, 4e6):
+            best = model.ideal_level("kernel", work)
+            costs = {
+                level: (
+                    (jit.compile_cost("kernel", level) if level != -1 else 0.0)
+                    + work * jit.speed_factor("kernel", level)
+                )
+                for level in (-1, 0, 1, 2)
+            }
+            assert costs[best] == min(costs.values())

@@ -1,0 +1,152 @@
+"""Deeper behavioral tests: each benchmark's input features must steer its
+method-hotness distribution the way the workload model intends."""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.core import run_default
+from repro.vm import DEFAULT_CONFIG, JITCompiler
+
+
+def run_cmd(app, jit, cmdline, seed=0):
+    return run_default(app, cmdline, jit=jit, rng_seed=seed).profile
+
+
+def cycles(profile, method):
+    return profile.method_cycles.get(method, 0.0)
+
+
+class TestCategoricalFeaturesSwitchKernels:
+    def test_antlr_language_switches_emitters(self):
+        bench = get_benchmark("Antlr")
+        app, __ = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        java = run_cmd(app, jit, "-o code -lang java data/antlr/grammar00.g")
+        cpp = run_cmd(app, jit, "-o code -lang cpp data/antlr/grammar00.g")
+        assert java.invocations.get("emit_java") and not java.invocations.get(
+            "emit_cpp"
+        )
+        assert cpp.invocations.get("emit_cpp") and not cpp.invocations.get(
+            "emit_java"
+        )
+
+    def test_antlr_html_format_skips_code_emitters(self):
+        bench = get_benchmark("Antlr")
+        app, __ = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        html = run_cmd(app, jit, "-o html -lang java data/antlr/grammar00.g")
+        assert html.invocations.get("emit_html_report")
+        assert not html.invocations.get("emit_java")
+
+    def test_bloat_operation_selects_pipeline(self):
+        bench = get_benchmark("Bloat")
+        app, __ = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        ssa = run_cmd(app, jit, "-op ssa data/bloat/Class00.class")
+        peep = run_cmd(app, jit, "-op peep data/bloat/Class00.class")
+        assert ssa.invocations.get("ssa_optimize")
+        assert not peep.invocations.get("ssa_optimize")
+        assert peep.invocations.get("peephole_scan")
+
+    def test_fop_format_selects_renderer(self):
+        bench = get_benchmark("Fop")
+        app, __ = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        pdf = run_cmd(app, jit, "-fmt pdf -q 1 data/fop/doc00.fo")
+        ps = run_cmd(app, jit, "-fmt ps -q 1 data/fop/doc00.fo")
+        assert pdf.invocations.get("render_pdf") and not pdf.invocations.get(
+            "render_ps"
+        )
+        assert ps.invocations.get("render_ps") and not ps.invocations.get(
+            "render_pdf"
+        )
+
+
+class TestNumericFeaturesScaleTime:
+    @pytest.mark.parametrize(
+        "name,small,large",
+        [
+            ("Euler", "24", "150"),
+            ("MolDyn", "256", "2500"),
+            ("RayTracer", "60", "540"),
+        ],
+    )
+    def test_grande_time_monotone_in_size(self, name, small, large):
+        bench = get_benchmark(name)
+        app, __ = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        t_small = run_cmd(app, jit, small).total_cycles
+        t_large = run_cmd(app, jit, large).total_cycles
+        assert t_large > t_small * 3
+
+    def test_mtrt_depth_scales_shading(self):
+        bench = get_benchmark("Mtrt")
+        app, inputs = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        path = next(iter(inputs[0].files))
+        shallow = run_cmd(app, jit, f"-size 100 -depth 1 {path}")
+        deep = run_cmd(app, jit, f"-size 100 -depth 7 {path}")
+        assert deep.invocations["shade"] > shallow.invocations["shade"] * 3
+        assert deep.total_cycles > shallow.total_cycles
+
+    def test_search_prefix_length_bounds_tree(self):
+        bench = get_benchmark("Search")
+        app, __ = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        shallow = run_cmd(app, jit, "444333555522226666")
+        deep = run_cmd(app, jit, "44")
+        assert (
+            deep.invocations["evaluate"] > shallow.invocations["evaluate"] * 5
+        )
+
+
+class TestHotnessDistributions:
+    def test_compress_kernel_dominates_large_files(self):
+        bench = get_benchmark("Compress")
+        app, inputs = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        biggest = max(
+            inputs, key=lambda bi: next(iter(bi.files.values())).size
+        )
+        profile = run_cmd(app, jit, biggest.cmdline)
+        hottest = profile.hot_methods(top=1)[0][0]
+        assert hottest in ("compress_chunk", "decompress_chunk")
+
+    def test_db_sort_cycles_scale_with_records(self):
+        bench = get_benchmark("Db")
+        app, inputs = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        profiles = [run_cmd(app, jit, bi.cmdline) for bi in inputs[:4]]
+        sort_costs = [cycles(p, "sort_records") for p in profiles]
+        assert max(sort_costs) > 0
+
+    def test_montecarlo_path_kernel_dominates(self):
+        bench = get_benchmark("MonteCarlo")
+        app, inputs = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        profile = run_cmd(app, jit, inputs[0].cmdline)
+        assert cycles(profile, "simulate_path") > 0.5 * sum(
+            profile.method_cycles.values()
+        )
+
+
+class TestIdealLevelsVaryAcrossInputs:
+    @pytest.mark.parametrize("name", ["Mtrt", "Compress", "RayTracer", "Euler"])
+    def test_sensitive_benchmarks_have_input_dependent_ideals(self, name):
+        """The learning problem must be non-trivial: the posterior ideal
+        level of at least one method differs across the input population."""
+        from repro.aos import CostBenefitModel
+
+        bench = get_benchmark(name)
+        app, inputs = bench.build(seed=0)
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        model = CostBenefitModel(jit, DEFAULT_CONFIG.sample_interval)
+        per_method: dict[str, set[int]] = {}
+        for bi in inputs:
+            profile = run_cmd(app, jit, bi.cmdline)
+            for method, level in model.ideal_strategy(profile).levels.items():
+                per_method.setdefault(method, set()).add(level)
+        assert any(len(levels) > 1 for levels in per_method.values()), (
+            f"{name}: every method has one ideal level across all inputs — "
+            "nothing to learn"
+        )

@@ -1,0 +1,109 @@
+"""Tests for the benchmark suite: every program compiles, translates its
+inputs, runs correctly, and exhibits input-dependent behavior."""
+
+import pytest
+
+from repro.bench import (
+    BENCHMARK_CLASSES,
+    INPUT_SENSITIVE_GROUP,
+    all_benchmarks,
+    get_benchmark,
+)
+from repro.core import run_default
+from repro.vm import DEFAULT_CONFIG, JITCompiler
+
+
+@pytest.fixture(scope="module")
+def built():
+    """Build every benchmark once for the whole module."""
+    result = {}
+    for bench in all_benchmarks():
+        result[bench.name] = (bench,) + bench.build(seed=7)
+    return result
+
+
+class TestRegistry:
+    def test_eleven_benchmarks(self):
+        assert len(BENCHMARK_CLASSES) == 11
+
+    def test_names_unique(self):
+        names = [cls.name for cls in BENCHMARK_CLASSES]
+        assert len(set(names)) == 11
+
+    def test_get_benchmark_case_insensitive(self):
+        assert get_benchmark("mtrt").name == "Mtrt"
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("NoSuch")
+
+    def test_suites_assigned(self):
+        suites = {cls.suite for cls in BENCHMARK_CLASSES}
+        assert suites == {"jvm98", "dacapo", "grande"}
+
+    def test_sensitive_group_members_exist(self):
+        names = {cls.name for cls in BENCHMARK_CLASSES}
+        assert set(INPUT_SENSITIVE_GROUP) <= names
+
+
+@pytest.mark.parametrize("cls", BENCHMARK_CLASSES, ids=lambda c: c.name)
+class TestEachBenchmark:
+    def test_program_compiles_with_enough_methods(self, cls):
+        bench = cls()
+        assert len(bench.program) >= 6, "benchmarks should model a method set"
+
+    def test_input_population_size(self, cls, built):
+        bench, app, inputs = built[cls.name]
+        assert len(inputs) == bench.n_inputs
+
+    def test_all_inputs_translate(self, cls, built):
+        bench, app, inputs = built[cls.name]
+        translator = app.make_translator()
+        shapes = set()
+        for bench_input in inputs:
+            fv = translator.build_fvector(bench_input.cmdline)
+            assert len(fv) > 0
+            shapes.add(fv.names)
+        assert len(shapes) == 1, "feature vectors must share one shape"
+
+    def test_every_input_runs(self, cls, built):
+        bench, app, inputs = built[cls.name]
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        for i, bench_input in enumerate(inputs[:4]):
+            outcome = run_default(app, bench_input.cmdline, jit=jit, rng_seed=i)
+            assert outcome.profile.total_cycles > 0
+            assert outcome.profile.invocations.get("main", 0) >= 1
+
+    def test_running_time_varies_with_input(self, cls, built):
+        bench, app, inputs = built[cls.name]
+        jit = JITCompiler(app.program, DEFAULT_CONFIG)
+        times = [
+            run_default(app, bi.cmdline, jit=jit, rng_seed=0).profile.total_cycles
+            for bi in inputs
+        ]
+        assert max(times) > min(times), "inputs must affect running time"
+
+    def test_deterministic_given_input_and_seed(self, cls, built):
+        bench, app, inputs = built[cls.name]
+        a = run_default(app, inputs[0].cmdline, rng_seed=5)
+        b = run_default(app, inputs[0].cmdline, rng_seed=5)
+        assert a.result == b.result
+        assert a.profile.total_cycles == b.profile.total_cycles
+
+
+class TestInputSensitivity:
+    def test_sensitive_benchmarks_have_wide_time_range(self, built):
+        """The input-sensitive group must span a much wider running-time
+        range than MonteCarlo (the paper's canonical insensitive case)."""
+        def spread(name):
+            bench, app, inputs = built[name]
+            jit = JITCompiler(app.program, DEFAULT_CONFIG)
+            times = [
+                run_default(app, bi.cmdline, jit=jit).profile.total_cycles
+                for bi in inputs
+            ]
+            return max(times) / min(times)
+
+        mc_spread = spread("MonteCarlo")
+        for name in ("Mtrt", "Compress", "RayTracer"):
+            assert spread(name) > mc_spread * 2

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list_prints_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Mtrt", "Compress", "RayTracer", "Search"):
+            assert name in out
+
+    def test_bench_requires_name(self, capsys):
+        assert main(["bench"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_bench_runs_scenarios(self, capsys):
+        assert main(["bench", "Search", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "evolve" in out
+        assert out.count("\n") >= 5
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_table1_reduced(self, capsys):
+        assert main(["table1", "--runs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Program" in out and "RayTracer" in out
+
+    def test_gc_study_reduced(self, capsys):
+        assert main(["gc-study", "--runs", "8"]) == 0
+        assert "GC-selection" in capsys.readouterr().out

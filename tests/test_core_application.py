@@ -1,0 +1,49 @@
+"""Unit tests for the Application abstraction."""
+
+import pytest
+
+from repro.core import Application
+from repro.lang import compile_source
+from repro.xicl import parse_spec
+
+
+@pytest.fixture
+def program():
+    return compile_source("fn main(a, b) { return a * 10 + b; }", name="app")
+
+
+class TestApplication:
+    def test_default_launcher_passes_no_args(self):
+        program = compile_source("fn main() { return 7; }")
+        app = Application(name="x", program=program)
+        assert app.launcher([], None, None) == ()
+
+    def test_split_cmdline_string_and_list(self, program):
+        app = Application(name="x", program=program)
+        assert app.split_cmdline("-n 3 'a b'") == ["-n", "3", "a b"]
+        assert app.split_cmdline(["-n", "3"]) == ["-n", "3"]
+
+    def test_translator_none_without_spec(self, program):
+        app = Application(name="x", program=program)
+        assert app.make_translator() is None
+
+    def test_translator_built_with_spec(self, program):
+        spec = parse_spec("option {name=-n; type=NUM; attr=VAL; default=1; has_arg=y}")
+        app = Application(name="x", program=program, spec=spec)
+        translator = app.make_translator()
+        assert translator is not None
+        fv = translator.build_fvector("-n 9")
+        assert fv["-n.VAL"] == 9
+
+    def test_entry_args_delegates_to_launcher(self, program):
+        spec = parse_spec("option {name=-n; type=NUM; attr=VAL; default=1; has_arg=y}")
+        app = Application(
+            name="x",
+            program=program,
+            spec=spec,
+            launcher=lambda tokens, fv, fs: (int(fv["-n.VAL"]), len(tokens)),
+        )
+        translator = app.make_translator()
+        tokens = app.split_cmdline("-n 4")
+        fv = translator.build_fvector(tokens)
+        assert app.entry_args(tokens, fv) == (4, 2)

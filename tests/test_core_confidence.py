@@ -1,0 +1,102 @@
+"""Unit tests for confidence tracking and the accuracy metric."""
+
+import pytest
+
+from repro.aos import LevelStrategy
+from repro.core import ConfidenceTracker, prediction_accuracy
+from repro.vm import RunProfile
+
+
+class TestConfidenceTracker:
+    def test_starts_at_zero_and_gated(self):
+        tracker = ConfidenceTracker()
+        assert tracker.value == 0.0
+        assert not tracker.confident
+
+    def test_decayed_update_formula(self):
+        tracker = ConfidenceTracker(gamma=0.7)
+        tracker.update(1.0)
+        assert tracker.value == pytest.approx(0.7)
+        tracker.update(1.0)
+        assert tracker.value == pytest.approx(0.3 * 0.7 + 0.7)
+
+    def test_gamma_weights_recent_runs(self):
+        heavy = ConfidenceTracker(gamma=0.9)
+        light = ConfidenceTracker(gamma=0.1)
+        for tracker in (heavy, light):
+            for acc in (1.0, 1.0, 0.0):
+                tracker.update(acc)
+        # The recent bad run hits the high-gamma tracker harder.
+        assert heavy.value < light.value
+
+    def test_gate_opens_above_threshold(self):
+        tracker = ConfidenceTracker(gamma=0.7, threshold=0.7)
+        tracker.update(1.0)
+        assert not tracker.confident  # exactly 0.7 is not > 0.7
+        tracker.update(1.0)
+        assert tracker.confident
+
+    def test_history_recorded(self):
+        tracker = ConfidenceTracker()
+        tracker.update(0.5)
+        tracker.update(1.0)
+        assert len(tracker.history) == 2
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceTracker(gamma=1.5)
+        with pytest.raises(ValueError):
+            ConfidenceTracker(threshold=-0.1)
+
+    def test_bad_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceTracker().update(1.2)
+
+
+def profile_with(samples=None, work=None, invocations=None):
+    profile = RunProfile()
+    profile.samples = samples or {}
+    profile.method_work = work or {}
+    profile.invocations = invocations or {
+        m: 1 for m in (samples or work or {})
+    }
+    return profile
+
+
+class TestPredictionAccuracy:
+    def test_perfect_prediction(self):
+        predicted = LevelStrategy({"a": 2, "b": 0})
+        ideal = LevelStrategy({"a": 2, "b": 0})
+        profile = profile_with(samples={"a": 10, "b": 5})
+        assert prediction_accuracy(predicted, ideal, profile) == 1.0
+
+    def test_time_weighted_partial(self):
+        predicted = LevelStrategy({"a": 2, "b": 1})
+        ideal = LevelStrategy({"a": 2, "b": 0})
+        profile = profile_with(samples={"a": 75, "b": 25})
+        assert prediction_accuracy(predicted, ideal, profile) == pytest.approx(0.75)
+
+    def test_absent_prediction_counts_as_baseline(self):
+        predicted = LevelStrategy({})
+        ideal = LevelStrategy({"a": -1, "b": 2})
+        profile = profile_with(samples={"a": 50, "b": 50})
+        assert prediction_accuracy(predicted, ideal, profile) == pytest.approx(0.5)
+
+    def test_sampleless_run_falls_back_to_work(self):
+        predicted = LevelStrategy({"a": 2})
+        ideal = LevelStrategy({"a": 2, "b": -1})
+        profile = profile_with(samples={}, work={"a": 900.0, "b": 100.0})
+        assert prediction_accuracy(predicted, ideal, profile) == 1.0
+
+    def test_empty_profile_agreement(self):
+        profile = profile_with()
+        same = LevelStrategy({"a": 1})
+        assert prediction_accuracy(same, same, profile) == 1.0
+        other = LevelStrategy({"a": 2})
+        assert prediction_accuracy(same, other, profile) == 0.0
+
+    def test_methods_not_in_profile_do_not_count(self):
+        predicted = LevelStrategy({"ghost": 2})
+        ideal = LevelStrategy({"a": -1})
+        profile = profile_with(samples={"a": 10})
+        assert prediction_accuracy(predicted, ideal, profile) == 1.0

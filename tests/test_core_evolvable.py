@@ -1,0 +1,164 @@
+"""Integration tests for the evolvable VM, Rep driver, and persistence."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Application,
+    EvolvableVM,
+    RepVM,
+    load_state,
+    run_default,
+    save_state,
+    load_state_file,
+    state_to_dict,
+)
+from repro.lang import compile_source
+
+
+def make_inputs(rng_choices):
+    return [f"-m {m} -n {n}" for m, n in rng_choices]
+
+
+TRAIN = make_inputs(
+    [(1, 50), (2, 1200), (1, 1200), (2, 50), (1, 50), (2, 1200),
+     (1, 1200), (2, 50), (1, 400), (2, 400), (1, 50), (2, 1200)]
+)
+
+
+class TestEvolvableVM:
+    def test_figure7_loop_learns_and_applies(self, toy_app):
+        vm = EvolvableVM(toy_app)
+        outcomes = [vm.run(cmd, rng_seed=i) for i, cmd in enumerate(TRAIN)]
+        assert any(out.applied_prediction for out in outcomes)
+        # Every run carries self-evaluation results.
+        assert all(out.accuracy is not None for out in outcomes)
+        assert all(out.ideal is not None for out in outcomes)
+        # Confidence must have risen above zero.
+        assert vm.confidence.value > 0.3
+
+    def test_prediction_improves_over_default(self, toy_app):
+        vm = EvolvableVM(toy_app)
+        for i, cmd in enumerate(TRAIN):
+            vm.run(cmd, rng_seed=i)
+        cmd = "-m 2 -n 1200"
+        evolve_out = vm.run(cmd, rng_seed=99)
+        default_out = run_default(toy_app, cmd, rng_seed=99)
+        assert evolve_out.applied_prediction
+        assert evolve_out.speedup_vs(default_out) > 1.05
+
+    def test_no_spec_falls_back_to_default(self, toy_app):
+        bare_app = Application(
+            name=toy_app.name,
+            program=toy_app.program,
+            spec=None,
+            launcher=lambda tokens, fv, fs: (1, 200),
+        )
+        vm = EvolvableVM(bare_app)
+        outcome = vm.run("", rng_seed=0)
+        assert outcome.fvector is None
+        assert outcome.accuracy is None
+        assert not outcome.applied_prediction
+        assert vm.confidence.value == 0.0
+
+    def test_overhead_accounted(self, toy_app):
+        vm = EvolvableVM(toy_app)
+        outcome = vm.run(TRAIN[0], rng_seed=0)
+        assert outcome.overhead_cycles > 0
+        assert outcome.total_cycles > outcome.profile.total_cycles
+
+    def test_outcomes_accumulate(self, toy_app):
+        vm = EvolvableVM(toy_app)
+        for i, cmd in enumerate(TRAIN[:3]):
+            vm.run(cmd, rng_seed=i)
+        assert vm.run_count == 3
+        assert len(vm.outcomes) == 3
+
+    def test_results_correct_under_prediction(self, toy_app):
+        """Optimization must never change program results."""
+        vm = EvolvableVM(toy_app)
+        for i, cmd in enumerate(TRAIN):
+            out = vm.run(cmd, rng_seed=i)
+            base = run_default(toy_app, cmd, rng_seed=i)
+            assert out.result == base.result
+
+    def test_reactive_controller_handles_unpredicted_methods(self, toy_app):
+        vm = EvolvableVM(toy_app)
+        # Train only on mode 1: heavy() never observed.
+        for i in range(8):
+            vm.run("-m 1 -n 1200", rng_seed=i)
+        assert vm.confidence.confident
+        outcome = vm.run("-m 2 -n 1200", rng_seed=50)
+        assert outcome.applied_prediction
+        # heavy had no model; the reactive fallback may still optimize it.
+        assert "heavy" in outcome.profile.final_levels
+
+
+class TestRepVM:
+    def test_records_and_applies_history(self, toy_app):
+        rep = RepVM(toy_app)
+        for i, cmd in enumerate(TRAIN):
+            rep.run(cmd, rng_seed=i)
+        assert rep.repository.run_count == len(TRAIN)
+        assert len(rep.repository.strategy()) > 0
+
+    def test_frozen_strategy_not_updated(self, toy_app):
+        rep = RepVM(toy_app)
+        for i, cmd in enumerate(TRAIN[:4]):
+            rep.run(cmd, rng_seed=i)
+        rep.frozen_strategy = rep.repository.strategy()
+        count = rep.repository.run_count
+        rep.run(TRAIN[0], rng_seed=9)
+        assert rep.repository.run_count == count
+
+    def test_rep_single_strategy_for_all_inputs(self, toy_app):
+        rep = RepVM(toy_app)
+        for i, cmd in enumerate(TRAIN):
+            rep.run(cmd, rng_seed=i)
+        # The applied strategy is input-agnostic: identical final levels
+        # regardless of the input of the next run.
+        s1 = rep.repository.strategy()
+        rep.run("-m 1 -n 50", rng_seed=100)
+        s2 = rep.repository.strategy()
+        # Strategies may evolve with history, but within one run they do
+        # not depend on the input (no feature vector is consulted).
+        assert s1.methods() == tuple(sorted(s1.plans))
+        assert isinstance(s2.methods(), tuple)
+
+
+class TestPersistence:
+    def test_state_roundtrip(self, toy_app, tmp_path):
+        vm = EvolvableVM(toy_app)
+        for i, cmd in enumerate(TRAIN):
+            vm.run(cmd, rng_seed=i)
+        path = str(tmp_path / "state.json")
+        save_state(vm, path)
+
+        restored = EvolvableVM(toy_app)
+        load_state_file(restored, path)
+        assert restored.confidence.value == pytest.approx(vm.confidence.value)
+        assert restored.run_count == vm.run_count
+        assert restored.models.method_names == vm.models.method_names
+        # The restored models predict identically.
+        fv = vm.translator.build_fvector("-m 2 -n 1200")
+        fv2 = restored.translator.build_fvector("-m 2 -n 1200")
+        assert restored.models.predict(fv2).levels == vm.models.predict(fv).levels
+
+    def test_state_is_json_serializable(self, toy_app):
+        vm = EvolvableVM(toy_app)
+        vm.run(TRAIN[0], rng_seed=0)
+        text = json.dumps(state_to_dict(vm))
+        assert toy_app.name in text
+
+    def test_wrong_application_rejected(self, toy_app):
+        vm = EvolvableVM(toy_app)
+        vm.run(TRAIN[0], rng_seed=0)
+        state = state_to_dict(vm)
+        state["application"] = "other"
+        with pytest.raises(ValueError, match="state is for"):
+            load_state(EvolvableVM(toy_app), state)
+
+    def test_bad_format_rejected(self, toy_app):
+        with pytest.raises(ValueError, match="format"):
+            load_state(EvolvableVM(toy_app), {"format": 99})

@@ -1,0 +1,120 @@
+"""Tests for input-specific GC selection (the §VI extension)."""
+
+import pytest
+
+from repro.core import Application, EvolvableVM, GCSelector
+from repro.experiments.gc_study import build_service_app, run_gc_study
+from repro.vm import GCCostModel
+from repro.xicl import FeatureVector
+
+
+def vec(**features):
+    v = FeatureVector()
+    for name, value in features.items():
+        v.append_value(name, value)
+    return v
+
+
+def profile_like(allocated, live, count):
+    from repro.vm import RunProfile
+
+    profile = RunProfile()
+    profile.allocated_bytes = allocated
+    profile.peak_live_bytes = live
+    profile.allocation_count = count
+    return profile
+
+
+class TestGCSelector:
+    def test_defaults_until_confident(self):
+        selector = GCSelector()
+        decision = selector.select(vec(c=0))
+        assert decision.applied == "semispace"
+        assert decision.predicted is None
+
+    def test_learns_survival_split(self):
+        model = GCCostModel()
+        selector = GCSelector()
+        high_live = model.heap_bytes * 0.4
+        for i in range(10):
+            cached = 0 if i % 2 == 0 else 1
+            decision = selector.select(vec(c=cached))
+            profile = profile_like(
+                allocated=8_000_000,
+                live=1_000 if cached == 0 else high_live,
+                count=1_000,
+            )
+            selector.observe(decision, vec(c=cached), profile)
+        assert selector.confidence.confident
+        assert selector.select(vec(c=0)).applied == "semispace"
+        assert selector.select(vec(c=1)).applied == "marksweep"
+
+    def test_selection_accuracy_tracked(self):
+        selector = GCSelector()
+        for i in range(6):
+            decision = selector.select(vec(c=0))
+            selector.observe(
+                decision, vec(c=0), profile_like(8_000_000, 1_000, 100)
+            )
+        assert 0.0 <= selector.selection_accuracy() <= 1.0
+        # After identical history the prediction should be right.
+        assert selector.decisions[-1].correct
+
+    def test_saved_cycles_recorded(self):
+        selector = GCSelector()
+        decision = selector.select(vec(c=0))
+        decision = selector.observe(
+            decision, vec(c=0), profile_like(8_000_000, 1_000, 100)
+        )
+        assert decision.saved_cycles is not None
+
+    def test_invalid_default_policy_rejected(self):
+        with pytest.raises(ValueError):
+            GCSelector(default_policy="compacting")
+
+
+class TestEvolvableVMGCIntegration:
+    def test_gc_selector_disabled_by_default(self, toy_app):
+        vm = EvolvableVM(toy_app)
+        assert vm.gc_selector is None
+        outcome = vm.run("-m 1 -n 50", rng_seed=0)
+        assert outcome.gc_decision is None
+
+    def test_gc_decisions_recorded_when_enabled(self):
+        app = build_service_app()
+        vm = EvolvableVM(app, select_gc=True)
+        outcome = vm.run("-r 400 -s 1500 -c 0", rng_seed=0)
+        assert outcome.gc_decision is not None
+        assert outcome.gc_decision.ideal in ("semispace", "marksweep")
+        assert outcome.profile.gc_policy == outcome.gc_decision.applied
+
+    def test_selector_switches_policy_after_learning(self):
+        app = build_service_app()
+        vm = EvolvableVM(app, select_gc=True)
+        # High-survival inputs: marksweep territory.
+        for i in range(8):
+            vm.run("-r 800 -s 3000 -c 8000", rng_seed=i)
+        late = vm.run("-r 800 -s 3000 -c 8000", rng_seed=99)
+        assert late.gc_decision.applied == "marksweep"
+        assert late.profile.gc_policy == "marksweep"
+
+
+class TestGCStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_gc_study(seed=1, runs=24)
+
+    def test_oracle_never_worse_than_fixed(self, study):
+        assert study.total_pause["oracle"] <= study.total_pause["semispace"] + 1e-6
+        assert study.total_pause["oracle"] <= study.total_pause["marksweep"] + 1e-6
+
+    def test_selector_accuracy_reasonable(self, study):
+        assert study.selection_accuracy > 0.6
+
+    def test_steady_state_captures_most_of_oracle(self, study):
+        assert study.steady_state_capture > 0.5
+
+    def test_input_dependence_exists(self, study):
+        """The study is only meaningful if neither fixed collector is
+        universally ideal — the two fixed totals must differ."""
+        assert study.total_pause["semispace"] != study.total_pause["marksweep"]

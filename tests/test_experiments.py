@@ -1,0 +1,151 @@
+"""Tests for the experiment harness (small run counts for speed)."""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.experiments import BoxStats, run_experiment
+from repro.experiments.figure8 import run_figure8, render as render_f8
+from repro.experiments.figure9 import run_figure9, render as render_f9
+from repro.experiments.figure10 import run_figure10, render as render_f10
+from repro.experiments.overhead import run_overhead, render as render_ov
+from repro.experiments.report import format_series, format_table, sparkline
+from repro.experiments.sensitivity import (
+    run_order_study,
+    run_threshold_sweep,
+    render_order,
+    render_thresholds,
+)
+from repro.experiments.table1 import run_table1, render as render_t1
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_experiment(get_benchmark("RayTracer"), seed=3, runs=10)
+
+
+class TestRunner:
+    def test_all_scenarios_run_same_sequence(self, small_result):
+        assert len(small_result.default) == 10
+        assert len(small_result.rep) == 10
+        assert len(small_result.evolve) == 10
+        cmds = lambda outs: [o.cmdline for o in outs]
+        assert cmds(small_result.default) == cmds(small_result.evolve)
+        assert cmds(small_result.default) == cmds(small_result.rep)
+
+    def test_results_agree_across_scenarios(self, small_result):
+        for d, r, e in zip(
+            small_result.default, small_result.rep, small_result.evolve
+        ):
+            assert d.result == r.result == e.result
+
+    def test_speedup_series_lengths(self, small_result):
+        assert len(small_result.speedups("evolve")) == 10
+        assert len(small_result.speedups("rep")) == 10
+
+    def test_explicit_sequence_respected(self):
+        bench = get_benchmark("Search")
+        result = run_experiment(bench, seed=0, sequence=[0, 1, 0])
+        assert result.sequence == [0, 1, 0]
+        assert len(result.evolve) == 3
+
+    def test_scenarios_subset(self):
+        bench = get_benchmark("Search")
+        result = run_experiment(
+            bench, seed=0, runs=3, scenarios=("default", "evolve")
+        )
+        assert result.rep == []
+        assert len(result.evolve) == 3
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        stats = BoxStats.of([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.minimum == 1.0
+        assert stats.median == 3.0
+        assert stats.maximum == 5.0
+        assert stats.q1 == 2.0
+        assert stats.q3 == 4.0
+
+    def test_single_value(self):
+        stats = BoxStats.of([2.5])
+        assert stats.minimum == stats.maximum == stats.median == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxStats.of([])
+
+
+class TestHarnessModules:
+    def test_table1_rows(self):
+        rows = run_table1(
+            seed=1, runs_override=8, benchmarks=[get_benchmark("Search")]
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.program == "Search"
+        assert row.time_max >= row.time_min > 0
+        assert 0 <= row.mean_accuracy <= 1
+        assert row.features_total >= row.features_used
+        assert "Search" in render_t1(rows)
+
+    def test_figure8_curves(self):
+        curves = run_figure8("RayTracer", seed=1, runs=8)
+        assert len(curves.confidence) == 8
+        assert len(curves.evolve_speedup) == 8
+        text = render_f8(curves)
+        assert "RayTracer" in text and "conf" in text
+
+    def test_figure9_curve_sorted(self):
+        curve = run_figure9("Mtrt", seed=1, runs=14)
+        times = [p.default_seconds for p in curve.points]
+        assert times == sorted(times)
+        assert "Mtrt" in render_f9(curve)
+        assert len(curve.correlation_buckets(2)) <= 2
+
+    def test_figure10_summary(self):
+        summary = run_figure10(
+            seed=1, runs_override=8, benchmarks=[get_benchmark("RayTracer")]
+        )
+        assert len(summary.rows) == 1
+        assert summary.rows[0].evolve.maximum >= summary.rows[0].evolve.minimum
+        assert "RayTracer" in render_f10(summary)
+
+    def test_overhead_rows(self):
+        rows = run_overhead(
+            seed=1, runs_override=6, benchmarks=[get_benchmark("Search")]
+        )
+        assert rows[0].mean_fraction < 0.05
+        assert "worst case" in render_ov(rows)
+
+    def test_threshold_sweep(self):
+        points = run_threshold_sweep(
+            "RayTracer", thresholds=(0.5, 0.9), seed=1, runs=10
+        )
+        assert len(points) == 2
+        # A stricter gate can never apply predictions more often.
+        assert points[1].applied_runs <= points[0].applied_runs
+        assert "TH_c" in render_thresholds("RayTracer", points)
+
+    def test_order_study(self):
+        study = run_order_study("Search", orders=2, seed=1, runs=8)
+        assert study.program == "Search"
+        assert study.rep_min_change >= 0
+        assert "Input-order" in render_order(study)
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_series(self):
+        text = format_series("t", {"x": [1.0, 2.0], "y": [3.0]})
+        assert "run" in text and "1.000" in text
+
+    def test_sparkline(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0]) != ""

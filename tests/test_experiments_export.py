@@ -1,0 +1,82 @@
+"""Tests for CSV export of experiment artifacts."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.experiments import run_experiment
+from repro.experiments.export import (
+    figure8_csv,
+    figure9_csv,
+    figure10_csv,
+    runs_csv,
+    table1_csv,
+)
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.table1 import run_table1
+
+
+def parse(text):
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+@pytest.fixture(scope="module")
+def small():
+    return {
+        "table1": run_table1(
+            seed=2, runs_override=6, benchmarks=[get_benchmark("Search")]
+        ),
+        "figure8": run_figure8("Search", seed=2, runs=6),
+        "figure9": run_figure9("Search", seed=2, runs=10),
+        "figure10": run_figure10(
+            seed=2, runs_override=6, benchmarks=[get_benchmark("Search")]
+        ),
+        "runs": run_experiment(get_benchmark("Search"), seed=2, runs=6),
+    }
+
+
+class TestCSVExports:
+    def test_table1_rows_and_columns(self, small):
+        rows = parse(table1_csv(small["table1"]))
+        assert len(rows) == 1
+        assert rows[0]["program"] == "Search"
+        assert float(rows[0]["accuracy"]) <= 1.0
+
+    def test_figure8_series_lengths(self, small):
+        rows = parse(figure8_csv(small["figure8"]))
+        assert len(rows) == 6
+        assert {"confidence", "accuracy", "evolve_speedup", "rep_speedup"} <= set(
+            rows[0]
+        )
+
+    def test_figure9_sorted_by_time(self, small):
+        rows = parse(figure9_csv(small["figure9"]))
+        times = [float(r["default_time_s"]) for r in rows]
+        assert times == sorted(times)
+
+    def test_figure10_two_rows_per_program(self, small):
+        rows = parse(figure10_csv(small["figure10"]))
+        assert len(rows) == 2
+        assert {r["scenario"] for r in rows} == {"evolve", "rep"}
+        for row in rows:
+            assert (
+                float(row["min"])
+                <= float(row["median"])
+                <= float(row["max"])
+            )
+
+    def test_runs_csv_carries_all_scenarios(self, small):
+        rows = parse(runs_csv(small["runs"]))
+        assert len(rows) == 6
+        assert {"cmdline", "rep_speedup", "evolve_speedup", "applied"} <= set(
+            rows[0]
+        )
+
+    def test_csv_is_round_trippable(self, small):
+        text = table1_csv(small["table1"])
+        assert parse(text)  # csv module accepts its own output
+        assert text.endswith("\n")

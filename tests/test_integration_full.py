@@ -1,0 +1,86 @@
+"""End-to-end integration: the paper's headline behaviours on a real
+benchmark, in one compact experiment."""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def mtrt_result():
+    return run_experiment(get_benchmark("Mtrt"), seed=5, runs=28)
+
+
+class TestHeadlineBehaviours:
+    def test_confidence_ascends_and_gate_opens(self, mtrt_result):
+        confidences = mtrt_result.confidences()
+        assert confidences[0] < 0.7
+        assert max(confidences) > 0.7
+        applied = [out.applied_prediction for out in mtrt_result.evolve]
+        assert not applied[0], "first run can never predict"
+        assert any(applied), "the gate must eventually open"
+
+    def test_evolve_beats_default_after_warmup(self, mtrt_result):
+        late = mtrt_result.speedups("evolve")[14:]
+        assert sum(late) / len(late) > 1.02
+
+    def test_evolve_matches_or_beats_rep(self, mtrt_result):
+        evolve = mtrt_result.speedups("evolve")
+        rep = mtrt_result.speedups("rep")
+        assert sum(evolve) / len(evolve) >= sum(rep) / len(rep) - 0.02
+
+    def test_discriminative_guard_protects_worst_case(self, mtrt_result):
+        assert min(mtrt_result.speedups("evolve")) >= min(
+            mtrt_result.speedups("rep")
+        ) - 0.02
+
+    def test_prediction_accuracy_matches_paper_ballpark(self, mtrt_result):
+        accuracies = mtrt_result.accuracies()
+        late = accuracies[len(accuracies) // 2 :]
+        assert sum(late) / len(late) > 0.7
+
+    def test_program_results_identical_across_scenarios(self, mtrt_result):
+        for d, r, e in zip(
+            mtrt_result.default, mtrt_result.rep, mtrt_result.evolve
+        ):
+            assert d.result == r.result == e.result
+
+    def test_feature_selection_shrinks_raw_vector(self, mtrt_result):
+        models = mtrt_result.evolve_vm.models
+        assert models.raw_feature_count() > len(models.used_features()) >= 1
+
+    def test_predicted_methods_skip_reactive_delay(self, mtrt_result):
+        """When Evolve predicts a >−1 level for a hot method, that method
+        reaches its level in at most two compiles (baseline + predicted),
+        while the default scheme needs stepwise recompilations."""
+        applied = [
+            out
+            for out in mtrt_result.evolve
+            if out.applied_prediction
+            and out.predicted is not None
+            and any(l > 0 for l in out.predicted.levels.values())
+        ]
+        assert applied
+        out = applied[-1]
+        for method, level in out.predicted.levels.items():
+            events = [
+                e.level
+                for e in out.profile.compile_events
+                if e.method == method
+            ]
+            if level > -1 and len(events) >= 2:
+                assert events[0] == -1
+                assert events[1] == level
+
+
+class TestEvolvableDeterminism:
+    def test_whole_experiment_reproducible(self):
+        bench = get_benchmark("Search")
+        a = run_experiment(bench, seed=9, runs=8)
+        b = run_experiment(bench, seed=9, runs=8)
+        assert a.sequence == b.sequence
+        assert [o.total_cycles for o in a.evolve] == [
+            o.total_cycles for o in b.evolve
+        ]
+        assert a.accuracies() == b.accuracies()

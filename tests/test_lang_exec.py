@@ -1,0 +1,153 @@
+"""MiniLang end-to-end language semantics, validated by execution."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.vm import run_program
+
+
+def run(source, args=()):
+    result, _ = run_program(compile_source(source), args=args)
+    return result
+
+
+class TestShortCircuit:
+    def test_and_short_circuits(self):
+        # The right operand would divide by zero if evaluated.
+        source = """
+        fn main() {
+          var zero = 0;
+          if (0 && (1 / zero)) { return 1; }
+          return 2;
+        }
+        """
+        assert run(source) == 2
+
+    def test_or_short_circuits(self):
+        source = """
+        fn main() {
+          var zero = 0;
+          if (1 || (1 / zero)) { return 1; }
+          return 2;
+        }
+        """
+        assert run(source) == 1
+
+    def test_logic_produces_binary_values(self):
+        assert run("fn main() { return (5 && 3) + (0 || 7); }") == 2
+
+    def test_mixed_logic(self):
+        assert run("fn main() { return 1 && 0 || 1; }") == 1
+
+
+class TestScoping:
+    def test_shadowed_variable_restored(self):
+        source = """
+        fn main() {
+          var x = 1;
+          if (1) { var x = 99; x = x + 1; }
+          return x;
+        }
+        """
+        assert run(source) == 1
+
+    def test_for_loop_variable_isolated(self):
+        source = """
+        fn main() {
+          var s = 0;
+          for (var i = 0; i < 3; i = i + 1) { s = s + i; }
+          for (var i = 10; i < 12; i = i + 1) { s = s + i; }
+          return s;
+        }
+        """
+        assert run(source) == 0 + 1 + 2 + 10 + 11
+
+
+class TestLoops:
+    def test_while_with_break(self):
+        source = """
+        fn main() {
+          var i = 0;
+          while (1) { if (i >= 7) { break; } i = i + 1; }
+          return i;
+        }
+        """
+        assert run(source) == 7
+
+    def test_continue_skips_step_correctly_in_for(self):
+        # continue must jump to the step, not the condition.
+        source = """
+        fn main() {
+          var s = 0;
+          for (var i = 0; i < 10; i = i + 1) {
+            if (i % 2 == 0) { continue; }
+            s = s + i;
+          }
+          return s;
+        }
+        """
+        assert run(source) == 1 + 3 + 5 + 7 + 9
+
+    def test_nested_loop_break_targets_inner(self):
+        source = """
+        fn main() {
+          var count = 0;
+          for (var i = 0; i < 3; i = i + 1) {
+            for (var j = 0; j < 10; j = j + 1) {
+              if (j == 2) { break; }
+              count = count + 1;
+            }
+          }
+          return count;
+        }
+        """
+        assert run(source) == 6
+
+
+class TestFunctions:
+    def test_implicit_return_zero(self):
+        assert run("fn main() { var x = 5; }") == 0
+
+    def test_void_style_call(self):
+        source = """
+        fn side(n) { burn(n); return n; }
+        fn main() { side(5); return 1; }
+        """
+        assert run(source) == 1
+
+    def test_arguments_evaluated_left_to_right(self):
+        # min(a, b) with side-effecting order visible through burn costs is
+        # not observable; use array mutation ordering instead.
+        source = """
+        fn set_and_get(a, i, v) { a[i] = v; return v; }
+        fn main() {
+          var a = array(2);
+          var r = set_and_get(a, 0, 5) + set_and_get(a, 0, 7);
+          return a[0] * 100 + r;
+        }
+        """
+        assert run(source) == 7 * 100 + 12
+
+    def test_deep_expression_nesting(self):
+        expr = "1" + " + 1" * 200
+        assert run(f"fn main() {{ return {expr}; }}") == 201
+
+
+class TestBuiltinsFromLang:
+    def test_math_builtins(self):
+        assert run(
+            "fn main() { return max(min(5, 3), abs(0 - 2)) + floor(2.9); }"
+        ) == 3 + 2
+
+    def test_rand_in_range(self):
+        source = """
+        fn main() {
+          var ok = 1;
+          for (var i = 0; i < 20; i = i + 1) {
+            var r = rand();
+            if (r < 0.0 || r >= 1.0) { ok = 0; }
+          }
+          return ok;
+        }
+        """
+        assert run(source) == 1

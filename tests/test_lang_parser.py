@@ -1,0 +1,135 @@
+"""Unit tests for the MiniLang parser."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import ast
+
+
+def parse_fn(body, params=""):
+    module = parse(f"fn main({params}) {{ {body} }}")
+    return module.function("main")
+
+
+def only_stmt(body, params=""):
+    statements = parse_fn(body, params).body.statements
+    assert len(statements) == 1
+    return statements[0]
+
+
+class TestDeclarations:
+    def test_function_with_params(self):
+        fn = parse("fn add(a, b) { return a + b; }").function("add")
+        assert fn.params == ("a", "b")
+
+    def test_multiple_functions(self):
+        module = parse("fn a() { return 1; } fn b() { return 2; }")
+        assert [f.name for f in module.functions] == ["a", "b"]
+
+    def test_var_decl(self):
+        stmt = only_stmt("var x = 5;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.name == "x"
+        assert isinstance(stmt.init, ast.IntLit)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse("fn main() { var x = 5 }")
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(ParseError, match="unterminated|expected"):
+            parse("fn main() { return 1;")
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        stmt = only_stmt("if (1) { return 1; } else if (2) { return 2; } else { return 3; }")
+        assert isinstance(stmt, ast.If)
+        nested = stmt.else_body.statements[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_body is not None
+
+    def test_while(self):
+        stmt = only_stmt("while (x < 3) { x = x + 1; }", params="x")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full(self):
+        stmt = only_stmt("for (var i = 0; i < 10; i = i + 1) { burn(1); }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert isinstance(stmt.step, ast.Assign)
+
+    def test_for_all_parts_optional(self):
+        stmt = only_stmt("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        stmt = only_stmt("while (1) { if (1) { break; } continue; }")
+        inner = stmt.body.statements
+        assert isinstance(inner[0].then_body.statements[0], ast.Break)
+        assert isinstance(inner[1], ast.Continue)
+
+    def test_index_assignment(self):
+        stmt = only_stmt("a[i + 1] = 5;", params="a, i")
+        assert isinstance(stmt, ast.IndexAssign)
+
+    def test_expression_statement(self):
+        stmt = only_stmt("burn(10);")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_return_without_value(self):
+        stmt = only_stmt("return;")
+        assert isinstance(stmt, ast.Return)
+        assert stmt.value is None
+
+
+class TestExpressions:
+    def expr(self, text, params="a, b, c"):
+        stmt = only_stmt(f"return {text};", params=params)
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        e = self.expr("a < b && b < c")
+        assert e.op == "&&"
+        assert e.left.op == "<"
+
+    def test_parentheses_override(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_left_associativity(self):
+        e = self.expr("a - b - c")
+        assert e.op == "-"
+        assert e.left.op == "-"
+        assert isinstance(e.right, ast.Name)
+
+    def test_unary_chains(self):
+        e = self.expr("--a")
+        assert isinstance(e, ast.Unary)
+        assert isinstance(e.operand, ast.Unary)
+
+    def test_not_operator(self):
+        e = self.expr("!a")
+        assert e.op == "!"
+
+    def test_call_args(self):
+        e = self.expr("min(a, b + 1)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 2
+
+    def test_nested_indexing(self):
+        e = self.expr("a[b[c]]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.index, ast.Index)
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as err:
+            parse("fn main() {\n  return + ;\n}")
+        assert err.value.line == 2

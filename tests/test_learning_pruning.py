@@ -1,0 +1,86 @@
+"""Tests for reduced-error pruning."""
+
+from random import Random
+
+import pytest
+
+from repro.learning import ClassificationTree, Dataset, TreeParams
+from repro.xicl import FeatureVector
+
+
+def vec(**features):
+    v = FeatureVector()
+    for name, value in features.items():
+        v.append_value(name, value)
+    return v
+
+
+def noisy_dataset(seed=0, n=120):
+    """True signal: x <= 50; the noise feature sometimes memorizable."""
+    rng = Random(seed)
+    ds = Dataset()
+    for __ in range(n):
+        x = rng.uniform(0, 100)
+        noise = rng.uniform(0, 100)
+        label = "low" if x <= 50 else "high"
+        if rng.random() < 0.12:  # label noise the tree will overfit
+            label = "high" if label == "low" else "low"
+        ds.add(vec(x=x, noise=noise), label)
+    return ds
+
+
+class TestPruning:
+    def test_pruning_shrinks_overfitted_tree(self):
+        train = noisy_dataset(seed=1)
+        validation = noisy_dataset(seed=2)
+        tree = ClassificationTree(
+            TreeParams(max_depth=40, min_samples_split=2, min_samples_leaf=1)
+        ).fit(train)
+        before = tree.node_count()
+        removed = tree.prune_with(list(validation.rows))
+        assert removed > 0
+        assert tree.node_count() == before - removed
+
+    def test_pruning_does_not_hurt_validation_accuracy(self):
+        train = noisy_dataset(seed=3)
+        validation = noisy_dataset(seed=4)
+        tree = ClassificationTree(
+            TreeParams(max_depth=40, min_samples_split=2, min_samples_leaf=1)
+        ).fit(train)
+
+        def accuracy(rows):
+            return sum(
+                1 for row in rows if tree.predict_values(row.values) == row.label
+            ) / len(rows)
+
+        before = accuracy(validation.rows)
+        tree.prune_with(list(validation.rows))
+        after = accuracy(validation.rows)
+        assert after >= before - 1e-9
+
+    def test_empty_validation_collapses_to_leaf(self):
+        tree = ClassificationTree().fit(noisy_dataset(seed=5))
+        tree.prune_with([])
+        assert tree.root.is_leaf
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(ValueError):
+            ClassificationTree().prune_with([])
+
+    def test_pruned_tree_still_predicts_known_labels(self):
+        train = noisy_dataset(seed=6)
+        validation = noisy_dataset(seed=7)
+        tree = ClassificationTree().fit(train)
+        tree.prune_with(list(validation.rows))
+        assert tree.predict(vec(x=10, noise=5)) in ("low", "high")
+
+    def test_perfect_tree_untouched_by_clean_validation(self):
+        """With a pure signal and clean validation, the signal split must
+        survive pruning."""
+        ds = Dataset()
+        for x in range(40):
+            ds.add(vec(x=x, noise=0), "low" if x < 20 else "high")
+        tree = ClassificationTree().fit(ds)
+        tree.prune_with(list(ds.rows))
+        assert not tree.root.is_leaf
+        assert tree.used_features() == ("x",)

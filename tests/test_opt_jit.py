@@ -1,0 +1,135 @@
+"""Tests for the JIT compiler: tiers, speed model, compile costs, caching."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.vm import (
+    DEFAULT_CONFIG,
+    Interpreter,
+    JITCompiler,
+    OPT_LEVELS,
+    method_optimizability,
+)
+from repro.vm.opt.pipeline import TIER_PASSES, run_pipeline
+
+
+@pytest.fixture
+def jit(loop_program):
+    return JITCompiler(loop_program, DEFAULT_CONFIG)
+
+
+class TestSpeedModel:
+    def test_baseline_speed_is_one(self, jit):
+        assert jit.speed_factor("main", -1) == 1.0
+
+    def test_speed_improves_with_level(self, jit):
+        for method in ("main", "square"):
+            speeds = [jit.speed_factor(method, lvl) for lvl in OPT_LEVELS]
+            assert speeds == sorted(speeds, reverse=True)
+            assert all(s > 0 for s in speeds)
+
+    def test_optimizability_bounded(self, loop_program):
+        for method in loop_program:
+            assert 0.05 <= method_optimizability(method) <= 1.0
+
+    def test_loopy_methods_more_optimizable(self):
+        program = compile_source(
+            """
+            fn straight(x) { return x + 1; }
+            fn loopy(x) {
+              var s = 0;
+              for (var i = 0; i < x; i = i + 1) {
+                for (var j = 0; j < x; j = j + 1) { s = s + i * j; }
+              }
+              return s;
+            }
+            fn main() { return straight(1) + loopy(2); }
+            """
+        )
+        assert method_optimizability(program.method("loopy")) > method_optimizability(
+            program.method("straight")
+        )
+
+    def test_optimizability_deterministic_across_instances(self, loop_program):
+        a = JITCompiler(loop_program, DEFAULT_CONFIG)
+        b = JITCompiler(loop_program, DEFAULT_CONFIG)
+        assert a.optimizability("main") == b.optimizability("main")
+
+
+class TestCompileCosts:
+    def test_cost_scales_with_size_and_level(self, jit, loop_program):
+        main_size = loop_program.method("main").size
+        for level in OPT_LEVELS:
+            assert jit.compile_cost("main", level) == pytest.approx(
+                DEFAULT_CONFIG.compile_rate[level] * main_size
+            )
+
+    def test_costs_increase_with_level(self, jit):
+        costs = [jit.compile_cost("main", lvl) for lvl in OPT_LEVELS]
+        assert costs == sorted(costs)
+
+
+class TestCompilation:
+    def test_cache_returns_same_object(self, jit):
+        assert jit.compile("main", 1) is jit.compile("main", 1)
+
+    def test_unknown_level_rejected(self, jit):
+        with pytest.raises(ValueError):
+            jit.compile("main", 7)
+
+    def test_level0_code_identical_to_source(self, jit, loop_program):
+        compiled = jit.compile("main", 0)
+        assert compiled.code == loop_program.method("main").code
+
+    def test_higher_tiers_never_grow_without_inlining(self):
+        program = compile_source(
+            """
+            fn main(n) {
+              var s = 0 + 0;
+              var t = 1 * 1;
+              for (var i = 0; i < n; i = i + 1) { s = s + 2 * 3; }
+              return s + t;
+            }
+            """
+        )
+        jit = JITCompiler(program, DEFAULT_CONFIG)
+        assert jit.compile("main", 1).size <= jit.compile("main", 0).size
+
+    def test_tier_passes_shape(self):
+        assert TIER_PASSES[-1] == ()
+        assert TIER_PASSES[0] == ()
+        assert len(TIER_PASSES[2]) > len(TIER_PASSES[1])
+
+    def test_pipeline_reports_stats(self):
+        program = compile_source("fn main() { return 2 + 3 * 4; }")
+        code, locals_, stats = run_pipeline(program, program.method("main"), 1)
+        assert stats.get("constant_folding")
+        assert len(code) < program.method("main").size
+
+
+class TestSemanticPreservationAcrossTiers:
+    SOURCES = [
+        ("fn main() { return 2 + 3 * 4 - 1; }", (), 13),
+        (
+            "fn f(a, b) { return a * 10 + b; }"
+            "fn main() { var s = 0; for (var i = 0; i < 5; i = i + 1)"
+            " { s = s + f(i, i + 1); } return s; }",
+            (),
+            0 * 10 + 1 + 10 + 2 + 20 + 3 + 30 + 4 + 40 + 5,
+        ),
+        (
+            "fn main(n) { var a = array(n); for (var i = 0; i < n; i = i + 1)"
+            " { a[i] = i; } var s = 0; for (var j = 0; j < n; j = j + 1)"
+            " { s = s + a[j]; } return s; }",
+            (10,),
+            45,
+        ),
+    ]
+
+    @pytest.mark.parametrize("source,args,expected", SOURCES)
+    @pytest.mark.parametrize("level", OPT_LEVELS)
+    def test_same_result_at_every_tier(self, source, args, expected, level):
+        program = compile_source(source)
+        interp = Interpreter(program, first_invocation_hook=lambda m: level)
+        interp.run(args)
+        assert interp.result == expected

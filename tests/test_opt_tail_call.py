@@ -1,0 +1,158 @@
+"""Tests for self-recursive tail-call elimination."""
+
+import math
+
+import pytest
+
+from repro.lang import compile_source
+from repro.vm import (
+    DEFAULT_CONFIG,
+    Instr,
+    Interpreter,
+    JITCompiler,
+    Op,
+    StackOverflowError,
+    run_program,
+)
+from repro.vm.opt.context import PassContext
+from repro.vm.opt.ir import CodeBuffer
+from repro.vm.opt.passes import eliminate_tail_calls
+
+TAIL_FACT = """
+fn fact(n, acc) { if (n <= 1) { return acc; } return fact(n - 1, acc * n); }
+fn main() { return fact(400, 1); }
+"""
+
+NON_TAIL_FACT = """
+fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+fn main() { return fact(10); }
+"""
+
+
+def run_pass(program, method_name):
+    method = program.method(method_name)
+    buf = CodeBuffer(method.code)
+    ctx = PassContext(program=program, method=method, num_locals=method.num_locals)
+    changed = eliminate_tail_calls(buf, ctx)
+    buf.compact()
+    return changed, buf, ctx
+
+
+class TestDetection:
+    def test_tail_call_rewritten(self):
+        program = compile_source(TAIL_FACT)
+        changed, buf, ctx = run_pass(program, "fact")
+        assert changed
+        assert all(ins.op != Op.CALL for ins in buf.instrs)
+        assert ctx.stats["tail_call"] == 1
+
+    def test_non_tail_call_untouched(self):
+        # n * fact(n-1): the MUL after the call means live operands sit
+        # below the argument — depth at CALL is 2, not 1.
+        program = compile_source(NON_TAIL_FACT)
+        changed, buf, __ = run_pass(program, "fact")
+        assert not changed
+        assert any(ins.op == Op.CALL for ins in buf.instrs)
+
+    def test_call_to_other_method_untouched(self):
+        program = compile_source(
+            "fn g(x) { return x; } fn f(x) { return g(x); }"
+            "fn main() { return f(1); }"
+        )
+        changed, __, __ = run_pass(program, "f")
+        assert not changed
+
+
+class TestSemantics:
+    def test_deep_recursion_overflows_at_baseline(self):
+        program = compile_source(TAIL_FACT)
+        with pytest.raises(StackOverflowError):
+            run_program(program)
+
+    def test_level2_eliminates_overflow_and_matches_oracle(self):
+        program = compile_source(TAIL_FACT)
+        interp = Interpreter(program, first_invocation_hook=lambda m: 2)
+        interp.run(())
+        assert interp.result == math.factorial(400)
+
+    def test_results_identical_small_depths(self):
+        source = """
+        fn count(n, acc) { if (n == 0) { return acc; } return count(n - 1, acc + n); }
+        fn main() { return count(100, 0); }
+        """
+        program = compile_source(source)
+        base, _ = run_program(program)
+        interp = Interpreter(program, first_invocation_hook=lambda m: 2)
+        interp.run(())
+        assert interp.result == base == 5050
+
+    def test_tail_call_with_branchy_body(self):
+        source = """
+        fn collatz(n, steps) {
+          if (n == 1) { return steps; }
+          if (n % 2 == 0) { return collatz(n / 2, steps + 1); }
+          return collatz(3 * n + 1, steps + 1);
+        }
+        fn main() { return collatz(27, 0); }
+        """
+        program = compile_source(source)
+        base, _ = run_program(program)
+        assert base == 111
+        changed, __, ctx = run_pass(program, "collatz")
+        assert changed
+        assert ctx.stats["tail_call"] == 2
+        interp = Interpreter(program, first_invocation_hook=lambda m: 2)
+        interp.run(())
+        assert interp.result == 111
+
+    def test_zero_arg_tail_call(self):
+        # Degenerate but legal: an infinite self-loop via tail call would
+        # hang; use a global-ish countdown through a parameterless chain
+        # that terminates via randomness is unsafe — instead verify the
+        # rewrite shape on hand-built code.
+        from repro.vm import Method, Program
+
+        code = (
+            Instr(Op.CONST, 1),
+            Instr(Op.JZ, 3),
+            Instr(Op.RET),        # returns the 1? no — JZ consumed it
+            Instr(Op.CALL, ("loop", 0)),
+            Instr(Op.RET),
+        )
+        # pc2 RET underflows; build a correct variant instead:
+        code = (
+            Instr(Op.CONST, 1),   # depth 1
+            Instr(Op.JNZ, 4),     # taken: depth 0
+            Instr(Op.CALL, ("loop", 0)),
+            Instr(Op.RET),
+            Instr(Op.CONST, 9),
+            Instr(Op.RET),
+        )
+        loop = Method(name="loop", num_params=0, num_locals=0, code=code)
+        program = Program([loop], entry="loop")
+        changed, buf, __ = run_pass(program, "loop")
+        assert changed
+        assert any(ins.op == Op.JMP and ins.arg == 0 for ins in buf.instrs)
+
+
+class TestPerformance:
+    def test_tco_reduces_cycles(self):
+        source = """
+        fn spin(n, acc) {
+          if (n == 0) { return acc; }
+          return spin(n - 1, acc + 1);
+        }
+        fn main() { return spin(200, 0); }
+        """
+        program = compile_source(source)
+        jit = JITCompiler(program, DEFAULT_CONFIG)
+        level0 = jit.compile("spin", 0)
+        level2 = jit.compile("spin", 2)
+        assert "tail_call" in level2.pass_stats
+        # CALL (12 cycles) + RET (4) replaced by 2 STOREs + JMP (3 cycles)
+        # per iteration; with dispatch gains the win is strict.
+        base = Interpreter(program)
+        base.run(())
+        fast = Interpreter(program, first_invocation_hook=lambda m: 2)
+        fast.run(())
+        assert fast.profile.execution_cycles < base.profile.execution_cycles * 0.5

@@ -1,0 +1,69 @@
+"""Property-based tests on the heap/GC cost model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vm import GCCostModel, GC_POLICIES, Heap, estimate_gc_cost, ideal_gc_policy
+
+_alloc = st.floats(min_value=1e4, max_value=1e9, allow_nan=False)
+_live = st.floats(min_value=0.0, max_value=5e6, allow_nan=False)
+_count = st.integers(min_value=1, max_value=100_000)
+
+
+@given(_alloc, _live, _count)
+@settings(max_examples=150, deadline=None)
+def test_estimates_positive_and_ideal_is_argmin(alloc, live, count):
+    costs = {
+        policy: estimate_gc_cost(policy, alloc, live, count)
+        for policy in GC_POLICIES
+    }
+    assert all(cost > 0 for cost in costs.values())
+    ideal = ideal_gc_policy(alloc, live, count)
+    assert costs[ideal] == min(costs.values())
+
+
+@given(_alloc, _live, _count)
+@settings(max_examples=80, deadline=None)
+def test_estimates_monotone_in_allocation_volume(alloc, live, count):
+    for policy in GC_POLICIES:
+        smaller = estimate_gc_cost(policy, alloc, live, count)
+        larger = estimate_gc_cost(policy, alloc * 2, live, count)
+        assert larger >= smaller
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["alloc", "retain"]), st.integers(1, 50_000)),
+        min_size=1,
+        max_size=200,
+    ),
+    st.sampled_from(GC_POLICIES),
+)
+@settings(max_examples=80, deadline=None)
+def test_heap_invariants_under_random_traffic(ops, policy):
+    model = GCCostModel(heap_bytes=300_000)
+    heap = Heap(policy, model)
+    total = 0.0
+    for kind, nbytes in ops:
+        cost = heap.alloc(nbytes) if kind == "alloc" else heap.retain(nbytes)
+        assert cost >= 0.0
+        total += nbytes
+    stats = heap.stats
+    assert stats.allocated_bytes == total
+    assert stats.allocation_count == len(ops)
+    assert stats.peak_live_bytes >= heap.live_bytes or stats.peak_live_bytes == 0
+    assert stats.gc_pause_cycles >= 0.0
+    # Pauses only exist if collections happened, and vice versa.
+    assert (stats.gc_count > 0) == (stats.gc_pause_cycles > 0)
+
+
+@given(st.integers(1, 60), st.sampled_from(GC_POLICIES))
+@settings(max_examples=60, deadline=None)
+def test_gc_count_monotone_in_allocation_rounds(rounds, policy):
+    model = GCCostModel(heap_bytes=100_000)
+    few = Heap(policy, model)
+    many = Heap(policy, model)
+    for __ in range(rounds):
+        few.alloc(8_000)
+    for __ in range(rounds * 2):
+        many.alloc(8_000)
+    assert many.stats.gc_count >= few.stats.gc_count

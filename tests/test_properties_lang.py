@@ -1,0 +1,129 @@
+"""Property-based tests: MiniLang arithmetic agrees with a Python oracle,
+and the optimizer preserves semantics on randomly generated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_source
+from repro.vm import Interpreter, OPT_LEVELS, run_program
+
+# -- random integer expression trees with a Python oracle -------------------
+
+_INT = st.integers(min_value=-50, max_value=50)
+
+
+def _exprs():
+    """Strategy producing (minilang_text, python_text) expression pairs.
+
+    Division/modulo right operands are offset away from zero so both
+    languages evaluate totally. MiniLang int division is floor division,
+    matching Python's ``//``.
+    """
+
+    def leaf(value):
+        if value < 0:
+            return (f"(0 - {-value})", f"({value})")
+        return (str(value), str(value))
+
+    def binop(children, op):
+        left, right = children
+        mini_op, py_op = op
+        if mini_op in ("/", "%"):
+            # Shift the divisor away from zero: (expr * 0 + k) is constant-
+            # foldable noise; simplest is to wrap the right side.
+            mini = f"({left[0]} {mini_op} ({right[0]} * 0 + 7))"
+            py = f"({left[1]} {py_op} ({right[1]} * 0 + 7))"
+        else:
+            mini = f"({left[0]} {mini_op} {right[0]})"
+            py = f"({left[1]} {py_op} {right[1]})"
+        return (mini, py)
+
+    ops = st.sampled_from(
+        [("+", "+"), ("-", "-"), ("*", "*"), ("/", "//"), ("%", "%")]
+    )
+    return st.recursive(
+        _INT.map(leaf),
+        lambda children: st.tuples(st.tuples(children, children), ops).map(
+            lambda pair: binop(pair[0], pair[1])
+        ),
+        max_leaves=12,
+    )
+
+
+@given(_exprs())
+@settings(max_examples=120, deadline=None)
+def test_expression_matches_python_oracle(pair):
+    mini, py = pair
+    program = compile_source(f"fn main() {{ return {mini}; }}")
+    result, _ = run_program(program)
+    assert result == eval(py)
+
+
+@given(_exprs(), st.sampled_from(OPT_LEVELS))
+@settings(max_examples=80, deadline=None)
+def test_optimizer_preserves_expression_semantics(pair, level):
+    mini, py = pair
+    program = compile_source(f"fn main() {{ return {mini}; }}")
+    interp = Interpreter(program, first_invocation_hook=lambda m: level)
+    interp.run(())
+    assert interp.result == eval(py)
+
+
+# -- random structured programs: loops + helper calls -----------------------
+
+@st.composite
+def _loop_programs(draw):
+    """A loop accumulating a polynomial of the index, via a helper call."""
+    bound = draw(st.integers(min_value=0, max_value=25))
+    coeff_a = draw(st.integers(min_value=-5, max_value=5))
+    coeff_b = draw(st.integers(min_value=-5, max_value=5))
+    start = draw(st.integers(min_value=-10, max_value=10))
+    source = f"""
+    fn poly(i) {{ return i * i * {_lit(coeff_a)} + i * {_lit(coeff_b)}; }}
+    fn main() {{
+      var s = {_lit(start)};
+      for (var i = 0; i < {bound}; i = i + 1) {{ s = s + poly(i); }}
+      return s;
+    }}
+    """
+    expected = start + sum(coeff_a * i * i + coeff_b * i for i in range(bound))
+    return source, expected
+
+
+def _lit(value: int) -> str:
+    return str(value) if value >= 0 else f"(0 - {-value})"
+
+
+@given(_loop_programs(), st.sampled_from(OPT_LEVELS))
+@settings(max_examples=60, deadline=None)
+def test_optimizer_preserves_loop_semantics(case, level):
+    source, expected = case
+    program = compile_source(source)
+    interp = Interpreter(program, first_invocation_hook=lambda m: level)
+    interp.run(())
+    assert interp.result == expected
+
+
+@given(_loop_programs())
+@settings(max_examples=30, deadline=None)
+def test_virtual_clock_deterministic(case):
+    source, _ = case
+    program = compile_source(source)
+    _, p1 = run_program(program)
+    _, p2 = run_program(program)
+    assert p1.total_cycles == p2.total_cycles
+    assert p1.instructions_executed == p2.instructions_executed
+
+
+@given(_loop_programs())
+@settings(max_examples=30, deadline=None)
+def test_higher_tiers_never_slower(case):
+    """Execution (excluding compile time) must not regress at higher tiers."""
+    source, _ = case
+    program = compile_source(source)
+    exec_cycles = []
+    for level in OPT_LEVELS:
+        interp = Interpreter(program, first_invocation_hook=lambda m: level)
+        profile = interp.run(())
+        exec_cycles.append(profile.execution_cycles)
+    for slower, faster in zip(exec_cycles, exec_cycles[1:]):
+        assert faster <= slower + 1e-9

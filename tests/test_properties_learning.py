@@ -1,0 +1,105 @@
+"""Property-based tests on the learning substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.learning import ClassificationTree, Dataset, TreeParams, entropy
+from repro.xicl import FeatureVector
+
+
+def vec(x, y):
+    v = FeatureVector()
+    v.append_value("x", x)
+    v.append_value("y", y)
+    return v
+
+
+_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(_rows)
+@settings(max_examples=80, deadline=None)
+def test_tree_training_rows_with_unique_features_classified_exactly(rows):
+    """With unlimited depth, rows whose feature values are unique must be
+    classified to their own labels (perfect memorization)."""
+    ds = Dataset()
+    seen_features = {}
+    for x, y, label in rows:
+        seen_features.setdefault((x, y), label)
+    consistent = [(x, y, label) for (x, y), label in seen_features.items()]
+    for x, y, label in consistent:
+        ds.add(vec(x, y), label)
+    tree = ClassificationTree(
+        TreeParams(max_depth=64, min_samples_split=2, min_samples_leaf=1)
+    ).fit(ds)
+    for x, y, label in consistent:
+        assert tree.predict(vec(x, y)) == label
+
+
+@given(_rows)
+@settings(max_examples=60, deadline=None)
+def test_tree_predictions_always_known_labels(rows):
+    ds = Dataset()
+    for x, y, label in rows:
+        ds.add(vec(x, y), label)
+    tree = ClassificationTree().fit(ds)
+    labels = set(ds.labels())
+    for x, y, _ in rows:
+        assert tree.predict(vec(x, y)) in labels
+    # Out-of-range queries still land on a known label.
+    assert tree.predict(vec(10_000, -10_000)) in labels
+
+
+@given(_rows)
+@settings(max_examples=60, deadline=None)
+def test_tree_depth_bounded(rows):
+    ds = Dataset()
+    for x, y, label in rows:
+        ds.add(vec(x, y), label)
+    params = TreeParams(max_depth=4)
+    tree = ClassificationTree(params).fit(ds)
+    assert tree.depth() <= 4
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(min_value=0, max_value=50),
+        min_size=1,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_entropy_bounds(counts):
+    import math
+
+    value = entropy(counts)
+    classes = sum(1 for c in counts.values() if c > 0)
+    assert value >= 0.0
+    if classes:
+        assert value <= math.log2(classes) + 1e-9
+
+
+@given(_rows)
+@settings(max_examples=40, deadline=None)
+def test_splits_reduce_entropy_monotonically(rows):
+    """Every inner node's split must have non-negative information gain."""
+    ds = Dataset()
+    for x, y, label in rows:
+        ds.add(vec(x, y), label)
+    tree = ClassificationTree().fit(ds)
+
+    def visit(node):
+        if node is None or node.is_leaf:
+            return
+        assert node.split.gain >= 0.0
+        visit(node.left)
+        visit(node.right)
+
+    visit(tree.root)

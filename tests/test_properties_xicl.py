@@ -1,0 +1,92 @@
+"""Property-based tests for XICL translation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xicl import (
+    FeatureVector,
+    XICLTranslator,
+    parse_spec,
+)
+
+SPEC = parse_spec(
+    """
+    option {name=-a; type=NUM; attr=VAL; default=0; has_arg=y}
+    option {name=-b; type=NUM; attr=VAL; default=5; has_arg=y}
+    option {name=-f:--flag; type=BIN; attr=VAL; default=0; has_arg=n}
+    operand {position=1:$; type=STR; attr=LEN}
+    """
+)
+
+_operand = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(
+    a=st.one_of(st.none(), st.integers(-1000, 1000)),
+    b=st.one_of(st.none(), st.integers(-1000, 1000)),
+    flag=st.booleans(),
+    operands=st.lists(_operand, max_size=5),
+)
+@settings(max_examples=150, deadline=None)
+def test_translation_total_and_shape_stable(a, b, flag, operands):
+    """Any legal command line translates; the vector shape is constant;
+    option values round-trip; defaults fill absences."""
+    tokens: list[str] = []
+    if a is not None:
+        tokens += ["-a", str(a)]
+    if b is not None:
+        tokens += ["-b", str(b)]
+    if flag:
+        tokens.append("--flag")
+    tokens.append("--")
+    tokens += operands
+
+    translator = XICLTranslator(SPEC)
+    fv = translator.build_fvector(tokens)
+
+    assert fv["-a.VAL"] == (a if a is not None else 0)
+    assert fv["-b.VAL"] == (b if b is not None else 5)
+    assert fv["-f.VAL"] == (1 if flag else 0)
+    assert fv["operands1_end.count"] == len(operands)
+    assert fv["operands1_end.LEN"] == sum(len(op) for op in operands)
+
+    reference = XICLTranslator(SPEC).build_fvector("-a 1 x")
+    assert fv.names == reference.names
+
+
+@given(
+    values=st.dictionaries(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll",)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(-100, 100),
+        max_size=6,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_runtime_channel_updates_are_idempotent_per_name(values):
+    translator = XICLTranslator(SPEC)
+    fv = translator.build_fvector("x")
+    base_names = set(fv.names)
+    for name, value in values.items():
+        translator.channel.update_v(name, value)
+        translator.channel.update_v(name, value)  # repeat: replace-in-place
+    for name, value in values.items():
+        assert fv[name] == value
+    assert len(fv) == len(base_names | set(values))
+
+
+@given(st.lists(_operand, min_size=1, max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_order_of_operands_preserves_aggregates(operands):
+    """Range aggregation is order-insensitive for numeric features."""
+    translator = XICLTranslator(SPEC)
+    forward = translator.build_fvector(list(operands))
+    backward = translator.build_fvector(list(reversed(operands)))
+    assert forward["operands1_end.LEN"] == backward["operands1_end.LEN"]
+    assert forward["operands1_end.count"] == backward["operands1_end.count"]

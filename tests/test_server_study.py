@@ -1,0 +1,86 @@
+"""Tests for the request-specific server study."""
+
+import pytest
+
+from repro.experiments.server_study import (
+    build_server_app,
+    generate_request_stream,
+    render,
+    run_server_study,
+    _percentile,
+)
+from random import Random
+
+
+class TestPercentile:
+    def test_bounds(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 1.0) == 4.0
+
+    def test_interpolation(self):
+        assert _percentile([0.0, 10.0], 0.5) == 5.0
+
+
+class TestServerApp:
+    def test_endpoints_route_correctly(self):
+        from repro.core import run_default
+
+        app = build_server_app()
+        search = run_default(app, "-e search -b 2048", rng_seed=0)
+        render_ = run_default(app, "-e render -b 2048", rng_seed=0)
+        stats = run_default(app, "-e stats -b 2048", rng_seed=0)
+        assert search.profile.invocations.get("endpoint_search")
+        assert render_.profile.invocations.get("endpoint_render")
+        assert stats.profile.invocations.get("endpoint_stats")
+        assert not search.profile.invocations.get("endpoint_render")
+
+    def test_stream_is_mixed(self):
+        stream = generate_request_stream(Random(3), 60)
+        assert len(stream) == 60
+        assert len({req.split()[1] for req in stream}) == 3
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_server_study(seed=1, requests=70)
+
+    def test_mean_latency_improves(self, result):
+        assert (
+            result.default_latency["mean"] > result.evolve_latency["mean"]
+        ), "request-specific prediction must cut mean latency"
+
+    def test_tail_improves(self, result):
+        assert (
+            result.default_latency["p99"] / result.evolve_latency["p99"] > 1.1
+        )
+
+    def test_predictions_eventually_apply(self, result):
+        assert result.applied_fraction > 0.5
+
+    def test_render_reports_metrics(self, result):
+        text = render(result)
+        assert "p99" in text and "speedup" in text
+
+
+class TestTranslationCache:
+    def test_cache_skips_extraction_overhead(self):
+        from repro.core import EvolvableVM
+
+        app = build_server_app()
+        vm = EvolvableVM(app, cache_translations=True)
+        first = vm.run("-e search -b 2048", rng_seed=0)
+        second = vm.run("-e search -b 2048", rng_seed=1)
+        assert second.overhead_cycles < first.overhead_cycles
+
+    def test_runtime_features_bypass_cache(self):
+        from repro.core import EvolvableVM
+
+        app = build_server_app()
+        vm = EvolvableVM(app, cache_translations=True)
+        vm.run("-e search -b 2048", rng_seed=0)
+        out = vm.run(
+            "-e search -b 2048", rng_seed=1, runtime_features={"mExtra": 5}
+        )
+        assert out.fvector.get("mExtra") == 5

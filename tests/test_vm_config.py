@@ -1,0 +1,34 @@
+"""Unit tests for the VM cost-model configuration."""
+
+import pytest
+
+from repro.vm import DEFAULT_CONFIG, OPT_LEVELS, VMConfig
+
+
+class TestVMConfig:
+    def test_default_levels(self):
+        assert OPT_LEVELS == (-1, 0, 1, 2)
+
+    def test_dispatch_factors_decrease_with_level(self):
+        factors = DEFAULT_CONFIG.dispatch_factor
+        assert factors[-1] == 1.0
+        assert factors[-1] > factors[0] > factors[1] > factors[2] > 0
+
+    def test_compile_rates_increase_with_level(self):
+        rates = DEFAULT_CONFIG.compile_rate
+        assert rates[-1] < rates[0] < rates[1] < rates[2]
+
+    def test_missing_level_rejected(self):
+        with pytest.raises(ValueError, match="missing levels"):
+            VMConfig(dispatch_factor={-1: 1.0, 0: 0.5})
+
+    def test_bad_sample_interval_rejected(self):
+        with pytest.raises(ValueError, match="sample_interval"):
+            VMConfig(sample_interval=0)
+
+    def test_bad_cycles_per_second_rejected(self):
+        with pytest.raises(ValueError, match="cycles_per_second"):
+            VMConfig(cycles_per_second=-1)
+
+    def test_seconds_conversion(self):
+        assert DEFAULT_CONFIG.seconds(2_000_000) == pytest.approx(2.0)

@@ -1,0 +1,135 @@
+"""Tests for the disassembler/assembler round trip."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.vm import (
+    AsmError,
+    Interpreter,
+    assemble,
+    assemble_program,
+    disassemble_method,
+    disassemble_program,
+    run_program,
+)
+
+
+@pytest.fixture
+def program():
+    return compile_source(
+        """
+        fn square(x) { return x * x; }
+        fn main(n) {
+          var s = 0;
+          for (var i = 0; i < n; i = i + 1) {
+            s = s + square(i);
+            burn(10);
+          }
+          return s;
+        }
+        """
+    )
+
+
+class TestDisassembly:
+    def test_method_header_and_end(self, program):
+        text = disassemble_method(program.method("square"))
+        lines = text.splitlines()
+        assert lines[0] == ".method square params=1 locals=1"
+        assert lines[-1] == ".end"
+
+    def test_jumps_become_labels(self, program):
+        text = disassemble_method(program.method("main"))
+        assert "JZ L" in text or "JNZ L" in text
+        assert "JMP L" in text
+        assert "L0:" in text
+
+    def test_calls_rendered_with_arity(self, program):
+        text = disassemble_method(program.method("main"))
+        assert "CALL square/1" in text
+        assert "INTRIN burn/1" in text
+
+    def test_program_order_entry_first(self, program):
+        text = disassemble_program(program)
+        assert text.index(".method main") < text.index(".method square")
+
+
+class TestRoundTrip:
+    def test_text_round_trip_stable(self, program):
+        text = disassemble_program(program)
+        rebuilt = assemble_program(text)
+        assert disassemble_program(rebuilt) == text
+
+    def test_semantics_preserved(self, program):
+        rebuilt = assemble_program(disassemble_program(program))
+        original, _ = run_program(program, args=(20,))
+        recovered, _ = run_program(rebuilt, args=(20,))
+        assert original == recovered
+
+    def test_round_trip_all_benchmarks(self):
+        from repro.bench import all_benchmarks
+
+        for bench in all_benchmarks():
+            text = disassemble_program(bench.program)
+            rebuilt = assemble_program(text, entry=bench.program.entry)
+            assert disassemble_program(rebuilt) == text
+
+
+class TestAssembler:
+    def test_minimal_method(self):
+        methods = assemble(".method main params=0 locals=0\n    CONST 7\n    RET\n.end")
+        assert len(methods) == 1
+        program = assemble_program(
+            ".method main params=0 locals=0\n    CONST 7\n    RET\n.end"
+        )
+        result, _ = run_program(program)
+        assert result == 7
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # heading comment
+        .method main params=0 locals=0
+            ; a comment
+            CONST 1
+            RET
+        .end
+        """
+        assert len(assemble(text)) == 1
+
+    def test_string_operands(self):
+        methods = assemble(
+            '.method main params=0 locals=0\n    CONST "hi"\n    RET\n.end'
+        )
+        assert methods[0].code[0].arg == "hi"
+
+    def test_float_operands(self):
+        methods = assemble(
+            ".method main params=0 locals=0\n    CONST 2.5\n    RET\n.end"
+        )
+        assert methods[0].code[0].arg == 2.5
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            assemble(".method m params=0 locals=0\n    FLY\n.end")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AsmError, match="undefined label"):
+            assemble(".method m params=0 locals=0\n    JMP LX\n    RET\n.end")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError, match="duplicate label"):
+            assemble(
+                ".method m params=0 locals=0\nL0:\nL0:\n    RET\n.end"
+            )
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(AsmError, match="missing .end"):
+            assemble(".method m params=0 locals=0\n    RET")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(AsmError, match="header"):
+            assemble("CONST 1")
+
+    def test_bad_call_operand_rejected(self):
+        with pytest.raises(AsmError, match="name/argc"):
+            assemble(".method m params=0 locals=0\n    CALL foo\n    RET\n.end")

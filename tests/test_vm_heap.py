@@ -1,0 +1,178 @@
+"""Unit tests for the heap/GC cost model."""
+
+import pytest
+
+from repro.vm import (
+    GCCostModel,
+    GC_POLICIES,
+    Heap,
+    estimate_gc_cost,
+    ideal_gc_policy,
+)
+
+
+@pytest.fixture
+def model():
+    return GCCostModel(heap_bytes=100_000)
+
+
+class TestHeapMechanics:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown GC policy"):
+            Heap("nursery")
+
+    def test_no_gc_below_capacity(self, model):
+        heap = Heap("semispace", model)
+        cost = heap.alloc(10_000)
+        assert heap.stats.gc_count == 0
+        assert cost == 0.0  # semispace has no per-alloc overhead
+
+    def test_gc_triggers_at_usable_capacity(self, model):
+        heap = Heap("semispace", model)  # usable = 50_000
+        total_cost = 0.0
+        for __ in range(6):
+            total_cost += heap.alloc(10_000)
+        assert heap.stats.gc_count == 1
+        assert total_cost > 0
+
+    def test_marksweep_uses_full_heap(self, model):
+        ss = Heap("semispace", model)
+        ms = Heap("marksweep", model)
+        for heap in (ss, ms):
+            for __ in range(9):
+                heap.alloc(10_000)
+        assert ss.stats.gc_count > ms.stats.gc_count
+
+    def test_marksweep_alloc_overhead(self, model):
+        heap = Heap("marksweep", model)
+        assert heap.alloc(10) == model.freelist_cycles_per_alloc
+
+    def test_retain_raises_live_and_peak(self, model):
+        heap = Heap("semispace", model)
+        heap.retain(5_000)
+        heap.retain(3_000)
+        assert heap.live_bytes == 8_000
+        assert heap.stats.peak_live_bytes == 8_000
+        heap.release(4_000)
+        assert heap.live_bytes == 4_000
+        assert heap.stats.peak_live_bytes == 8_000  # peak persists
+
+    def test_release_floors_at_zero(self, model):
+        heap = Heap("semispace", model)
+        heap.retain(100)
+        heap.release(1_000)
+        assert heap.live_bytes == 0.0
+
+    def test_negative_allocation_rejected(self, model):
+        heap = Heap("semispace", model)
+        with pytest.raises(ValueError):
+            heap.alloc(-1)
+        with pytest.raises(ValueError):
+            heap.retain(-1)
+
+    def test_high_live_shrinks_usable_space(self, model):
+        heap = Heap("semispace", model)
+        heap.retain(45_000)  # usable drops to 5_000
+        heap.alloc(6_000)
+        assert heap.stats.gc_count == 1
+
+    def test_usable_floor_prevents_livelock(self, model):
+        assert model.usable_bytes("semispace", 10**9) > 0
+
+    def test_stats_track_volume(self, model):
+        heap = Heap("semispace", model)
+        heap.alloc(1_000)
+        heap.retain(2_000)
+        assert heap.stats.allocated_bytes == 3_000
+        assert heap.stats.allocation_count == 2
+
+
+class TestCostEstimates:
+    def test_low_survival_favors_semispace(self):
+        assert ideal_gc_policy(
+            allocated_bytes=10_000_000, peak_live_bytes=10_000, allocation_count=1_000
+        ) == "semispace"
+
+    def test_high_survival_favors_marksweep(self):
+        model = GCCostModel()
+        live = model.heap_bytes * 0.4
+        assert ideal_gc_policy(
+            allocated_bytes=10_000_000,
+            peak_live_bytes=live,
+            allocation_count=1_000,
+        ) == "marksweep"
+
+    def test_estimate_positive_and_monotone_in_allocation(self):
+        for policy in GC_POLICIES:
+            small = estimate_gc_cost(policy, 1e6, 1e4, 100)
+            large = estimate_gc_cost(policy, 1e8, 1e4, 100)
+            assert 0 < small < large
+
+    def test_estimates_agree_with_simulation_ordering(self):
+        """The analytic model must rank collectors the same way an actual
+        simulated run does."""
+        model = GCCostModel(heap_bytes=200_000)
+        live = 70_000
+        for policy_pair in [("semispace", "marksweep")]:
+            sims = {}
+            for policy in policy_pair:
+                heap = Heap(policy, model)
+                heap.retain(live)
+                for __ in range(400):
+                    heap.alloc(2_000)
+                sims[policy] = heap.stats.gc_pause_cycles
+            estimates = {
+                policy: estimate_gc_cost(policy, 800_000, live, 401, model)
+                for policy in policy_pair
+            }
+            sim_winner = min(sims, key=sims.get)
+            est_winner = min(estimates, key=estimates.get)
+            assert sim_winner == est_winner
+
+
+class TestHeapInVM:
+    def test_program_allocation_charges_gc_pauses(self):
+        from repro.lang import compile_source
+        from repro.vm import Interpreter
+
+        source = """
+        fn churn(n) {
+          for (var i = 0; i < n; i = i + 1) { alloc(5000); }
+          return n;
+        }
+        fn main() { retain(100000); return churn(3000); }
+        """
+        program = compile_source(source)
+        interp = Interpreter(program, gc_policy="semispace")
+        profile = interp.run(())
+        assert profile.gc_count > 0
+        assert profile.gc_pause_cycles > 0
+        assert profile.allocated_bytes == 3000 * 5000 + 100_000
+        assert profile.peak_live_bytes == 100_000
+        assert profile.gc_policy == "semispace"
+
+    def test_gc_pause_not_scaled_by_jit_tier(self):
+        """GC work must cost the same regardless of the mutator's level."""
+        from repro.lang import compile_source
+        from repro.vm import Interpreter
+
+        source = """
+        fn churn(n) {
+          for (var i = 0; i < n; i = i + 1) { alloc(4000); }
+          return n;
+        }
+        fn main() { return churn(2000); }
+        """
+        program = compile_source(source)
+        base = Interpreter(program, gc_policy="semispace")
+        base.run(())
+        fast = Interpreter(
+            program, gc_policy="semispace", first_invocation_hook=lambda m: 2
+        )
+        fast.run(())
+        assert base.profile.gc_count == fast.profile.gc_count
+        assert base.profile.gc_pause_cycles == pytest.approx(
+            fast.profile.gc_pause_cycles
+        )
+        # Mutator cycles shrink; GC cycles don't.
+        assert fast.profile.execution_cycles < base.profile.execution_cycles

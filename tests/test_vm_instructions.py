@@ -1,0 +1,81 @@
+"""Unit tests for the instruction set definitions."""
+
+import pytest
+
+from repro.vm import BASE_COST, Instr, Op
+from repro.vm.instructions import (
+    BINARY_OPS,
+    JUMP_OPS,
+    PURE_OPS,
+    UNARY_OPS,
+    stack_effect,
+)
+
+
+def test_every_opcode_has_a_base_cost():
+    for op in Op:
+        assert op in BASE_COST, f"{op.name} missing from BASE_COST"
+        assert BASE_COST[op] >= 1
+
+
+def test_base_costs_reflect_relative_latency():
+    assert BASE_COST[Op.CALL] > BASE_COST[Op.ADD] > BASE_COST[Op.CONST] - 1
+    assert BASE_COST[Op.DIV] > BASE_COST[Op.MUL] > BASE_COST[Op.ADD] - 1
+
+
+def test_jump_ops_set():
+    assert JUMP_OPS == {Op.JMP, Op.JZ, Op.JNZ}
+
+
+def test_binary_ops_stack_effect():
+    for op in BINARY_OPS:
+        assert stack_effect(Instr(op)) == (2, 1)
+
+
+def test_unary_ops_stack_effect():
+    for op in UNARY_OPS:
+        assert stack_effect(Instr(op)) == (1, 1)
+
+
+@pytest.mark.parametrize(
+    "instr,expected",
+    [
+        (Instr(Op.CONST, 5), (0, 1)),
+        (Instr(Op.LOAD, 0), (0, 1)),
+        (Instr(Op.STORE, 0), (1, 0)),
+        (Instr(Op.POP), (1, 0)),
+        (Instr(Op.DUP), (1, 2)),
+        (Instr(Op.SWAP), (2, 2)),
+        (Instr(Op.JMP, 0), (0, 0)),
+        (Instr(Op.JZ, 0), (1, 0)),
+        (Instr(Op.JNZ, 0), (1, 0)),
+        (Instr(Op.RET), (1, 0)),
+        (Instr(Op.NEWARR), (1, 1)),
+        (Instr(Op.ALOAD), (2, 1)),
+        (Instr(Op.ASTORE), (3, 0)),
+        (Instr(Op.ALEN), (1, 1)),
+        (Instr(Op.NOP), (0, 0)),
+    ],
+)
+def test_stack_effects(instr, expected):
+    assert stack_effect(instr) == expected
+
+
+def test_call_stack_effect_uses_argc():
+    assert stack_effect(Instr(Op.CALL, ("f", 3))) == (3, 1)
+    assert stack_effect(Instr(Op.INTRIN, ("burn", 1))) == (1, 1)
+    assert stack_effect(Instr(Op.CALL, ("g", 0))) == (0, 1)
+
+
+def test_pure_ops_have_no_side_effects():
+    # Pure ops must not include stores, calls, or array mutation.
+    assert Op.STORE not in PURE_OPS
+    assert Op.CALL not in PURE_OPS
+    assert Op.ASTORE not in PURE_OPS
+    assert Op.INTRIN not in PURE_OPS
+    assert Op.CONST in PURE_OPS
+
+
+def test_instr_repr():
+    assert repr(Instr(Op.CONST, 7)) == "CONST 7"
+    assert repr(Instr(Op.RET)) == "RET"

@@ -1,0 +1,100 @@
+"""Unit tests for intrinsic functions."""
+
+import math
+
+import pytest
+
+from repro.vm import UnknownIntrinsicError
+from repro.vm.errors import ExecutionError
+from repro.vm.intrinsics import IntrinsicContext, lookup, registered_names
+
+
+@pytest.fixture
+def ctx():
+    return IntrinsicContext()
+
+
+def call(name, ctx, *args):
+    return lookup(name)(ctx, args)
+
+
+class TestBurn:
+    def test_burn_accumulates(self, ctx):
+        call("burn", ctx, 100)
+        call("burn", ctx, 50)
+        assert ctx.burned == 150.0
+
+    def test_burn_returns_zero(self, ctx):
+        assert call("burn", ctx, 10) == 0
+
+    def test_burn_rejects_negative(self, ctx):
+        with pytest.raises(ExecutionError):
+            call("burn", ctx, -1)
+
+    def test_burn_rejects_non_numbers(self, ctx):
+        with pytest.raises(ExecutionError):
+            call("burn", ctx, "lots")
+
+
+class TestMath:
+    def test_abs_min_max(self, ctx):
+        assert call("abs", ctx, -4) == 4
+        assert call("min", ctx, 2, 9) == 2
+        assert call("max", ctx, 2, 9) == 9
+
+    def test_sqrt(self, ctx):
+        assert call("sqrt", ctx, 16) == 4.0
+        with pytest.raises(ExecutionError):
+            call("sqrt", ctx, -1)
+
+    def test_floor(self, ctx):
+        assert call("floor", ctx, 3.9) == 3
+
+    def test_exp_log_inverse(self, ctx):
+        assert call("log", ctx, call("exp", ctx, 2.0)) == pytest.approx(2.0)
+
+    def test_log_rejects_non_positive(self, ctx):
+        with pytest.raises(ExecutionError):
+            call("log", ctx, 0)
+
+    def test_exp_clamps_huge_exponents(self, ctx):
+        assert call("exp", ctx, 10_000.0) == math.exp(700.0)
+
+    def test_trig(self, ctx):
+        assert call("sin", ctx, 0.0) == 0.0
+        assert call("cos", ctx, 0.0) == 1.0
+
+    def test_conversions(self, ctx):
+        assert call("itof", ctx, 3) == 3.0
+        assert call("ftoi", ctx, 3.7) == 3
+
+
+class TestRandom:
+    def test_rand_deterministic_per_seed(self):
+        from random import Random
+
+        a = IntrinsicContext(rng=Random(5))
+        b = IntrinsicContext(rng=Random(5))
+        assert [call("rand", a) for _ in range(5)] == [
+            call("rand", b) for _ in range(5)
+        ]
+
+    def test_randint_range(self, ctx):
+        values = {call("randint", ctx, 1, 3) for _ in range(50)}
+        assert values <= {1, 2, 3}
+        assert len(values) > 1
+
+
+class TestRegistry:
+    def test_print_captures_output(self, ctx):
+        call("print", ctx, "hello")
+        assert ctx.output == ["hello"]
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(UnknownIntrinsicError):
+            lookup("no_such_thing")
+
+    def test_registered_names_sorted_and_complete(self):
+        names = registered_names()
+        assert list(names) == sorted(names)
+        assert {"burn", "print", "rand", "sqrt"} <= set(names)

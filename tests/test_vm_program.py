@@ -1,0 +1,134 @@
+"""Unit tests for the program model, builder, and verifier."""
+
+import pytest
+
+from repro.vm import Instr, Method, MethodBuilder, Op, Program, VerificationError
+
+
+def _method(name="m", code=(), params=0, locals_=None):
+    return Method(
+        name=name,
+        num_params=params,
+        num_locals=locals_ if locals_ is not None else params,
+        code=tuple(code),
+    )
+
+
+class TestVerifier:
+    def test_empty_code_rejected(self):
+        with pytest.raises(VerificationError, match="empty"):
+            _method(code=())
+
+    def test_missing_ret_rejected(self):
+        with pytest.raises(VerificationError, match="no RET"):
+            _method(code=[Instr(Op.CONST, 1), Instr(Op.POP)])
+
+    def test_jump_out_of_range_rejected(self):
+        with pytest.raises(VerificationError, match="jump"):
+            _method(code=[Instr(Op.JMP, 5), Instr(Op.RET)])
+
+    def test_negative_jump_target_rejected(self):
+        with pytest.raises(VerificationError, match="jump"):
+            _method(code=[Instr(Op.JMP, -1), Instr(Op.RET)])
+
+    def test_local_slot_out_of_range_rejected(self):
+        with pytest.raises(VerificationError, match="slot"):
+            _method(code=[Instr(Op.LOAD, 2), Instr(Op.RET)], params=1, locals_=1)
+
+    def test_bad_call_operand_rejected(self):
+        with pytest.raises(VerificationError, match="operand"):
+            _method(code=[Instr(Op.CALL, "not-a-tuple"), Instr(Op.RET)])
+
+    def test_negative_argc_rejected(self):
+        with pytest.raises(VerificationError, match="operand"):
+            _method(code=[Instr(Op.CALL, ("f", -1)), Instr(Op.RET)])
+
+    def test_bad_slot_counts_rejected(self):
+        with pytest.raises(VerificationError, match="slot counts"):
+            Method(name="m", num_params=3, num_locals=1, code=(Instr(Op.RET),))
+
+    def test_valid_method_accepted(self):
+        method = _method(
+            code=[Instr(Op.CONST, 1), Instr(Op.RET)], params=0, locals_=0
+        )
+        assert method.size == 2
+
+
+class TestProgram:
+    def test_duplicate_method_names_rejected(self):
+        a = _method("m", [Instr(Op.CONST, 0), Instr(Op.RET)])
+        b = _method("m", [Instr(Op.CONST, 1), Instr(Op.RET)])
+        with pytest.raises(VerificationError, match="duplicate"):
+            Program([a, b], entry="m")
+
+    def test_missing_entry_rejected(self):
+        a = _method("m", [Instr(Op.CONST, 0), Instr(Op.RET)])
+        with pytest.raises(VerificationError, match="entry"):
+            Program([a], entry="main")
+
+    def test_call_to_unknown_method_rejected(self):
+        a = _method("main", [Instr(Op.CALL, ("ghost", 0)), Instr(Op.RET)])
+        with pytest.raises(VerificationError, match="unknown method"):
+            Program([a], entry="main")
+
+    def test_call_arity_mismatch_rejected(self):
+        callee = _method("f", [Instr(Op.CONST, 0), Instr(Op.RET)], params=0)
+        caller = _method(
+            "main", [Instr(Op.CONST, 1), Instr(Op.CALL, ("f", 1)), Instr(Op.RET)]
+        )
+        with pytest.raises(VerificationError, match="expects"):
+            Program([caller, callee], entry="main")
+
+    def test_program_introspection(self, loop_program):
+        assert "main" in loop_program
+        assert "square" in loop_program
+        assert "missing" not in loop_program
+        assert len(loop_program) == 2
+        assert set(loop_program.method_names) == {"main", "square"}
+        assert loop_program.total_size() == sum(m.size for m in loop_program)
+
+
+class TestMethodBuilder:
+    def test_labels_resolve_to_indices(self):
+        b = MethodBuilder("m")
+        b.const(1).jnz("end").const(0).ret().label("end").const(2).ret()
+        method = b.build()
+        jump = method.code[1]
+        assert jump.op == Op.JNZ
+        assert jump.arg == 4
+
+    def test_undefined_label_rejected(self):
+        b = MethodBuilder("m").jmp("nowhere").ret()
+        with pytest.raises(VerificationError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label_rejected(self):
+        b = MethodBuilder("m").label("x")
+        with pytest.raises(VerificationError, match="duplicate label"):
+            b.label("x")
+
+    def test_locals_inferred_from_max_slot(self):
+        method = MethodBuilder("m", num_params=1).load(0).store(5).const(0).ret().build()
+        assert method.num_locals == 6
+
+    def test_explicit_locals_override(self):
+        method = MethodBuilder("m").const(0).ret().build(num_locals=4)
+        assert method.num_locals == 4
+
+
+class TestStaticTraits:
+    def test_loop_count_counts_backward_jumps(self):
+        b = MethodBuilder("m", num_params=1)
+        b.label("top").load(0).jz("end").load(0).const(1).sub().store(0)
+        b.jmp("top").label("end").const(0).ret()
+        method = b.build()
+        assert method.loop_count() == 1
+
+    def test_straightline_has_no_loops(self, identity_method):
+        assert identity_method.loop_count() == 0
+
+    def test_arithmetic_density_bounds(self, loop_program):
+        for method in loop_program:
+            density = method.arithmetic_density()
+            assert 0.0 <= density <= 1.0
+        assert loop_program.method("square").arithmetic_density() > 0

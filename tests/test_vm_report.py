@@ -1,0 +1,67 @@
+"""Tests for profile reports."""
+
+import pytest
+
+from repro.aos import AdaptiveController
+from repro.vm import Interpreter, run_program
+from repro.vm.report import compare_profiles, compile_timeline, profile_report
+
+
+@pytest.fixture
+def profiles(hot_program):
+    _, base = run_program(hot_program, args=(800,))
+    interp = Interpreter(hot_program)
+    AdaptiveController(interp)
+    adaptive = interp.run((800,))
+    return base, adaptive
+
+
+class TestProfileReport:
+    def test_mentions_hot_method_and_totals(self, profiles):
+        base, __ = profiles
+        text = profile_report(base)
+        assert "kernel" in text
+        assert "samples" in text
+        assert "instructions" in text
+
+    def test_top_limit_respected(self, profiles):
+        base, __ = profiles
+        text = profile_report(base, top=1)
+        assert "kernel" in text
+        assert "main" not in text.splitlines()[-1]
+
+    def test_gc_line_present_when_allocating(self):
+        from repro.lang import compile_source
+
+        program = compile_source(
+            "fn main() { for (var i = 0; i < 500; i = i + 1) { alloc(9000); } return 0; }"
+        )
+        _, profile = run_program(program)
+        text = profile_report(profile)
+        assert "gc[semispace]" in text
+        assert "collections" in text
+
+
+class TestCompileTimeline:
+    def test_events_in_order(self, profiles):
+        __, adaptive = profiles
+        text = compile_timeline(adaptive)
+        assert "kernel" in text
+        # baseline compile appears before the optimizing recompilation
+        lines = [line for line in text.splitlines() if "kernel" in line]
+        assert len(lines) >= 2
+
+
+class TestCompareProfiles:
+    def test_ratio_and_levels(self, profiles):
+        base, adaptive = profiles
+        text = compare_profiles(base, adaptive, "default", "adaptive")
+        assert "ratio" in text
+        assert "kernel" in text
+        assert "default" in text and "adaptive" in text
+
+    def test_ratio_reflects_speedup(self, profiles):
+        base, adaptive = profiles
+        text = compare_profiles(base, adaptive)
+        ratio = float(text.splitlines()[0].split("ratio ")[1].rstrip(")"))
+        assert ratio > 1.0

@@ -1,0 +1,67 @@
+"""Unit tests for the virtual-time sampler."""
+
+import pytest
+
+from repro.vm import Sampler
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def on_sample(self, method, clock, count):
+        self.events.append((method, clock, count))
+
+
+class TestSampler:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Sampler(0)
+        with pytest.raises(ValueError):
+            Sampler(-5)
+
+    def test_no_sample_before_first_tick(self):
+        sampler = Sampler(100)
+        sampler.advance(99, "m")
+        assert sampler.total == 0
+
+    def test_one_sample_per_interval(self):
+        sampler = Sampler(100)
+        sampler.advance(100, "m")
+        sampler.advance(150, "m")
+        sampler.advance(250, "m")
+        assert sampler.counts == {"m": 2}
+
+    def test_long_instruction_emits_multiple_samples(self):
+        sampler = Sampler(100)
+        sampler.advance(550, "burner")
+        assert sampler.counts == {"burner": 5}
+
+    def test_samples_attributed_to_current_method(self):
+        sampler = Sampler(100)
+        sampler.advance(100, "a")
+        sampler.advance(200, "b")
+        sampler.advance(305, "b")
+        assert sampler.counts == {"a": 1, "b": 2}
+
+    def test_listener_receives_cumulative_counts(self):
+        sampler = Sampler(100)
+        recorder = Recorder()
+        sampler.add_listener(recorder)
+        sampler.advance(210, "m")
+        assert [count for _, _, count in recorder.events] == [1, 2]
+        assert all(method == "m" for method, _, _ in recorder.events)
+
+    def test_skip_to_suppresses_samples(self):
+        sampler = Sampler(100)
+        sampler.skip_to(450)
+        sampler.advance(460, "m")
+        assert sampler.total == 0  # next tick moved past 450
+        sampler.advance(500, "m")
+        assert sampler.counts == {"m": 1}
+
+    def test_next_tick_exposed(self):
+        sampler = Sampler(100)
+        assert sampler.next_tick == 100
+        sampler.advance(100, "m")
+        assert sampler.next_tick == 200

@@ -1,0 +1,146 @@
+"""Tests for the abstract-interpretation verifier (stack depths,
+definite assignment)."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.vm import (
+    Instr,
+    Method,
+    Op,
+    VerificationError,
+    locals_write_before_read,
+    max_stack_depth,
+    stack_depths,
+    verify_program_stacks,
+    verify_stack_discipline,
+)
+
+
+def method(code, params=0, locals_=None, name="m"):
+    return Method(
+        name=name,
+        num_params=params,
+        num_locals=locals_ if locals_ is not None else max(params, 1),
+        code=tuple(code),
+    )
+
+
+class TestStackDepths:
+    def test_straightline(self):
+        m = method([Instr(Op.CONST, 1), Instr(Op.CONST, 2), Instr(Op.ADD), Instr(Op.RET)])
+        depths = verify_stack_discipline(m)
+        assert depths == {0: 0, 1: 1, 2: 2, 3: 1}
+
+    def test_underflow_detected(self):
+        m = method([Instr(Op.ADD), Instr(Op.RET)])
+        with pytest.raises(VerificationError, match="underflow"):
+            verify_stack_discipline(m)
+
+    def test_inconsistent_join_detected(self):
+        # One path pushes two values, the other one; both join at RET.
+        code = [
+            Instr(Op.CONST, 1),    # 0: depth 0 -> 1
+            Instr(Op.JZ, 4),       # 1: -> 0
+            Instr(Op.CONST, 2),    # 2: -> 1
+            Instr(Op.CONST, 3),    # 3: -> 2
+            Instr(Op.CONST, 9),    # 4: joined from 1 (depth 0) and fallthrough (2)
+            Instr(Op.RET),
+        ]
+        with pytest.raises(VerificationError, match="inconsistent"):
+            stack_depths(code)
+
+    def test_fall_off_end_detected(self):
+        code = [Instr(Op.CONST, 1), Instr(Op.POP)]
+        with pytest.raises(VerificationError, match="falls off"):
+            stack_depths(code)
+
+    def test_branches_with_consistent_depths(self):
+        m = method(
+            [
+                Instr(Op.CONST, 1),
+                Instr(Op.JZ, 4),
+                Instr(Op.CONST, 5),
+                Instr(Op.RET),
+                Instr(Op.CONST, 7),
+                Instr(Op.RET),
+            ]
+        )
+        depths = verify_stack_discipline(m)
+        assert depths[2] == depths[4] == 0
+
+    def test_max_stack_depth(self):
+        m = method(
+            [Instr(Op.CONST, 1), Instr(Op.CONST, 2), Instr(Op.CONST, 3),
+             Instr(Op.ADD), Instr(Op.ADD), Instr(Op.RET)]
+        )
+        assert max_stack_depth(m) == 3
+
+    def test_whole_program(self, loop_program):
+        depths = verify_program_stacks(loop_program)
+        assert set(depths) == {"main", "square"}
+        assert all(d >= 1 for d in depths.values())
+
+    def test_all_compiled_minilang_passes(self):
+        source = """
+        fn helper(a, b) { return a * b + a; }
+        fn main(n) {
+          var s = 0;
+          for (var i = 0; i < n; i = i + 1) {
+            if (i % 2 == 0 && i > 2) { s = s + helper(i, s); }
+            else { s = s - 1; }
+          }
+          return s;
+        }
+        """
+        verify_program_stacks(compile_source(source))
+
+
+class TestDefiniteAssignment:
+    def test_codegen_output_always_satisfies(self):
+        source = """
+        fn f(x) {
+          var a = x + 1;
+          if (x > 0) { var b = a * 2; a = b; }
+          while (a > 0) { a = a - 1; }
+          return a;
+        }
+        fn main() { return f(5); }
+        """
+        program = compile_source(source)
+        for m in program:
+            assert locals_write_before_read(list(m.code), m.num_params)
+
+    def test_read_before_write_detected(self):
+        code = [Instr(Op.LOAD, 1), Instr(Op.RET)]
+        assert not locals_write_before_read(code, num_params=1)
+
+    def test_params_count_as_assigned(self):
+        code = [Instr(Op.LOAD, 0), Instr(Op.RET)]
+        assert locals_write_before_read(code, num_params=1)
+
+    def test_one_sided_assignment_detected(self):
+        # slot 1 assigned only on the taken branch, then read on the join.
+        code = [
+            Instr(Op.LOAD, 0),
+            Instr(Op.JZ, 4),
+            Instr(Op.CONST, 7),
+            Instr(Op.STORE, 1),
+            Instr(Op.LOAD, 1),
+            Instr(Op.RET),
+        ]
+        assert not locals_write_before_read(code, num_params=1)
+
+    def test_both_sided_assignment_accepted(self):
+        code = [
+            Instr(Op.LOAD, 0),
+            Instr(Op.JZ, 5),
+            Instr(Op.CONST, 7),
+            Instr(Op.STORE, 1),
+            Instr(Op.JMP, 7),
+            Instr(Op.CONST, 8),
+            Instr(Op.STORE, 1),
+            Instr(Op.LOAD, 1),
+            Instr(Op.RET),
+        ]
+        assert locals_write_before_read(code, num_params=1)

@@ -1,0 +1,88 @@
+"""Tests for the spec-feedback module (§VI extension)."""
+
+from repro.aos import LevelStrategy
+from repro.core import ModelBuilder
+from repro.xicl import FeatureVector, analyze_models, parse_spec
+
+
+def vec(**features):
+    v = FeatureVector()
+    for name, value in features.items():
+        v.append_value(name, value)
+    return v
+
+
+def trained_builder():
+    """size drives the label; noise is random-ish; fixed never changes."""
+    builder = ModelBuilder()
+    for i in range(14):
+        fv = vec(size=10 if i % 2 else 900, noise=i % 3, fixed=7)
+        builder.observe_run(fv, LevelStrategy({"kernel": -1 if i % 2 else 2}))
+    return builder
+
+
+class TestAnalyzeModels:
+    def test_influential_feature_ranked_first(self):
+        feedback = analyze_models(trained_builder())
+        assert feedback.influential[0][0] == "size"
+        assert feedback.influential[0][1] == 1  # one method model
+
+    def test_unused_features_reported(self):
+        feedback = analyze_models(trained_builder())
+        assert "noise" in feedback.unused
+        assert "fixed" in feedback.unused
+        assert "size" not in feedback.unused
+
+    def test_constant_features_reported(self):
+        feedback = analyze_models(trained_builder())
+        assert feedback.constant == ("fixed",)
+
+    def test_good_models_produce_no_warning(self):
+        feedback = analyze_models(trained_builder())
+        assert feedback.mean_cv_accuracy > 0.6
+        assert feedback.warnings == ()
+
+    def test_low_accuracy_warns_about_missing_features(self):
+        builder = ModelBuilder()
+        # The label depends on something the features don't carry.
+        for i in range(16):
+            builder.observe_run(
+                vec(size=5), LevelStrategy({"kernel": -1 if i % 2 else 2})
+            )
+        spec = parse_spec(
+            "option {name=-n; type=NUM; attr=VAL; default=1; has_arg=y}"
+        )
+        feedback = analyze_models(builder, spec)
+        assert feedback.warnings
+        assert "missing an important input feature" in feedback.warnings[0]
+        assert "VAL" in feedback.warnings[0]  # spec attrs referenced
+
+    def test_empty_builder(self):
+        feedback = analyze_models(ModelBuilder())
+        assert feedback.influential == ()
+        assert feedback.unused == ()
+        assert feedback.warnings == ()
+
+    def test_render_mentions_sections(self):
+        text = analyze_models(trained_builder()).render()
+        assert "influential" in text
+        assert "never used" in text
+        assert "accuracy" in text
+
+
+class TestEndToEndFeedback:
+    def test_feedback_on_real_benchmark(self):
+        from random import Random
+
+        from repro.bench import get_benchmark
+        from repro.core import EvolvableVM
+
+        bench = get_benchmark("Db")
+        app, inputs = bench.build(seed=2)
+        vm = EvolvableVM(app)
+        rng = Random(1)
+        for i in range(12):
+            vm.run(inputs[rng.randrange(len(inputs))].cmdline, rng_seed=i)
+        feedback = analyze_models(vm.models, app.spec)
+        assert feedback.influential, "Db models must use some feature"
+        assert 0.0 <= feedback.mean_cv_accuracy <= 1.0

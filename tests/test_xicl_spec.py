@@ -1,0 +1,139 @@
+"""Unit tests for XICL spec model and parser."""
+
+import pytest
+
+from repro.xicl import (
+    ComponentType,
+    OperandSpec,
+    OptionSpec,
+    SpecSyntaxError,
+    SpecValidationError,
+    XICLSpec,
+    parse_spec,
+)
+
+ROUTE_SPEC = """
+# the paper's Figure 2 example
+option  {name=-n; type=NUM; attr=VAL; default=1; has_arg=y}
+option  {name=-e:--echo; type=BIN; attr=VAL; default=0; has_arg=n}
+operand {position=1:$; type=FILE; attr=mNodes:mEdges}
+"""
+
+
+class TestSpecModel:
+    def test_option_requires_dash_prefix(self):
+        with pytest.raises(SpecValidationError):
+            OptionSpec(names=("n",), type=ComponentType.NUM)
+
+    def test_option_requires_name(self):
+        with pytest.raises(SpecValidationError):
+            OptionSpec(names=(), type=ComponentType.NUM)
+
+    def test_bin_option_must_not_take_argument(self):
+        with pytest.raises(SpecValidationError):
+            OptionSpec(names=("-e",), type=ComponentType.BIN, has_arg=True)
+
+    def test_option_aliases_match(self):
+        opt = OptionSpec(
+            names=("-e", "--echo"), type=ComponentType.BIN, has_arg=False
+        )
+        assert opt.matches("-e")
+        assert opt.matches("--echo")
+        assert not opt.matches("-x")
+        assert opt.canonical == "-e"
+
+    def test_operand_position_validation(self):
+        with pytest.raises(SpecValidationError):
+            OperandSpec(position=(0, 1), type=ComponentType.NUM)
+        with pytest.raises(SpecValidationError):
+            OperandSpec(position=(3, 2), type=ComponentType.NUM)
+
+    def test_operand_covers_range(self):
+        spec = OperandSpec(position=(2, "$"), type=ComponentType.FILE)
+        assert not spec.covers(1, 4)
+        assert spec.covers(2, 4)
+        assert spec.covers(4, 4)
+
+    def test_duplicate_option_names_rejected(self):
+        a = OptionSpec(names=("-n",), type=ComponentType.NUM)
+        b = OptionSpec(names=("-n",), type=ComponentType.STR)
+        with pytest.raises(SpecValidationError, match="duplicate"):
+            XICLSpec(options=(a, b))
+
+
+class TestSpecParser:
+    def test_parses_paper_example(self):
+        spec = parse_spec(ROUTE_SPEC, application="route")
+        assert len(spec.options) == 2
+        assert len(spec.operands) == 1
+        n_opt = spec.option_for("-n")
+        assert n_opt.type is ComponentType.NUM
+        assert n_opt.default == "1"
+        assert n_opt.has_arg
+        echo = spec.option_for("--echo")
+        assert echo is spec.option_for("-e")
+        assert not echo.has_arg
+        operand = spec.operands[0]
+        assert operand.position == (1, "$")
+        assert operand.attrs == ("mNodes", "mEdges")
+
+    def test_comments_ignored(self):
+        spec = parse_spec("# nothing but comments\n# more\n")
+        assert len(spec.options) == 0
+
+    def test_single_position(self):
+        spec = parse_spec("operand {position=2; type=NUM; attr=VAL}")
+        assert spec.operands[0].position == (2, 2)
+
+    def test_has_arg_defaults_by_type(self):
+        spec = parse_spec(
+            "option {name=-a; type=NUM; attr=VAL}\n"
+            "option {name=-b; type=BIN; attr=VAL}"
+        )
+        assert spec.option_for("-a").has_arg
+        assert not spec.option_for("-b").has_arg
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="unknown field"):
+            parse_spec("option {name=-a; wtf=1}")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="unknown type"):
+            parse_spec("option {name=-a; type=banana}")
+
+    def test_malformed_field_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="malformed"):
+            parse_spec("option {name}")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="duplicate field"):
+            parse_spec("option {name=-a; name=-b}")
+
+    def test_option_without_name_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="requires a name"):
+            parse_spec("option {type=NUM}")
+
+    def test_operand_without_position_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="requires a position"):
+            parse_spec("operand {type=NUM}")
+
+    def test_bad_position_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="bad position"):
+            parse_spec("operand {position=x; type=NUM}")
+
+    def test_residual_text_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="unrecognized"):
+            parse_spec("option {name=-a; type=NUM}\ngarbage here")
+
+    def test_bad_bool_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="y/n"):
+            parse_spec("option {name=-a; type=NUM; has_arg=maybe}")
+
+    def test_error_reports_line(self):
+        with pytest.raises(SpecSyntaxError) as err:
+            parse_spec("# line 1\n# line 2\noption {name=-a; bogus=1}")
+        assert err.value.line == 3
+
+    def test_all_attrs_union(self):
+        spec = parse_spec(ROUTE_SPEC)
+        assert set(spec.all_attrs()) == {"VAL", "mNodes", "mEdges"}

@@ -1,0 +1,277 @@
+"""Unit tests for the XICL translator, features, methods, filesystem."""
+
+import pytest
+
+from repro.xicl import (
+    Feature,
+    FeatureKind,
+    FeatureVector,
+    InMemoryFileSystem,
+    MemoryFile,
+    MetadataFeature,
+    TranslationError,
+    UnknownFeatureMethodError,
+    XFMethodRegistry,
+    XICLTranslator,
+    parse_spec,
+    xf_method,
+)
+
+ROUTE_SPEC = """
+option  {name=-n; type=NUM; attr=VAL; default=1; has_arg=y}
+option  {name=-e:--echo; type=BIN; attr=VAL; default=0; has_arg=n}
+operand {position=1:$; type=FILE; attr=mNodes:mEdges}
+"""
+
+
+@pytest.fixture
+def route_translator():
+    registry = XFMethodRegistry()
+    registry.register(MetadataFeature("mNodes", "nodes"))
+    registry.register(MetadataFeature("mEdges", "edges"))
+    fs = InMemoryFileSystem()
+    fs.add_stub("graph1", size_bytes=4000, nodes=100, edges=1000)
+    fs.add_stub("graph2", size_bytes=900, nodes=10, edges=45)
+    return XICLTranslator(parse_spec(ROUTE_SPEC), registry=registry, filesystem=fs)
+
+
+class TestFeatureVector:
+    def test_ordered_and_addressable(self):
+        v = FeatureVector()
+        v.append_value("b", 2)
+        v.append_value("a", 1)
+        assert v.names == ("b", "a")
+        assert v["a"] == 1
+        assert v.values() == (2, 1)
+
+    def test_replacement_preserves_order(self):
+        v = FeatureVector()
+        v.append_value("a", 1)
+        v.append_value("b", 2)
+        v.append_value("a", 99)
+        assert v.names == ("a", "b")
+        assert v["a"] == 99
+
+    def test_kind_inference(self):
+        v = FeatureVector()
+        v.append_value("n", 5)
+        v.append_value("s", "red")
+        assert v.kind_of("n") is FeatureKind.NUMERIC
+        assert v.kind_of("s") is FeatureKind.CATEGORICAL
+
+    def test_numeric_feature_type_enforced(self):
+        with pytest.raises(TypeError):
+            Feature("x", "oops", FeatureKind.NUMERIC)
+
+    def test_equality(self):
+        a = FeatureVector([Feature("x", 1, FeatureKind.NUMERIC)])
+        b = FeatureVector([Feature("x", 1, FeatureKind.NUMERIC)])
+        assert a == b
+
+    def test_get_with_default(self):
+        v = FeatureVector()
+        assert v.get("missing", 7) == 7
+
+
+class TestPaperExample:
+    def test_route_example_vector(self, route_translator):
+        fv = route_translator.build_fvector("-n 3 graph1")
+        # Paper: (3, 0, 100, 1000) — plus our explicit operand count.
+        assert fv["-n.VAL"] == 3
+        assert fv["-e.VAL"] == 0
+        assert fv["operands1_end.count"] == 1
+        assert fv["operands1_end.mNodes"] == 100
+        assert fv["operands1_end.mEdges"] == 1000
+
+    def test_defaults_applied_when_absent(self, route_translator):
+        fv = route_translator.build_fvector("graph1")
+        assert fv["-n.VAL"] == 1
+
+    def test_alias_recognized(self, route_translator):
+        fv = route_translator.build_fvector("--echo graph1")
+        assert fv["-e.VAL"] == 1
+
+    def test_range_aggregation(self, route_translator):
+        fv = route_translator.build_fvector("graph1 graph2")
+        assert fv["operands1_end.count"] == 2
+        assert fv["operands1_end.mNodes"] == 110
+        assert fv["operands1_end.mEdges"] == 1045
+
+    def test_vector_shape_stable_across_inputs(self, route_translator):
+        names1 = route_translator.build_fvector("-n 3 graph1").names
+        names2 = route_translator.build_fvector("--echo graph1 graph2").names
+        assert names1 == names2
+
+
+class TestScanning:
+    def test_unknown_option_rejected(self, route_translator):
+        with pytest.raises(TranslationError, match="unknown option"):
+            route_translator.build_fvector("-z graph1")
+
+    def test_missing_argument_rejected(self, route_translator):
+        with pytest.raises(TranslationError, match="expects an argument"):
+            route_translator.build_fvector("graph1 -n")
+
+    def test_equals_form(self, route_translator):
+        fv = route_translator.build_fvector("-n=5 graph1")
+        assert fv["-n.VAL"] == 5
+
+    def test_double_dash_terminates_options(self):
+        spec = parse_spec(
+            "option {name=-n; type=NUM; attr=VAL; default=1; has_arg=y}\n"
+            "operand {position=1:$; type=STR; attr=VAL}"
+        )
+        tr = XICLTranslator(spec)
+        fv = tr.build_fvector("-n 2 -- -n")
+        assert fv["-n.VAL"] == 2
+        assert fv["operands1_end.count"] == 1
+
+    def test_negative_number_is_operand(self):
+        spec = parse_spec("operand {position=1; type=NUM; attr=VAL}")
+        fv = XICLTranslator(spec).build_fvector(["-5"])
+        assert fv["operand1.VAL"] == -5
+
+    def test_uncovered_operand_rejected(self):
+        spec = parse_spec("operand {position=1; type=NUM; attr=VAL}")
+        with pytest.raises(TranslationError, match="not covered"):
+            XICLTranslator(spec).build_fvector("1 2")
+
+    def test_missing_fixed_operand_yields_empty_value(self):
+        spec = parse_spec("operand {position=1; type=STR; attr=LEN}")
+        fv = XICLTranslator(spec).build_fvector([])
+        assert fv["operand1.LEN"] == 0
+
+    def test_repeated_option_last_wins(self, route_translator):
+        fv = route_translator.build_fvector("-n 2 -n 9 graph1")
+        assert fv["-n.VAL"] == 9
+
+
+class TestExtractors:
+    def test_size_extractor(self, route_translator):
+        spec = parse_spec("operand {position=1; type=FILE; attr=SIZE}")
+        tr = XICLTranslator(spec, filesystem=route_translator.filesystem)
+        fv = tr.build_fvector("graph1")
+        assert fv["operand1.SIZE"] == 4000
+
+    def test_size_missing_file_rejected(self):
+        spec = parse_spec("operand {position=1; type=FILE; attr=SIZE}")
+        tr = XICLTranslator(spec, filesystem=InMemoryFileSystem())
+        with pytest.raises(TranslationError, match="no such file"):
+            tr.build_fvector("ghost.bin")
+
+    def test_lines_words_from_content(self):
+        fs = InMemoryFileSystem()
+        fs.add_text("doc.txt", "one two\nthree\nfour five six")
+        spec = parse_spec("operand {position=1; type=FILE; attr=LINES:WORDS}")
+        fv = XICLTranslator(spec, filesystem=fs).build_fvector("doc.txt")
+        assert fv["operand1.LINES"] == 3
+        assert fv["operand1.WORDS"] == 6
+
+    def test_lines_prefers_metadata(self):
+        fs = InMemoryFileSystem()
+        fs.add_stub("big.txt", size_bytes=10, lines=12345)
+        spec = parse_spec("operand {position=1; type=FILE; attr=LINES}")
+        fv = XICLTranslator(spec, filesystem=fs).build_fvector("big.txt")
+        assert fv["operand1.LINES"] == 12345
+
+    def test_metadata_feature_parses_content_fallback(self):
+        fs = InMemoryFileSystem()
+        fs.add_text("g.graph", "header\nnodes=42\nedges=99")
+        registry = XFMethodRegistry()
+        registry.register(MetadataFeature("mNodes", "nodes"))
+        spec = parse_spec("operand {position=1; type=FILE; attr=mNodes}")
+        fv = XICLTranslator(spec, registry=registry, filesystem=fs).build_fvector(
+            "g.graph"
+        )
+        assert fv["operand1.mNodes"] == 42.0
+
+    def test_val_parses_numbers(self):
+        spec = parse_spec("operand {position=1; type=STR; attr=VAL}")
+        tr = XICLTranslator(spec)
+        assert tr.build_fvector(["12"])["operand1.VAL"] == 12
+        assert tr.build_fvector(["1.5"])["operand1.VAL"] == 1.5
+        assert tr.build_fvector(["abc"])["operand1.VAL"] == "abc"
+
+    def test_function_registration(self):
+        registry = XFMethodRegistry()
+
+        @xf_method("mDouble", registry)
+        def double(value, prefix, fs):
+            v = FeatureVector()
+            v.append_value(f"{prefix}.mDouble", int(value) * 2)
+            return v
+
+        spec = parse_spec("operand {position=1; type=NUM; attr=mDouble}")
+        fv = XICLTranslator(spec, registry=registry).build_fvector(["21"])
+        assert fv["operand1.mDouble"] == 42
+
+    def test_unknown_method_rejected(self):
+        spec = parse_spec("operand {position=1; type=NUM; attr=mMystery}")
+        with pytest.raises(UnknownFeatureMethodError):
+            XICLTranslator(spec).build_fvector(["1"])
+
+    def test_dotted_path_import(self):
+        # The Class.forName analogue: load an XFMethod by dotted path.
+        registry = XFMethodRegistry()
+        method = registry.get("repro.xicl.methods._Len")
+        assert method.name == "LEN"
+
+    def test_dotted_path_bad_import_rejected(self):
+        registry = XFMethodRegistry()
+        with pytest.raises(UnknownFeatureMethodError):
+            registry.get("no.such.module.Thing")
+
+
+class TestRuntimeChannel:
+    def test_update_and_done(self, route_translator):
+        fv = route_translator.build_fvector("graph1")
+        route_translator.channel.update_v("mRuntime", 7)
+        assert fv["mRuntime"] == 7
+        seen = []
+        route_translator.channel.on_done(lambda v: seen.append(v["mRuntime"]))
+        route_translator.channel.done()
+        route_translator.channel.done()
+        assert seen == [7, 7]
+        assert route_translator.channel.done_count == 2
+
+    def test_update_many(self, route_translator):
+        route_translator.build_fvector("graph1")
+        route_translator.channel.update_many({"a": 1, "b": 2})
+        assert route_translator.fvector["a"] == 1
+        assert route_translator.fvector["b"] == 2
+
+    def test_channel_rebinds_on_new_translation(self, route_translator):
+        route_translator.build_fvector("graph1")
+        route_translator.channel.update_v("x", 1)
+        fv2 = route_translator.build_fvector("graph2")
+        assert "x" not in fv2
+
+
+class TestFileSystem:
+    def test_memory_file_size_precedence(self):
+        f = MemoryFile(content="abc", size_bytes=100)
+        assert f.size == 100
+        assert MemoryFile(content="abc").size == 3
+
+    def test_read_without_content_rejected(self):
+        fs = InMemoryFileSystem()
+        fs.add_stub("x", size_bytes=10)
+        with pytest.raises(TranslationError, match="materialized"):
+            fs.read_text("x")
+
+    def test_missing_file_rejected(self):
+        fs = InMemoryFileSystem()
+        with pytest.raises(TranslationError, match="no such file"):
+            fs.size("ghost")
+
+    def test_os_filesystem(self, tmp_path):
+        from repro.xicl import OSFileSystem
+
+        path = tmp_path / "data.txt"
+        path.write_text("hello world")
+        fs = OSFileSystem()
+        assert fs.exists(str(path))
+        assert fs.size(str(path)) == 11
+        assert fs.read_text(str(path)) == "hello world"
+        assert fs.metadata(str(path)) == {}
+        assert not fs.exists(str(tmp_path / "ghost"))
