@@ -1,0 +1,72 @@
+"""Parallel experiment engine: wall-clock scaling and cached re-runs.
+
+Two harness targets exercise the engine at experiment scale:
+
+- a full multi-benchmark sweep through the process pool (the path
+  ``python -m repro sweep --jobs N`` takes), asserting the results agree
+  with the serial runner on a spot-checked benchmark;
+- a cached re-run of the same sweep, asserting every cell is served from
+  the on-disk result cache (the re-run should be orders of magnitude
+  faster — visible in the pytest-benchmark timings).
+"""
+
+import os
+
+from repro.bench import get_benchmark
+from repro.experiments import run_experiment, run_sweep
+from repro.experiments.telemetry import ResultCache
+
+from conftest import one_shot
+
+#: A representative slice of the suite: one short and one long program,
+#: one of them input-sensitive.
+SWEEP_PROGRAMS = ("Search", "Mtrt", "Euler")
+
+JOBS = min(4, os.cpu_count() or 1)
+
+
+def _sweep(runs, cache=None, jobs=JOBS):
+    return run_sweep(
+        [get_benchmark(name) for name in SWEEP_PROGRAMS],
+        jobs=jobs,
+        seed=0,
+        runs=runs,
+        cache=cache,
+    )
+
+
+def test_parallel_sweep(benchmark, runs_override):
+    report = one_shot(benchmark, _sweep, runs_override)
+    print()
+    print(report.describe())
+
+    assert len(report.results) == len(SWEEP_PROGRAMS)
+    assert report.cells_executed == report.cells_total
+
+    # Spot-check the engine's determinism contract against the serial
+    # runner at experiment scale.
+    serial = run_experiment(get_benchmark("Search"), seed=0, runs=runs_override)
+    parallel = report.results[SWEEP_PROGRAMS.index("Search")]
+    assert [out.total_cycles for out in serial.evolve] == [
+        out.total_cycles for out in parallel.evolve
+    ]
+    assert [out.accuracy for out in serial.evolve] == [
+        out.accuracy for out in parallel.evolve
+    ]
+
+
+def test_cached_sweep_rerun(benchmark, runs_override, tmp_path):
+    cache_dir = tmp_path / "cache"
+    warm = _sweep(runs_override, cache=ResultCache(cache_dir), jobs=JOBS)
+    assert warm.cells_executed == warm.cells_total
+
+    cache = ResultCache(cache_dir)
+    report = one_shot(benchmark, _sweep, runs_override, cache, 1)
+    print()
+    print(f"re-run: {report.describe()}; cache {cache.stats.describe()}")
+
+    assert report.cells_executed == 0
+    assert report.cells_cached == report.cells_total
+    assert [out.total_cycles for out in warm.results[0].evolve] == [
+        out.total_cycles for out in report.results[0].evolve
+    ]

@@ -11,10 +11,14 @@ Commands map one-to-one onto the experiment harness:
     python -m repro gc-study              # §VI extension (GC selection)
     python -m repro server-study          # §V extension (request-specific)
     python -m repro bench NAME [RUNS]     # one benchmark, 3 scenarios
+    python -m repro sweep [NAME ...]      # parallel sweep w/ cache+telemetry
     python -m repro list                  # available benchmarks
 
 Options: ``--seed N`` (default 0), ``--runs N`` (scaled-down protocol;
-omit for the paper's full run counts).
+omit for the paper's full run counts), ``--jobs N`` (parallel engine;
+``bench``, ``sweep``, ``table1``), ``--telemetry PATH`` (JSONL run
+events), ``--cache-dir PATH`` / ``--no-cache`` (on-disk result cache;
+``sweep`` caches by default). See ``docs/experiments.md``.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "gc-study",
             "server-study",
             "bench",
+            "sweep",
             "list",
         ],
     )
@@ -51,7 +56,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override runs per benchmark (default: paper protocol)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the parallel engine (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="append per-run JSONL telemetry events to PATH",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="result-cache directory (default: .repro_cache for sweep)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
     return parser
+
+
+def _make_telemetry(options):
+    if options.telemetry is None:
+        return None
+    from .experiments.telemetry import TelemetryLog
+
+    return TelemetryLog(options.telemetry)
+
+
+def _make_cache(options, default_on: bool):
+    if options.no_cache:
+        return None
+    if options.cache_dir is None and not default_on:
+        return None
+    from .experiments.telemetry import DEFAULT_CACHE_DIR, ResultCache
+
+    return ResultCache(options.cache_dir or DEFAULT_CACHE_DIR)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -80,7 +126,9 @@ def main(argv: list[str] | None = None) -> int:
 
         name = options.args[0]
         runs = int(options.args[1]) if len(options.args) > 1 else options.runs
-        result = run_experiment(get_benchmark(name), seed=options.seed, runs=runs)
+        result = run_experiment(
+            get_benchmark(name), seed=options.seed, runs=runs, jobs=options.jobs
+        )
         rows = []
         for i, (d, r, e) in enumerate(
             zip(result.default, result.rep, result.evolve)
@@ -101,10 +149,44 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
+    if command == "sweep":
+        from .bench import all_benchmarks, get_benchmark
+        from .experiments.parallel import run_sweep
+        from .experiments.report import format_sweep
+
+        benchmarks = (
+            [get_benchmark(name) for name in options.args]
+            if options.args
+            else list(all_benchmarks())
+        )
+        telemetry = _make_telemetry(options)
+        cache = _make_cache(options, default_on=True)
+        report = run_sweep(
+            benchmarks,
+            jobs=options.jobs,
+            seed=options.seed,
+            runs=options.runs,
+            telemetry=telemetry,
+            cache=cache,
+        )
+        print(format_sweep(report.results))
+        print(report.describe())
+        if cache is not None:
+            print(f"cache: {cache.stats.describe()}")
+        if telemetry is not None:
+            telemetry.close()
+            print(
+                f"telemetry: {telemetry.events_written} event(s) "
+                f"-> {telemetry.path}"
+            )
+        return 0
+
     if command == "table1":
         from .experiments import table1
 
-        table1.main(seed=options.seed, runs_override=options.runs)
+        table1.main(
+            seed=options.seed, runs_override=options.runs, jobs=options.jobs
+        )
     elif command == "figure8":
         from .experiments import figure8
 

@@ -72,6 +72,19 @@ class ModelBuilder:
                     names.append(feature)
         return tuple(names)
 
+    def summary(self) -> dict:
+        """Pickle-safe snapshot of the model state for reporting.
+
+        Workers of the parallel experiment engine return this instead of
+        the builder itself (trees hold closures over per-app state), so
+        Table-I-style reports work without the live models.
+        """
+        return {
+            "methods_modeled": len(self._models),
+            "features_total": self.raw_feature_count(),
+            "features_used": list(self.used_features()),
+        }
+
     def raw_feature_count(self) -> int:
         """Width of the raw feature vectors the models were trained on."""
         widths = [

@@ -1,7 +1,23 @@
 """Experiment harness: one module per paper table/figure plus the shared
-scenario runner. See DESIGN.md's experiment index (E1–E8)."""
+scenario runner (see DESIGN.md's experiment index, E1–E8), the parallel
+experiment engine (:mod:`.parallel`), and run telemetry + result caching
+(:mod:`.telemetry`)."""
 
 from .runner import BoxStats, ExperimentResult, run_experiment
+from .parallel import (
+    CellSpec,
+    SweepReport,
+    plan_cells,
+    run_experiment_parallel,
+    run_sweep,
+)
+from .telemetry import (
+    CacheKey,
+    ResultCache,
+    TelemetryLog,
+    read_events,
+    validate_event,
+)
 from .export import (
     figure8_csv,
     figure9_csv,
@@ -12,11 +28,21 @@ from .export import (
 
 __all__ = [
     "BoxStats",
+    "CacheKey",
+    "CellSpec",
     "ExperimentResult",
+    "ResultCache",
+    "SweepReport",
+    "TelemetryLog",
     "figure8_csv",
     "figure9_csv",
     "figure10_csv",
+    "plan_cells",
+    "read_events",
     "run_experiment",
+    "run_experiment_parallel",
+    "run_sweep",
     "runs_csv",
     "table1_csv",
+    "validate_event",
 ]

@@ -1,0 +1,441 @@
+"""Parallel experiment engine: fan §V-B sweeps out across processes.
+
+The serial runner executes one benchmark's scenarios run by run; a full
+Figure 8/9/10 + Table I sweep is therefore dominated by wall-clock. This
+engine splits a sweep into independent **cells** and executes them on a
+``concurrent.futures.ProcessPoolExecutor``, at two grain levels:
+
+- ``grain="benchmark"`` — one job per benchmark (all scenarios, the whole
+  run sequence). Coarse, minimal orchestration overhead.
+- ``grain="cell"`` (default) — jobs per scenario within a benchmark.
+  The **stateful** scenarios (``rep``, ``evolve``: the VM learns across
+  the run sequence) each form one cell spanning all runs; the
+  **stateless** scenarios (``default``, ``phase``: every run is
+  independent) split further into fixed-size run ranges.
+
+Determinism is preserved exactly: every cell derives the same input
+sequence from the experiment seed, uses the global run index as the
+per-run RNG seed, and builds its program/JIT from scratch (the JIT cache
+is pure memoization — compile costs are charged per compile event, so a
+fresh cache yields bit-identical clocks). Parallel results are therefore
+bitwise-identical to the serial runner's, which a test asserts.
+
+Cells integrate with :mod:`.telemetry`: each executed run emits a
+structured event, and completed cells are stored in the on-disk
+:class:`~repro.experiments.telemetry.ResultCache` so re-running a sweep
+only executes cells whose inputs changed. Chunk boundaries are fixed
+(independent of the job count) so cache keys stay stable when ``--jobs``
+changes.
+
+On platforms where multiprocessing is unavailable (sandboxes without
+semaphore support), the engine falls back to in-process execution with
+identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from random import Random
+
+from ..bench.base import Benchmark
+from ..bench.suite import get_benchmark
+from ..core.evolvable import EvolvableVM, RepVM, run_default
+from ..learning.tree import TreeParams
+from ..vm.config import DEFAULT_CONFIG, VMConfig
+from ..vm.opt.jit import JITCompiler
+from .runner import ExperimentResult, _run_phase
+from .telemetry import (
+    CacheKey,
+    ResultCache,
+    TelemetryLog,
+    cell_event,
+    config_digest,
+    run_event,
+)
+
+#: Scenarios whose VM carries state across the run sequence; their cells
+#: always span every run.
+STATEFUL_SCENARIOS = frozenset({"rep", "evolve"})
+
+#: Run-range width for stateless-scenario cells. Fixed (not derived from
+#: the job count) so cache keys survive ``--jobs`` changes.
+DEFAULT_CHUNK = 8
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One self-contained unit of sweep work, shippable to a worker."""
+
+    benchmark: str
+    scenarios: tuple[str, ...]
+    start: int
+    stop: int
+    seed: int
+    sequence: tuple[int, ...]
+    config: VMConfig
+    gamma: float | None
+    threshold: float | None
+    tree_params: TreeParams | None
+
+    def cache_key(self) -> CacheKey:
+        digest = config_digest(
+            sequence=self.sequence,
+            config=self.config,
+            gamma=self.gamma,
+            threshold=self.threshold,
+            tree_params=self.tree_params,
+        )
+        return CacheKey(
+            benchmark=self.benchmark,
+            scenario="+".join(self.scenarios),
+            start=self.start,
+            stop=self.stop,
+            seed=self.seed,
+            digest=digest,
+        )
+
+
+def derive_sequence(bench: Benchmark, seed: int, n_runs: int) -> list[int]:
+    """The runner's deterministic input order for (*bench*, *seed*)."""
+    _, inputs = bench.build(seed=seed)
+    rng = Random(seed * 7919 + 17)
+    return [rng.randrange(len(inputs)) for _ in range(n_runs)]
+
+
+def plan_cells(
+    bench: Benchmark,
+    *,
+    seed: int = 0,
+    runs: int | None = None,
+    config: VMConfig = DEFAULT_CONFIG,
+    scenarios: tuple[str, ...] = ("default", "rep", "evolve"),
+    grain: str = "cell",
+    chunk: int = DEFAULT_CHUNK,
+    gamma: float | None = None,
+    threshold: float | None = None,
+    tree_params: TreeParams | None = None,
+    sequence: list[int] | None = None,
+) -> list[CellSpec]:
+    """Split one benchmark's experiment into independent cell specs."""
+    if grain not in ("benchmark", "cell"):
+        raise ValueError(f"unknown grain {grain!r}")
+    n_runs = runs if runs is not None else bench.runs
+    if sequence is None:
+        sequence = derive_sequence(bench, seed, n_runs)
+    seq = tuple(sequence)
+
+    def spec(scens: tuple[str, ...], start: int, stop: int) -> CellSpec:
+        return CellSpec(
+            benchmark=bench.name,
+            scenarios=scens,
+            start=start,
+            stop=stop,
+            seed=seed,
+            sequence=seq,
+            config=config,
+            gamma=gamma,
+            threshold=threshold,
+            tree_params=tree_params,
+        )
+
+    if grain == "benchmark":
+        return [spec(tuple(scenarios), 0, len(seq))]
+
+    cells: list[CellSpec] = []
+    for scenario in scenarios:
+        if scenario in STATEFUL_SCENARIOS:
+            cells.append(spec((scenario,), 0, len(seq)))
+        else:
+            for start in range(0, len(seq), max(1, chunk)):
+                stop = min(start + max(1, chunk), len(seq))
+                cells.append(spec((scenario,), start, stop))
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def execute_cell(spec: CellSpec) -> dict:
+    """Run one cell and return a pickle-safe payload.
+
+    The payload maps each scenario to its ordered outcomes for the cell's
+    run range, carries the per-run telemetry events, and (for ``evolve``)
+    a model summary replacing the unpicklable live VM.
+    """
+    cell_clock = time.perf_counter()
+    bench = get_benchmark(spec.benchmark)
+    app, inputs = bench.build(seed=spec.seed)
+    jit = JITCompiler(app.program, spec.config)
+
+    evolve_kwargs: dict = {"config": spec.config, "jit": jit}
+    if spec.gamma is not None:
+        evolve_kwargs["gamma"] = spec.gamma
+    if spec.threshold is not None:
+        evolve_kwargs["threshold"] = spec.threshold
+    if spec.tree_params is not None:
+        evolve_kwargs["tree_params"] = spec.tree_params
+    evolve_vm = EvolvableVM(app, **evolve_kwargs) if "evolve" in spec.scenarios else None
+    rep_vm = RepVM(app, config=spec.config, jit=jit) if "rep" in spec.scenarios else None
+
+    outcomes: dict[str, list] = {scenario: [] for scenario in spec.scenarios}
+    events: list[dict] = []
+    model_summary: dict | None = None
+
+    # Stateful scenarios must replay the prefix [0, start) — planning
+    # never splits them, so start is always 0 for rep/evolve cells.
+    for run_index in range(spec.start, spec.stop):
+        input_index = spec.sequence[run_index]
+        cmdline = inputs[input_index].cmdline
+        for scenario in spec.scenarios:
+            run_clock = time.perf_counter()
+            if scenario == "default":
+                outcome = run_default(
+                    app, cmdline, config=spec.config, jit=jit, rng_seed=run_index
+                )
+            elif scenario == "rep":
+                outcome = rep_vm.run(cmdline, rng_seed=run_index)
+            elif scenario == "evolve":
+                outcome = evolve_vm.run(cmdline, rng_seed=run_index)
+            elif scenario == "phase":
+                outcome = _run_phase(
+                    app, cmdline, spec.config, jit, rng_seed=run_index
+                )
+            else:
+                raise ValueError(f"unknown scenario {scenario!r}")
+            outcomes[scenario].append(outcome)
+            events.append(
+                run_event(
+                    benchmark=spec.benchmark,
+                    scenario=scenario,
+                    run_index=run_index,
+                    input_index=input_index,
+                    cmdline=cmdline,
+                    rng_seed=run_index,
+                    outcome=outcome,
+                    wall_s=time.perf_counter() - run_clock,
+                )
+            )
+
+    if evolve_vm is not None:
+        model_summary = dict(evolve_vm.models.summary())
+        model_summary["final_confidence"] = evolve_vm.confidence.value
+
+    return {
+        "outcomes": outcomes,
+        "events": events,
+        "model_summary": model_summary,
+        "wall_s": time.perf_counter() - cell_clock,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepReport:
+    """What a parallel sweep produced, beyond the results themselves."""
+
+    results: list[ExperimentResult]
+    cells_total: int = 0
+    cells_cached: int = 0
+    cells_executed: int = 0
+    wall_s: float = 0.0
+    parallel: bool = False
+
+    def describe(self) -> str:
+        mode = "parallel" if self.parallel else "inline"
+        return (
+            f"{self.cells_total} cell(s): {self.cells_cached} cached, "
+            f"{self.cells_executed} executed ({mode}), "
+            f"{self.wall_s:.2f}s wall"
+        )
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    if jobs is not None:
+        return max(1, jobs)
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute_pending(
+    pending: list[tuple[int, CellSpec]], jobs: int
+) -> tuple[dict[int, dict], bool]:
+    """Run the uncached cells, preferring a process pool; fall back to
+    in-process execution when the platform forbids multiprocessing."""
+    payloads: dict[int, dict] = {}
+    if not pending:
+        return payloads, False
+    if jobs > 1 and len(pending) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = {
+                    pool.submit(execute_cell, spec): index
+                    for index, spec in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        payloads[futures[future]] = future.result()
+            return payloads, True
+        except (OSError, PermissionError, NotImplementedError):
+            payloads.clear()  # retry everything inline
+    for index, spec in pending:
+        payloads[index] = execute_cell(spec)
+    return payloads, False
+
+
+def run_sweep(
+    benchmarks: list[Benchmark],
+    *,
+    jobs: int | None = None,
+    seed: int = 0,
+    runs: int | None = None,
+    config: VMConfig = DEFAULT_CONFIG,
+    scenarios: tuple[str, ...] = ("default", "rep", "evolve"),
+    grain: str = "cell",
+    chunk: int = DEFAULT_CHUNK,
+    gamma: float | None = None,
+    threshold: float | None = None,
+    tree_params: TreeParams | None = None,
+    telemetry: TelemetryLog | None = None,
+    cache: ResultCache | None = None,
+) -> SweepReport:
+    """Run the §V-B protocol for many benchmarks, fanned out over cells.
+
+    Returns a :class:`SweepReport` whose ``results`` list parallels
+    *benchmarks*; each :class:`ExperimentResult` is assembled in run order
+    and is bitwise-identical to what the serial runner produces for the
+    same arguments. ``evolve_vm``/``rep_vm`` are ``None`` (the live VMs
+    stay in the workers); ``evolve_summary`` carries the model snapshot.
+    """
+    sweep_clock = time.perf_counter()
+    plans: list[tuple[Benchmark, list[CellSpec]]] = []
+    all_cells: list[CellSpec] = []
+    for bench in benchmarks:
+        cells = plan_cells(
+            bench,
+            seed=seed,
+            runs=runs,
+            config=config,
+            scenarios=tuple(scenarios),
+            grain=grain,
+            chunk=chunk,
+            gamma=gamma,
+            threshold=threshold,
+            tree_params=tree_params,
+        )
+        plans.append((bench, cells))
+        all_cells.extend(cells)
+
+    payloads: dict[int, dict] = {}
+    pending: list[tuple[int, CellSpec]] = []
+    cached = 0
+    for index, spec in enumerate(all_cells):
+        payload = cache.get(spec.cache_key()) if cache is not None else None
+        if payload is not None:
+            payloads[index] = payload
+            cached += 1
+            if telemetry is not None:
+                telemetry.append(
+                    cell_event(
+                        "cache_hit",
+                        spec.benchmark,
+                        "+".join(spec.scenarios),
+                        spec.start,
+                        spec.stop,
+                        cached=True,
+                    )
+                )
+        else:
+            pending.append((index, spec))
+
+    executed, parallel = _execute_pending(pending, _resolve_jobs(jobs))
+    for index, payload in executed.items():
+        spec = all_cells[index]
+        payloads[index] = payload
+        if cache is not None:
+            cache.put(spec.cache_key(), payload)
+        if telemetry is not None:
+            telemetry.extend(payload["events"])
+            telemetry.append(
+                cell_event(
+                    "cell",
+                    spec.benchmark,
+                    "+".join(spec.scenarios),
+                    spec.start,
+                    spec.stop,
+                    wall_s=payload["wall_s"],
+                )
+            )
+
+    results: list[ExperimentResult] = []
+    cursor = 0
+    for bench, cells in plans:
+        app, inputs = bench.build(seed=seed)
+        sequence = list(cells[0].sequence)
+        result = ExperimentResult(
+            benchmark=bench.name, app=app, inputs=inputs, sequence=sequence
+        )
+        by_scenario: dict[str, list[tuple[int, list]]] = {}
+        for offset, spec in enumerate(cells):
+            payload = payloads[cursor + offset]
+            for scenario, outs in payload["outcomes"].items():
+                by_scenario.setdefault(scenario, []).append((spec.start, outs))
+            if payload.get("model_summary") is not None:
+                result.evolve_summary = payload["model_summary"]
+        for scenario, pieces in by_scenario.items():
+            ordered: list = []
+            for _, outs in sorted(pieces, key=lambda item: item[0]):
+                ordered.extend(outs)
+            setattr(result, scenario, ordered)
+        cursor += len(cells)
+        results.append(result)
+
+    return SweepReport(
+        results=results,
+        cells_total=len(all_cells),
+        cells_cached=cached,
+        cells_executed=len(pending),
+        wall_s=time.perf_counter() - sweep_clock,
+        parallel=parallel,
+    )
+
+
+def run_experiment_parallel(
+    bench: Benchmark,
+    *,
+    jobs: int | None = None,
+    seed: int = 0,
+    runs: int | None = None,
+    config: VMConfig = DEFAULT_CONFIG,
+    scenarios: tuple[str, ...] = ("default", "rep", "evolve"),
+    grain: str = "cell",
+    gamma: float | None = None,
+    threshold: float | None = None,
+    tree_params: TreeParams | None = None,
+    telemetry: TelemetryLog | None = None,
+    cache: ResultCache | None = None,
+) -> ExperimentResult:
+    """One benchmark through the parallel engine (the runner's ``jobs=N``
+    path); results are identical to :func:`~.runner.run_experiment`."""
+    report = run_sweep(
+        [bench],
+        jobs=jobs,
+        seed=seed,
+        runs=runs,
+        config=config,
+        scenarios=scenarios,
+        grain=grain,
+        gamma=gamma,
+        threshold=threshold,
+        tree_params=tree_params,
+        telemetry=telemetry,
+        cache=cache,
+    )
+    return report.results[0]

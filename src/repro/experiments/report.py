@@ -1,7 +1,8 @@
 """Plain-text rendering of experiment outputs (tables and ASCII series).
 
 The harness prints the same rows/series the paper reports; these helpers
-keep formatting in one place.
+keep formatting in one place. :func:`format_sweep` renders the parallel
+engine's per-benchmark summary (the ``sweep`` CLI command).
 """
 
 from __future__ import annotations
@@ -39,6 +40,38 @@ def format_series(
             )
         rows.append(row)
     return f"{title}\n{format_table(headers, rows)}"
+
+
+def format_sweep(results: list) -> str:
+    """Per-benchmark summary table of a (parallel) sweep's results.
+
+    *results* are :class:`~repro.experiments.runner.ExperimentResult`
+    objects; scenarios that were not executed render as blanks.
+    """
+    rows: list[list[object]] = []
+    for result in results:
+        def mean(values: list[float]) -> str:
+            return f"{sum(values) / len(values):.3f}" if values else ""
+
+        applied = ""
+        confidence = ""
+        if result.evolve:
+            n_applied = sum(1 for out in result.evolve if out.applied_prediction)
+            applied = f"{n_applied}/{len(result.evolve)}"
+            confidence = mean(result.confidences())
+        rows.append(
+            [
+                result.benchmark,
+                len(result.sequence),
+                mean(result.speedups("rep")) if result.rep else "",
+                mean(result.speedups("evolve")) if result.evolve else "",
+                applied,
+                confidence,
+            ]
+        )
+    return format_table(
+        ["Program", "Runs", "Rep", "Evolve", "Applied", "Conf"], rows
+    )
 
 
 def sparkline(values: list[float], width: int = 60) -> str:

@@ -1,5 +1,5 @@
-"""Scenario runner: executes one benchmark under Default, Rep, Evolve —
-and optionally the phase-based comparator.
+"""Scenario runner: executes one benchmark under any subset of the four
+scenarios — Default, Rep, Evolve, and the phase-based comparator.
 
 The protocol follows §V-B: each experiment is a sequence of runs (30, or 70
 for programs with many inputs), every run using one input picked uniformly
@@ -7,6 +7,10 @@ at random from the program's input population. The same input sequence and
 per-run RNG seeds are used for all scenarios, so per-run comparisons are
 apples-to-apples; the default run of each input doubles as the speedup
 baseline.
+
+This module is the serial reference implementation; ``jobs > 1`` hands the
+same protocol to the parallel engine (:mod:`.parallel`), which produces
+bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -27,7 +31,16 @@ from ..vm.opt.jit import JITCompiler
 
 @dataclass
 class ExperimentResult:
-    """All observations from one benchmark's three-scenario experiment."""
+    """All observations from one benchmark's experiment: one outcome list
+    per executed scenario (Default, Rep, Evolve, and optionally the
+    phase-based comparator).
+
+    ``evolve_vm``/``rep_vm`` hold the live scenario VMs when the serial
+    runner produced the result; the parallel engine leaves them ``None``
+    (they stay in the worker processes) and fills ``evolve_summary`` —
+    the pickle-safe model snapshot — instead. The serial runner populates
+    ``evolve_summary`` too, so reports can rely on it either way.
+    """
 
     benchmark: str
     app: Application
@@ -39,6 +52,7 @@ class ExperimentResult:
     phase: list[RunOutcome] = field(default_factory=list)
     evolve_vm: EvolvableVM | None = None
     rep_vm: RepVM | None = None
+    evolve_summary: dict | None = None
 
     # -- derived series -----------------------------------------------------
     def speedups(self, scenario: str) -> list[float]:
@@ -79,13 +93,32 @@ def run_experiment(
     tree_params: TreeParams | None = None,
     scenarios: tuple[str, ...] = ("default", "rep", "evolve"),
     sequence: list[int] | None = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Run the full §V-B protocol for one benchmark.
 
     *sequence* overrides the random input order (used by the
     input-order-sensitivity study); otherwise inputs are drawn uniformly
     with a deterministic RNG derived from *seed*.
+
+    *jobs* > 1 delegates to the parallel engine: scenarios (and run
+    ranges of the stateless ones) execute as independent worker cells,
+    with bit-identical outcomes.
     """
+    if jobs > 1 and sequence is None:
+        from .parallel import run_experiment_parallel
+
+        return run_experiment_parallel(
+            bench,
+            jobs=jobs,
+            seed=seed,
+            runs=runs,
+            config=config,
+            scenarios=tuple(scenarios),
+            gamma=gamma,
+            threshold=threshold,
+            tree_params=tree_params,
+        )
     app, inputs = bench.build(seed=seed)
     n_runs = runs if runs is not None else bench.runs
     if sequence is None:
@@ -128,6 +161,9 @@ def run_experiment(
             result.phase.append(
                 _run_phase(app, cmdline, config, jit, rng_seed=run_index)
             )
+    if "evolve" in scenarios:
+        result.evolve_summary = dict(evolve_vm.models.summary())
+        result.evolve_summary["final_confidence"] = evolve_vm.confidence.value
     return result
 
 

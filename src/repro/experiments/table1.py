@@ -29,11 +29,26 @@ class Table1Row:
     mean_accuracy: float
 
 
-def summarize(result: ExperimentResult) -> Table1Row:
-    """Fold one benchmark's experiment into its Table I row."""
-    config = result.evolve_vm.config if result.evolve_vm else DEFAULT_CONFIG
+def summarize(
+    result: ExperimentResult, config: VMConfig | None = None
+) -> Table1Row:
+    """Fold one benchmark's experiment into its Table I row.
+
+    Model statistics come from the live ``evolve_vm`` when the serial
+    runner produced the result, and from the pickle-safe
+    ``evolve_summary`` snapshot when the parallel engine did.
+    """
+    if config is None:
+        config = result.evolve_vm.config if result.evolve_vm else DEFAULT_CONFIG
     times = [config.seconds(t) for t in result.default_times()]
-    models = result.evolve_vm.models
+    if result.evolve_vm is not None:
+        features_total = result.evolve_vm.models.raw_feature_count()
+        features_used = len(result.evolve_vm.models.used_features())
+    elif result.evolve_summary is not None:
+        features_total = result.evolve_summary["features_total"]
+        features_used = len(result.evolve_summary["features_used"])
+    else:
+        features_total = features_used = 0
     accuracies = result.accuracies()
     confidences = result.confidences()
     return Table1Row(
@@ -42,8 +57,8 @@ def summarize(result: ExperimentResult) -> Table1Row:
         n_inputs=len(result.inputs),
         time_min=min(times),
         time_max=max(times),
-        features_total=models.raw_feature_count(),
-        features_used=len(models.used_features()),
+        features_total=features_total,
+        features_used=features_used,
         mean_confidence=(
             sum(confidences) / len(confidences) if confidences else 0.0
         ),
@@ -58,14 +73,29 @@ def run_table1(
     runs_override: int | None = None,
     config: VMConfig = DEFAULT_CONFIG,
     benchmarks: list | None = None,
+    jobs: int = 1,
 ) -> list[Table1Row]:
-    """Run the full Table I experiment and return one row per benchmark."""
-    rows: list[Table1Row] = []
-    for bench in benchmarks if benchmarks is not None else all_benchmarks():
-        result = run_experiment(
-            bench, seed=seed, runs=runs_override, config=config
+    """Run the full Table I experiment and return one row per benchmark.
+
+    *jobs* > 1 fans the whole sweep (all benchmarks, all scenario cells)
+    out through the parallel engine; rows are identical to the serial run.
+    """
+    selected = benchmarks if benchmarks is not None else all_benchmarks()
+    if jobs > 1:
+        from .parallel import run_sweep
+
+        report = run_sweep(
+            list(selected), jobs=jobs, seed=seed, runs=runs_override, config=config
         )
-        row = summarize(result)
+        results = report.results
+    else:
+        results = [
+            run_experiment(bench, seed=seed, runs=runs_override, config=config)
+            for bench in selected
+        ]
+    rows: list[Table1Row] = []
+    for bench, result in zip(selected, results):
+        row = summarize(result, config=config)
         rows.append(
             Table1Row(
                 program=row.program,
@@ -112,8 +142,10 @@ def render(rows: list[Table1Row]) -> str:
     )
 
 
-def main(seed: int = 0, runs_override: int | None = None) -> str:
-    output = render(run_table1(seed=seed, runs_override=runs_override))
+def main(seed: int = 0, runs_override: int | None = None, jobs: int = 1) -> str:
+    output = render(
+        run_table1(seed=seed, runs_override=runs_override, jobs=jobs)
+    )
     print(output)
     return output
 

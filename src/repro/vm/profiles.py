@@ -82,6 +82,13 @@ class RunProfile:
     def compile_count(self, method: str) -> int:
         return sum(1 for ev in self.compile_events if ev.method == method)
 
+    def levels_compiled(self) -> dict[int, int]:
+        """How many methods ended the run at each optimization level."""
+        counts: dict[int, int] = {}
+        for level in self.final_levels.values():
+            counts[level] = counts.get(level, 0) + 1
+        return counts
+
     def methods_seen(self) -> tuple[str, ...]:
         """All methods that were invoked at least once, sorted."""
         return tuple(sorted(self.invocations))
