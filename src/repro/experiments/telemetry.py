@@ -1,0 +1,296 @@
+"""Run telemetry and the on-disk result cache for experiment sweeps.
+
+Two concerns live here, both in service of making large sweeps observable
+and cheap to re-run:
+
+1. **Telemetry** — every executed run emits one structured JSONL event
+   (benchmark, scenario, run index, input id, RNG seed, wall time, methods
+   compiled per level, predictor confidence, prediction hit/miss, …).
+   Cache hits and cell completions emit their own event kinds. The schema
+   is versioned and documented in ``docs/experiments.md``;
+   :func:`validate_event` enforces it (tests validate every line the
+   engine writes).
+
+2. **Result cache** — completed scenario×run cells are pickled to disk
+   keyed by ``(benchmark, scenario, run range, seed, config digest)``.
+   The digest folds in every knob that can change outcomes (run count,
+   input sequence, VM config, γ, TH_c, tree parameters), so a sweep
+   re-run only executes cells whose inputs changed. Determinism of the
+   underlying VM (see ``docs/architecture.md``) is what makes caching
+   sound: same key → bit-identical outcomes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable
+
+#: Bumped whenever an event's required fields change.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+# ---------------------------------------------------------------------------
+# Event construction
+# ---------------------------------------------------------------------------
+
+def run_event(
+    benchmark: str,
+    scenario: str,
+    run_index: int,
+    input_index: int,
+    cmdline: str,
+    rng_seed: int,
+    outcome,
+    wall_s: float | None = None,
+) -> dict:
+    """The per-run telemetry event for one :class:`RunOutcome`."""
+    profile = outcome.profile
+    per_level = {
+        str(level): count
+        for level, count in sorted(profile.levels_compiled().items())
+    }
+    event = {
+        "event": "run",
+        "v": TELEMETRY_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "scenario": scenario,
+        "run": run_index,
+        "input": input_index,
+        "cmdline": cmdline,
+        "seed": rng_seed,
+        "wall_s": wall_s,
+        "total_cycles": outcome.total_cycles,
+        "compile_cycles": profile.compile_cycles,
+        "overhead_cycles": outcome.overhead_cycles,
+        "methods_per_level": per_level,
+        "confidence": outcome.confidence_after,
+        "accuracy": outcome.accuracy,
+        "applied": bool(outcome.applied_prediction),
+    }
+    return event
+
+
+def cell_event(
+    kind: str,
+    benchmark: str,
+    scenario: str,
+    start: int,
+    stop: int,
+    *,
+    wall_s: float | None = None,
+    cached: bool = False,
+) -> dict:
+    """A cell-level event: ``kind`` is ``"cell"`` or ``"cache_hit"``."""
+    return {
+        "event": kind,
+        "v": TELEMETRY_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "scenario": scenario,
+        "start": start,
+        "stop": stop,
+        "wall_s": wall_s,
+        "cached": cached,
+    }
+
+
+#: Required fields per event kind, with the types a valid value may take.
+#: ``type(None)`` marks a field as nullable.
+_RUN_FIELDS: dict[str, tuple[type, ...]] = {
+    "event": (str,),
+    "v": (int,),
+    "benchmark": (str,),
+    "scenario": (str,),
+    "run": (int,),
+    "input": (int,),
+    "cmdline": (str,),
+    "seed": (int,),
+    "wall_s": (int, float, type(None)),
+    "total_cycles": (int, float),
+    "compile_cycles": (int, float),
+    "overhead_cycles": (int, float),
+    "methods_per_level": (dict,),
+    "confidence": (int, float, type(None)),
+    "accuracy": (int, float, type(None)),
+    "applied": (bool,),
+}
+
+_CELL_FIELDS: dict[str, tuple[type, ...]] = {
+    "event": (str,),
+    "v": (int,),
+    "benchmark": (str,),
+    "scenario": (str,),
+    "start": (int,),
+    "stop": (int,),
+    "wall_s": (int, float, type(None)),
+    "cached": (bool,),
+}
+
+
+def validate_event(event: dict) -> list[str]:
+    """Schema check for one telemetry event; returns a list of problems
+    (empty when the event is valid)."""
+    problems: list[str] = []
+    kind = event.get("event")
+    if kind == "run":
+        fields = _RUN_FIELDS
+    elif kind in ("cell", "cache_hit"):
+        fields = _CELL_FIELDS
+    else:
+        return [f"unknown event kind {kind!r}"]
+    for name, types in fields.items():
+        if name not in event:
+            problems.append(f"missing field {name!r}")
+        elif not isinstance(event[name], types):
+            problems.append(
+                f"field {name!r} has type {type(event[name]).__name__}"
+            )
+    if event.get("v") != TELEMETRY_SCHEMA_VERSION:
+        problems.append(f"schema version {event.get('v')!r}")
+    if kind == "run":
+        for level, count in event.get("methods_per_level", {}).items():
+            if not isinstance(level, str) or not isinstance(count, int):
+                problems.append("methods_per_level must map str -> int")
+                break
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# JSONL log
+# ---------------------------------------------------------------------------
+
+class TelemetryLog:
+    """Append-only JSONL telemetry sink (one event per line).
+
+    Opened lazily on first write so constructing a log never touches the
+    filesystem; usable as a context manager. The engine funnels worker
+    events through the parent process, so a log has a single writer.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+        self.events_written = 0
+
+    def append(self, event: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.events_written += 1
+
+    def extend(self, events: Iterable[dict]) -> None:
+        for event in events:
+            self.append(event)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TelemetryLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Load every event from a telemetry JSONL file."""
+    events = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Config digest + result cache
+# ---------------------------------------------------------------------------
+
+def config_digest(**parts) -> str:
+    """Stable hex digest of everything that can change a cell's outcomes.
+
+    Values are rendered with ``repr`` (all knobs are plain data:
+    dataclasses of numbers/dicts, tuples, None), keyed and sorted so the
+    digest is insensitive to call-site ordering.
+    """
+    canonical = ";".join(
+        f"{name}={parts[name]!r}" for name in sorted(parts)
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one scenario×run-range cell of a sweep."""
+
+    benchmark: str
+    scenario: str
+    start: int
+    stop: int
+    seed: int
+    digest: str
+
+    def filename(self) -> str:
+        tag = hashlib.sha256(
+            f"{self.benchmark}|{self.scenario}|{self.start}|{self.stop}"
+            f"|{self.seed}|{self.digest}".encode("utf-8")
+        ).hexdigest()[:32]
+        return f"{self.benchmark}-{self.scenario}-{self.start}-{self.stop}-{tag}.pkl"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def describe(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es)"
+
+
+class ResultCache:
+    """Pickle-per-cell result cache under one root directory.
+
+    Entries are immutable: a key fully determines its outcomes, so a hit
+    is always safe to reuse and a corrupt/unreadable entry is treated as
+    a miss and rewritten.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _path(self, key: CacheKey) -> Path:
+        return self.root / key.filename()
+
+    def get(self, key: CacheKey) -> dict | None:
+        """The cached cell payload, or None on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: CacheKey, payload: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(payload, fh)
+        tmp.replace(path)
+        self.stats.stores += 1
