@@ -12,11 +12,15 @@ Two harness targets exercise the engine at experiment scale:
 
 import os
 
+import pytest
+
 from repro.bench import get_benchmark
 from repro.experiments import run_experiment, run_sweep
 from repro.experiments.telemetry import ResultCache
 
 from conftest import one_shot
+
+pytestmark = pytest.mark.bench
 
 #: A representative slice of the suite: one short and one long program,
 #: one of them input-sensitive.

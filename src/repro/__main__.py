@@ -12,13 +12,17 @@ Commands map one-to-one onto the experiment harness:
     python -m repro server-study          # §V extension (request-specific)
     python -m repro bench NAME [RUNS]     # one benchmark, 3 scenarios
     python -m repro sweep [NAME ...]      # parallel sweep w/ cache+telemetry
+    python -m repro fuzz                  # differential fuzz the VM/JIT
     python -m repro list                  # available benchmarks
 
 Options: ``--seed N`` (default 0), ``--runs N`` (scaled-down protocol;
 omit for the paper's full run counts), ``--jobs N`` (parallel engine;
-``bench``, ``sweep``, ``table1``), ``--telemetry PATH`` (JSONL run
-events), ``--cache-dir PATH`` / ``--no-cache`` (on-disk result cache;
-``sweep`` caches by default). See ``docs/experiments.md``.
+``bench``, ``sweep``, ``table1``, ``fuzz``), ``--telemetry PATH`` (JSONL
+run events), ``--cache-dir PATH`` / ``--no-cache`` (on-disk result
+cache; ``sweep`` caches by default). ``fuzz`` adds ``--iterations N``,
+``--time-budget SECONDS``, and ``--corpus-dir PATH`` (write minimized
+reproducers there; exit status 1 when any divergence is found). See
+``docs/experiments.md`` and ``docs/testing.md``.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "server-study",
             "bench",
             "sweep",
+            "fuzz",
             "list",
         ],
     )
@@ -78,6 +83,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=200,
+        help="fuzz: programs to generate and differentially check",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fuzz: stop checking new programs after this much wall-clock",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        metavar="PATH",
+        default=None,
+        help="fuzz: write minimized reproducers (.ml + .json) to PATH",
     )
     return parser
 
@@ -180,6 +204,23 @@ def main(argv: list[str] | None = None) -> int:
                 f"-> {telemetry.path}"
             )
         return 0
+
+    if command == "fuzz":
+        from .testing import run_fuzz
+
+        report = run_fuzz(
+            seed=options.seed,
+            iterations=options.iterations,
+            time_budget=options.time_budget,
+            jobs=options.jobs,
+            corpus_dir=options.corpus_dir,
+        )
+        print(f"fuzz seed={report.seed}: {report.describe()}")
+        for finding in report.findings:
+            print(f"  divergence: {finding.describe()}")
+            if finding.reproducer is not None:
+                print(f"    reproducer: {finding.reproducer}")
+        return 0 if report.ok else 1
 
     if command == "table1":
         from .experiments import table1

@@ -262,32 +262,46 @@ def _resolve_jobs(jobs: int | None) -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _execute_pending(
-    pending: list[tuple[int, CellSpec]], jobs: int
-) -> tuple[dict[int, dict], bool]:
-    """Run the uncached cells, preferring a process pool; fall back to
-    in-process execution when the platform forbids multiprocessing."""
-    payloads: dict[int, dict] = {}
-    if not pending:
-        return payloads, False
-    if jobs > 1 and len(pending) > 1:
+def map_parallel(worker, items: list, jobs: int) -> tuple[list, bool]:
+    """Apply picklable *worker* to every item, preferring a process pool.
+
+    Returns ``(results, parallel)`` with results in item order. Falls back
+    to in-process execution when the platform forbids multiprocessing
+    (sandboxes without semaphore support), so callers always get results.
+    The fuzz harness reuses this entry point for its iteration chunks.
+    """
+    if not items:
+        return [], False
+    if jobs > 1 and len(items) > 1:
+        results: dict[int, object] = {}
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
                 futures = {
-                    pool.submit(execute_cell, spec): index
-                    for index, spec in pending
+                    pool.submit(worker, item): index
+                    for index, item in enumerate(items)
                 }
                 not_done = set(futures)
                 while not_done:
                     done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                     for future in done:
-                        payloads[futures[future]] = future.result()
-            return payloads, True
+                        results[futures[future]] = future.result()
+            return [results[index] for index in range(len(items))], True
         except (OSError, PermissionError, NotImplementedError):
-            payloads.clear()  # retry everything inline
-    for index, spec in pending:
-        payloads[index] = execute_cell(spec)
-    return payloads, False
+            pass  # retry everything inline
+    return [worker(item) for item in items], False
+
+
+def _execute_pending(
+    pending: list[tuple[int, CellSpec]], jobs: int
+) -> tuple[dict[int, dict], bool]:
+    """Run the uncached cells through :func:`map_parallel`."""
+    results, parallel = map_parallel(
+        execute_cell, [spec for _, spec in pending], jobs
+    )
+    return {
+        index: payload
+        for (index, _), payload in zip(pending, results)
+    }, parallel
 
 
 def run_sweep(

@@ -113,6 +113,9 @@ class Parser:
             stmt = self._var_decl()
             self._expect(K.SEMI)
             return stmt
+        if tok.kind == K.LBRACE:
+            # Bare block: a statement list in its own scope.
+            return self._block()
         if tok.kind == K.IF:
             return self._if()
         if tok.kind == K.WHILE:

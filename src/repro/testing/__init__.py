@@ -1,0 +1,62 @@
+"""Differential fuzzing & invariant harness for the VM/JIT pipeline.
+
+Pieces, in data-flow order:
+
+- :mod:`.generator` — seeded random MiniLang program generator
+  (terminating, fault-free, numerically tame by construction);
+- :mod:`.render` — AST → MiniLang source, so corpus entries are plain
+  readable programs;
+- :mod:`.differential` — one program through the interpreter, every opt
+  level, and every single-pass pipeline; level-invariant observables
+  (result, output trace, heap-effect summary) must match;
+- :mod:`.minimize` — delta-debugging reducer for diverging programs;
+- :mod:`.corpus` — minimized reproducers stored under ``tests/corpus/``
+  and replayed by the tier-1 suite;
+- :mod:`.fuzz` — the campaign driver behind ``repro fuzz``.
+"""
+
+from .corpus import CorpusEntry, load_corpus, replay_corpus, save_reproducer
+from .differential import (
+    FUZZ_CONFIG,
+    PASS_REGISTRY,
+    REFERENCE,
+    DifferentialReport,
+    Divergence,
+    Outcome,
+    Variant,
+    compile_module,
+    default_variants,
+    execute_variant,
+    module_diverges,
+    run_differential,
+)
+from .fuzz import FuzzFinding, FuzzReport, run_fuzz
+from .generator import GeneratedProgram, generate
+from .minimize import minimize
+from .render import render_module
+
+__all__ = [
+    "CorpusEntry",
+    "DifferentialReport",
+    "Divergence",
+    "FUZZ_CONFIG",
+    "FuzzFinding",
+    "FuzzReport",
+    "GeneratedProgram",
+    "Outcome",
+    "PASS_REGISTRY",
+    "REFERENCE",
+    "Variant",
+    "compile_module",
+    "default_variants",
+    "execute_variant",
+    "generate",
+    "load_corpus",
+    "minimize",
+    "module_diverges",
+    "render_module",
+    "replay_corpus",
+    "run_differential",
+    "run_fuzz",
+    "save_reproducer",
+]

@@ -1,0 +1,244 @@
+"""Differential execution: one program, every compilation configuration.
+
+The oracle behind the fuzzing harness (in the spirit of compilation-
+forking): run the same program
+
+- through the plain interpreter (every method stays at the baseline
+  level — the reference semantics),
+- through the JIT pipeline forced to each optimization level, and
+- through the level-2 pipeline restricted to each single pass,
+
+and require that every configuration observes the identical **result**,
+**output trace** (``print`` lines), and **heap-effect summary**
+(allocation volume/count, GC count and pause cycles, peak live bytes).
+Cycle counts legitimately differ between levels — that is the entire
+point of tiered compilation — so they are excluded from the comparison.
+
+Resource-limit outcomes (fuel, stack depth) in the *reference* make a
+program incomparable and are reported as skipped: tail-call elimination
+legitimately turns stack-overflow programs into loops. Programs from
+:mod:`repro.testing.generator` never hit either limit by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from ..lang.compiler import compile_source
+from ..lang.errors import LangError
+from ..vm.config import VMConfig
+from ..vm.errors import (
+    ExecutionError,
+    FuelExhaustedError,
+    StackOverflowError,
+    VerificationError,
+)
+from ..vm.interpreter import Interpreter
+from ..vm.opt.jit import JITCompiler
+from ..vm.opt.passes import (
+    constant_folding,
+    dead_code_elimination,
+    eliminate_tail_calls,
+    inline_calls,
+    jump_threading,
+    peephole,
+)
+from ..vm.program import Program
+from .render import render_module
+
+#: Every optimization pass, by the short name variants are labeled with.
+PASS_REGISTRY: tuple[tuple[str, object], ...] = (
+    ("constant_folding", constant_folding),
+    ("peephole", peephole),
+    ("dce", dead_code_elimination),
+    ("jump_threading", jump_threading),
+    ("inline", inline_calls),
+    ("tail_call", eliminate_tail_calls),
+)
+
+#: VM configuration for fuzz runs: the default cost model with a tighter
+#: fuel guard (generated programs run in thousands of instructions, so a
+#: runaway case fails fast instead of burning the default 200M budget).
+FUZZ_CONFIG = VMConfig(max_instructions=2_000_000)
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One compilation configuration of the differential matrix.
+
+    ``level`` None means the plain interpreter (all methods baseline);
+    ``tier_passes`` overrides the pass pipelines (single-pass variants).
+    """
+
+    name: str
+    level: int | None = None
+    tier_passes: dict[int, tuple] | None = None
+
+
+def default_variants() -> tuple[Variant, ...]:
+    """The full matrix: every opt level plus every single-pass config."""
+    variants = [Variant("L0", 0), Variant("L1", 1), Variant("L2", 2)]
+    for name, fn in PASS_REGISTRY:
+        variants.append(Variant(f"pass:{name}", 2, {2: (fn,)}))
+    return tuple(variants)
+
+
+REFERENCE = Variant("interp", None, None)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What one execution observed, reduced to the level-invariant parts.
+
+    ``kind`` is ``ok`` (ran to completion), ``error`` (a program fault —
+    must reproduce identically in every configuration), or ``resource``
+    (fuel/stack limit — makes the program incomparable).
+    """
+
+    kind: str
+    value: str = ""
+    error: str = ""
+    output: tuple[str, ...] = ()
+    heap: tuple = ()
+
+    def describe(self) -> str:
+        if self.kind == "ok":
+            return f"result={self.value} output={len(self.output)} lines"
+        return f"{self.kind}:{self.error}"
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """A variant that observed different semantics than the reference."""
+
+    variant: str
+    reference: Outcome
+    observed: Outcome
+
+    def describe(self) -> str:
+        return (
+            f"{self.variant}: expected {self.reference.describe()}, "
+            f"got {self.observed.describe()}"
+        )
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome matrix of one program under every variant."""
+
+    reference: Outcome
+    outcomes: dict[str, Outcome] = field(default_factory=dict)
+    divergences: list[Divergence] = field(default_factory=list)
+    skipped: bool = False  # reference hit a resource limit
+
+
+def _heap_summary(interp: Interpreter) -> tuple:
+    heap = interp.intrinsic_ctx.heap
+    stats = heap.stats
+    return (
+        heap.policy,
+        stats.allocation_count,
+        stats.allocated_bytes,
+        stats.gc_count,
+        stats.gc_pause_cycles,
+        stats.peak_live_bytes,
+    )
+
+
+def execute_variant(
+    program: Program,
+    args: tuple,
+    variant: Variant,
+    config: VMConfig = FUZZ_CONFIG,
+    rng_seed: int = 0,
+) -> Outcome:
+    """Run *program* under one compilation configuration."""
+    jit = JITCompiler(program, config, tier_passes=variant.tier_passes)
+    level = variant.level
+    hook = None if level is None else (lambda name: level)
+    interp = Interpreter(
+        program,
+        config=config,
+        rng_seed=rng_seed,
+        jit=jit,
+        first_invocation_hook=hook,
+    )
+    try:
+        interp.run(args)
+    except (FuelExhaustedError, StackOverflowError) as exc:
+        return Outcome(
+            kind="resource",
+            error=type(exc).__name__,
+            output=tuple(interp.output),
+            heap=_heap_summary(interp),
+        )
+    except ExecutionError as exc:
+        # Compare faults by type: the message may embed configuration-
+        # dependent detail (pcs shift under optimization), but whether and
+        # how a program faults must not change.
+        return Outcome(
+            kind="error",
+            error=type(exc).__name__,
+            output=tuple(interp.output),
+            heap=_heap_summary(interp),
+        )
+    return Outcome(
+        kind="ok",
+        value=repr(interp.result),
+        output=tuple(interp.output),
+        heap=_heap_summary(interp),
+    )
+
+
+def run_differential(
+    program: Program,
+    args: tuple,
+    variants: tuple[Variant, ...] | None = None,
+    config: VMConfig = FUZZ_CONFIG,
+    rng_seed: int = 0,
+) -> DifferentialReport:
+    """Run the full differential matrix for one program."""
+    if variants is None:
+        variants = default_variants()
+    reference = execute_variant(program, args, REFERENCE, config, rng_seed)
+    report = DifferentialReport(reference=reference)
+    if reference.kind == "resource":
+        report.skipped = True
+        return report
+    for variant in variants:
+        observed = execute_variant(program, args, variant, config, rng_seed)
+        report.outcomes[variant.name] = observed
+        if observed != reference:
+            report.divergences.append(
+                Divergence(
+                    variant=variant.name, reference=reference, observed=observed
+                )
+            )
+    return report
+
+
+def compile_module(module: ast.Module) -> Program:
+    """Compile an AST module through the full front end (render + parse),
+    so exactly what a corpus file replays is what gets checked."""
+    return compile_source(render_module(module), name="fuzz")
+
+
+def module_diverges(
+    module: ast.Module,
+    args: tuple,
+    variants: tuple[Variant, ...] | None = None,
+    config: VMConfig = FUZZ_CONFIG,
+    rng_seed: int = 0,
+) -> bool:
+    """True when *module* compiles and shows at least one divergence.
+
+    Invalid candidates (the minimizer produces plenty) count as
+    non-diverging rather than erroring out.
+    """
+    try:
+        program = compile_module(module)
+    except (LangError, VerificationError):
+        return False
+    report = run_differential(program, args, variants, config, rng_seed)
+    return bool(report.divergences)

@@ -1,0 +1,530 @@
+"""Seeded random MiniLang program generator for differential fuzzing.
+
+Emits well-formed :mod:`repro.lang.ast` modules covering the whole
+surface the optimizer touches: arithmetic (with short-circuit logic and
+comparisons), nested control flow with ``break``/``continue``, calls
+between functions, self-recursion (both tail and non-tail form, so
+tail-call elimination gets real targets), array allocation/indexing, and
+intrinsics including the heap ops (``alloc``/``retain``/``release``).
+
+Every generated program is guaranteed, by construction, to
+
+- **terminate** far below the fuel guard: all loops iterate a small
+  constant number of times (``while`` loops count a protected variable
+  down; ``continue`` is only emitted where the loop step still runs),
+  recursion depth is a small constant, and helper call chains may only
+  grow inside ``main``'s loops, not inside helper loops;
+- **never fault**: divisors have the shape ``(e % 37) * (e % 37) + 1``
+  (≥ 1 for any int or float ``e``), array indices are ``e % size`` with
+  the size a known positive constant (non-negative in Python for any
+  int ``e``), and intrinsic domains are respected (``sqrt``/``log``/
+  ``burn``/``alloc`` arguments are clamped non-negative);
+- **stay numerically tame**: assignments to accumulator variables are
+  wrapped in ``% m`` so loop-carried values cannot grow unboundedly
+  (a squaring accumulator would otherwise go doubly exponential).
+
+Because faults and resource limits cannot occur, any observable
+difference between two compilation configurations of a generated
+program is a compiler bug, which is exactly the oracle
+:mod:`repro.testing.differential` wants.
+
+Generation is a pure function of ``(seed, index)`` — the same pair
+always yields the identical program, so a fuzz finding is reproducible
+from two integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..lang import ast
+from .render import render_module
+
+#: Modulus pool for taming loop-carried accumulators.
+_TAME_MODS = (97, 1009, 9973, 99991)
+
+#: Small float literals (exact in binary where possible; determinism only
+#: requires that every config evaluates the same Python float ops).
+_FLOAT_LITS = (0.5, 1.25, 2.5, 0.125, 3.0, 0.75)
+
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_ARITH_OPS = ("+", "-", "*")
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One fuzz case: the AST, its rendered source, and entry arguments."""
+
+    seed: int
+    index: int
+    module: ast.Module
+    source: str
+    args: tuple[int, ...]
+
+
+def _I(value: int) -> ast.IntLit:
+    return ast.IntLit(value=value)
+
+
+def _bin(op: str, left: ast.Expr, right: ast.Expr) -> ast.Binary:
+    return ast.Binary(op=op, left=left, right=right)
+
+
+def _mod(expr: ast.Expr, m: int) -> ast.Binary:
+    return _bin("%", expr, _I(m))
+
+
+def _call(name: str, *args: ast.Expr) -> ast.Call:
+    return ast.Call(callee=name, args=tuple(args))
+
+
+class _FunctionGen:
+    """Generates one function body under termination/type discipline.
+
+    ``vars`` maps a name to ``"int"``, ``"float"``, or ``("arr", size)``.
+    ``protected`` holds loop counters that statements must not reassign.
+    """
+
+    def __init__(
+        self,
+        rng: Random,
+        params: tuple[str, ...],
+        helpers: dict[str, int],
+        is_main: bool,
+    ):
+        self.rng = rng
+        self.vars: dict[str, object] = {p: "int" for p in params}
+        self.protected: set[str] = set()
+        self.helpers = helpers  # callee name -> arity (earlier functions only)
+        self.is_main = is_main
+        self.loop_depth = 0
+        self.innermost_is_for = False
+        self._counter = 0
+
+    # -- naming ------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _pick_var(self, kind: str, assignable: bool = False) -> str | None:
+        names = [
+            name
+            for name, k in self.vars.items()
+            if (k == kind if kind != "arr" else isinstance(k, tuple))
+            and not (assignable and name in self.protected)
+        ]
+        return self.rng.choice(names) if names else None
+
+    # -- expressions -------------------------------------------------------
+    def int_expr(self, depth: int) -> ast.Expr:
+        rng = self.rng
+        if depth <= 0:
+            roll = rng.random()
+            name = self._pick_var("int")
+            if name is not None and roll < 0.55:
+                return ast.Name(ident=name)
+            return _I(rng.randint(-9, 12))
+        roll = rng.random()
+        if roll < 0.30:
+            return _bin(
+                rng.choice(_ARITH_OPS),
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1),
+            )
+        if roll < 0.38:
+            return self._guarded_div(depth)
+        if roll < 0.48:
+            return _bin(
+                rng.choice(_CMP_OPS),
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1),
+            )
+        if roll < 0.56:
+            return _bin(
+                rng.choice(("&&", "||")),
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1),
+            )
+        if roll < 0.62:
+            op = "-" if rng.random() < 0.7 else "!"
+            return ast.Unary(op=op, operand=self.int_expr(depth - 1))
+        if roll < 0.70:
+            return self._int_intrinsic(depth)
+        if roll < 0.78:
+            read = self._array_read(depth)
+            if read is not None:
+                return read
+        if roll < 0.86 and self._may_call():
+            call = self._helper_call(depth)
+            if call is not None:
+                return call
+        return self.int_expr(0)
+
+    def _guarded_div(self, depth: int) -> ast.Expr:
+        """``a / ((b % 37) * (b % 37) + 1)`` — the divisor is ≥ 1 for any
+        int (Python's ``%`` with a positive modulus is non-negative)."""
+        op = self.rng.choice(("/", "%"))
+        b = _mod(self.int_expr(depth - 1), 37)
+        divisor = _bin("+", _bin("*", b, b), _I(1))
+        return _bin(op, self.int_expr(depth - 1), divisor)
+
+    def _int_intrinsic(self, depth: int) -> ast.Expr:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.25:
+            return _call("abs", self.int_expr(depth - 1))
+        if roll < 0.45:
+            return _call(
+                rng.choice(("min", "max")),
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1),
+            )
+        if roll < 0.60:
+            return _call("randint", _I(0), _I(rng.randint(1, 30)))
+        if roll < 0.80:
+            return _call("ftoi", self.float_expr(depth - 1, pure=True))
+        arr = self._pick_var("arr")
+        if arr is not None:
+            return _call("len", ast.Name(ident=arr))
+        return _call("abs", self.int_expr(depth - 1))
+
+    def _array_read(self, depth: int) -> ast.Expr | None:
+        name = self._pick_var("arr")
+        if name is None:
+            return None
+        size = self.vars[name][1]
+        return ast.Index(
+            array=ast.Name(ident=name),
+            index=_mod(self.int_expr(depth - 1), size),
+        )
+
+    def _may_call(self) -> bool:
+        # Helper loops must not multiply the cost of callees (a chain of
+        # helpers each calling the previous inside a loop is exponential);
+        # main's loops may, which is what makes its callees hot.
+        return bool(self.helpers) and (self.is_main or self.loop_depth == 0)
+
+    def _helper_call(self, depth: int) -> ast.Expr | None:
+        name = self.rng.choice(sorted(self.helpers))
+        arity = self.helpers[name]
+        args = tuple(_mod(self.int_expr(depth - 1), 97) for _ in range(arity))
+        return _call(name, *args)
+
+    def float_expr(self, depth: int, pure: bool = False) -> ast.Expr:
+        """A float-typed expression; ``pure`` forbids float-variable leaves
+        (used for loop-carried float assignments so growth stays additive).
+        """
+        rng = self.rng
+        if depth <= 0:
+            name = None if pure else self._pick_var("float")
+            if name is not None and rng.random() < 0.5:
+                return ast.Name(ident=name)
+            return ast.FloatLit(value=rng.choice(_FLOAT_LITS))
+        roll = rng.random()
+        if roll < 0.30:
+            return _bin(
+                rng.choice(_ARITH_OPS),
+                self.float_expr(depth - 1, pure),
+                self.float_expr(depth - 1, pure),
+            )
+        if roll < 0.45:
+            return _call("itof", _mod(self.int_expr(depth - 1), 1000))
+        if roll < 0.55:
+            return _call("sqrt", _mod(self.int_expr(depth - 1), 1000))
+        if roll < 0.62:
+            return _call("log", _bin("+", _mod(self.int_expr(depth - 1), 999), _I(1)))
+        if roll < 0.70:
+            return _call("exp", _mod(self.int_expr(depth - 1), 20))
+        if roll < 0.80:
+            return _call(rng.choice(("sin", "cos")), self.float_expr(depth - 1, pure))
+        if roll < 0.88:
+            return _call("rand")
+        return self.float_expr(0, pure)
+
+    # -- statements --------------------------------------------------------
+    def block(self, budget: int, nesting: int) -> ast.Block:
+        statements: list[ast.Stmt] = []
+        for _ in range(budget):
+            statements.append(self.statement(nesting))
+        return ast.Block(statements=tuple(statements))
+
+    def scoped_block(self, budget: int, nesting: int) -> ast.Block:
+        """A block that opens a fresh scope at execution time: variables
+        declared inside must not leak into the generator's environment, or
+        later statements would reference out-of-scope names."""
+        saved_vars = dict(self.vars)
+        saved_protected = set(self.protected)
+        block = self.block(budget, nesting)
+        self.vars = saved_vars
+        self.protected = saved_protected
+        return block
+
+    def statement(self, nesting: int) -> ast.Stmt:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.16:
+            return self._var_decl()
+        if roll < 0.34:
+            assign = self._assign()
+            if assign is not None:
+                return assign
+            return self._var_decl()
+        if roll < 0.44:
+            return self._effect_stmt()
+        if roll < 0.50:
+            write = self._array_write()
+            if write is not None:
+                return write
+            return self._effect_stmt()
+        if roll < 0.66 and nesting > 0:
+            return self._if_stmt(nesting)
+        if roll < 0.80 and nesting > 0 and self.loop_depth < 2:
+            return self._loop(nesting)
+        if roll < 0.84 and self.loop_depth > 0:
+            return self._break_or_continue()
+        if roll < 0.88:
+            return ast.Return(value=_mod(self.int_expr(2), 99991))
+        return self._effect_stmt()
+
+    def _var_decl(self) -> ast.Stmt:
+        rng = self.rng
+        roll = rng.random()
+        # The initializer must be generated *before* the name is visible:
+        # MiniLang (like most languages) rejects a declaration whose
+        # initializer reads the variable being declared.
+        if roll < 0.55:
+            init = self._tamed_int(2)
+            name = self._fresh("v")
+            self.vars[name] = "int"
+            return ast.VarDecl(name=name, init=init)
+        if roll < 0.80:
+            init = self.float_expr(2, pure=True)
+            name = self._fresh("f")
+            self.vars[name] = "float"
+            return ast.VarDecl(name=name, init=init)
+        name = self._fresh("a")
+        size = rng.randint(1, 8)
+        self.vars[name] = ("arr", size)
+        return ast.VarDecl(name=name, init=_call("array", _I(size)))
+
+    def _tamed_int(self, depth: int) -> ast.Expr:
+        """An int expression safe to store into a loop-carried variable."""
+        return _mod(self.int_expr(depth), self.rng.choice(_TAME_MODS))
+
+    def _assign(self) -> ast.Stmt | None:
+        rng = self.rng
+        if rng.random() < 0.75:
+            name = self._pick_var("int", assignable=True)
+            if name is None:
+                return None
+            return ast.Assign(name=name, value=self._tamed_int(2))
+        name = self._pick_var("float", assignable=True)
+        if name is None:
+            return None
+        fresh = self.float_expr(2, pure=True)
+        if rng.random() < 0.6:
+            value: ast.Expr = _bin("+", ast.Name(ident=name), fresh)
+        else:
+            value = fresh
+        return ast.Assign(name=name, value=value)
+
+    def _array_write(self) -> ast.Stmt | None:
+        name = self._pick_var("arr")
+        if name is None:
+            return None
+        size = self.vars[name][1]
+        return ast.IndexAssign(
+            array=ast.Name(ident=name),
+            index=_mod(self.int_expr(1), size),
+            value=self._tamed_int(2),
+        )
+
+    def _effect_stmt(self) -> ast.Stmt:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.30:
+            arg = (
+                self.float_expr(1, pure=True)
+                if rng.random() < 0.3
+                else self.int_expr(2)
+            )
+            return ast.ExprStmt(expr=_call("print", arg))
+        if roll < 0.55:
+            return ast.ExprStmt(
+                expr=_call("burn", _mod(self.int_expr(1), 400))
+            )
+        if roll < 0.70:
+            return ast.ExprStmt(
+                expr=_call("alloc", _bin("+", _mod(self.int_expr(1), 1500), _I(16)))
+            )
+        if roll < 0.80:
+            return ast.ExprStmt(
+                expr=_call("retain", _bin("+", _mod(self.int_expr(1), 800), _I(8)))
+            )
+        if roll < 0.86:
+            return ast.ExprStmt(expr=_call("release", _mod(self.int_expr(1), 800)))
+        if self._may_call():
+            call = self._helper_call(2)
+            if call is not None:
+                return ast.ExprStmt(expr=call)
+        return ast.ExprStmt(expr=_call("burn", _mod(self.int_expr(1), 200)))
+
+    def _if_stmt(self, nesting: int) -> ast.Stmt:
+        rng = self.rng
+        cond = self.int_expr(2)
+        then_body = self.scoped_block(rng.randint(1, 3), nesting - 1)
+        else_body = (
+            self.scoped_block(rng.randint(1, 3), nesting - 1)
+            if rng.random() < 0.5
+            else None
+        )
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body)
+
+    def _loop(self, nesting: int) -> ast.Stmt:
+        rng = self.rng
+        bound = rng.randint(1, 6)
+        outer_for = self.innermost_is_for
+        saved_vars = dict(self.vars)
+        saved_protected = set(self.protected)
+        self.loop_depth += 1
+        if rng.random() < 0.6:
+            self.innermost_is_for = True
+            name = self._fresh("i")
+            self.vars[name] = "int"
+            self.protected.add(name)
+            body = self.block(rng.randint(1, 4), nesting - 1)
+            stmt: ast.Stmt = ast.For(
+                init=ast.VarDecl(name=name, init=_I(0)),
+                cond=_bin("<", ast.Name(ident=name), _I(bound)),
+                step=ast.Assign(
+                    name=name, value=_bin("+", ast.Name(ident=name), _I(1))
+                ),
+                body=body,
+            )
+        else:
+            # `while` counts a protected variable down; the decrement is the
+            # final statement, so `continue` would skip it — the statement
+            # generator only emits `continue` when the innermost loop is a
+            # `for` (whose step always runs).
+            self.innermost_is_for = False
+            name = self._fresh("w")
+            self.vars[name] = "int"
+            self.protected.add(name)
+            body_stmts = list(
+                self.block(rng.randint(1, 3), nesting - 1).statements
+            )
+            body_stmts.append(
+                ast.Assign(name=name, value=_bin("-", ast.Name(ident=name), _I(1)))
+            )
+            stmt = ast.Block(
+                statements=(
+                    ast.VarDecl(name=name, init=_I(bound)),
+                    ast.While(
+                        cond=_bin(">", ast.Name(ident=name), _I(0)),
+                        body=ast.Block(statements=tuple(body_stmts)),
+                    ),
+                )
+            )
+        self.loop_depth -= 1
+        self.innermost_is_for = outer_for
+        self.vars = saved_vars
+        self.protected = saved_protected
+        return stmt
+
+    def _break_or_continue(self) -> ast.Stmt:
+        if self.innermost_is_for and self.rng.random() < 0.5:
+            return ast.Continue()
+        return ast.Break()
+
+
+def _gen_recursive(rng: Random, name: str) -> ast.Function:
+    """A self-recursive function, tail or non-tail form, depth ≤ 25."""
+    n, acc = ast.Name(ident="n"), ast.Name(ident="acc")
+    body_expr_pool: tuple[ast.Expr, ...] = (
+        _bin("+", acc, n),
+        _bin("+", _bin("*", acc, _I(rng.randint(2, 5))), n),
+        _bin("-", _bin("*", n, n), acc),
+        _bin("+", acc, _bin("*", n, _I(rng.randint(1, 7)))),
+    )
+    step = _mod(rng.choice(body_expr_pool), 9973)
+    rec_args = (_bin("-", n, _I(1)), step)
+    if rng.random() < 0.5:
+        # Tail form: `return rec(n - 1, step);` — the `CALL self; RET`
+        # pattern tail-call elimination rewrites.
+        tail: ast.Stmt = ast.Return(value=_call(name, *rec_args))
+    else:
+        tail = ast.Return(
+            value=_mod(
+                _bin("+", _I(rng.randint(1, 9)), _call(name, *rec_args)), 9973
+            )
+        )
+    return ast.Function(
+        name=name,
+        params=("n", "acc"),
+        body=ast.Block(
+            statements=(
+                ast.If(
+                    cond=_bin("<=", n, _I(0)),
+                    then_body=ast.Block(
+                        statements=(ast.Return(value=_mod(acc, 9973)),)
+                    ),
+                    else_body=None,
+                ),
+                tail,
+            )
+        ),
+    )
+
+
+def generate(seed: int, index: int) -> GeneratedProgram:
+    """Generate fuzz case *index* of stream *seed* (pure and deterministic)."""
+    rng = Random(seed * 1_000_003 + index * 7919 + 1)
+
+    functions: list[ast.Function] = []
+    helpers: dict[str, int] = {}
+
+    for h in range(rng.randint(0, 2)):
+        name = f"h{h}"
+        arity = rng.randint(1, 2)
+        params = tuple(f"p{k}" for k in range(arity))
+        gen = _FunctionGen(rng, params, dict(helpers), is_main=False)
+        stmts = list(gen.block(rng.randint(1, 4), nesting=2).statements)
+        stmts.append(ast.Return(value=_mod(gen.int_expr(2), 9973)))
+        functions.append(
+            ast.Function(name=name, params=params, body=ast.Block(statements=tuple(stmts)))
+        )
+        helpers[name] = arity
+
+    if rng.random() < 0.55:
+        rec = _gen_recursive(rng, f"r{len(functions)}")
+        functions.append(rec)
+        # Recursive functions are entered with a constant depth argument so
+        # call sites look like `r(12, k)`; register arity 2 but wrap calls.
+        helpers[rec.name] = 2
+
+    main_arity = rng.randint(0, 2)
+    params = tuple(f"arg{k}" for k in range(main_arity))
+    gen = _FunctionGen(rng, params, helpers, is_main=True)
+    stmts = list(gen.block(rng.randint(2, 6), nesting=3).statements)
+    result_vars = [n for n, k in gen.vars.items() if k == "int"]
+    acc: ast.Expr = _I(rng.randint(0, 7))
+    for var in result_vars[:6]:
+        acc = _bin("+", _bin("*", acc, _I(3)), ast.Name(ident=var))
+    stmts.append(ast.Return(value=_mod(acc, 99991)))
+    functions.append(
+        ast.Function(name="main", params=params, body=ast.Block(statements=tuple(stmts)))
+    )
+
+    module = ast.Module(functions=tuple(functions))
+    # Recursion depth arguments: any helper call already modulo-wraps its
+    # arguments to < 97, which bounds recursion depth far below the
+    # call-depth guard (256) even before tail-call elimination.
+    args = tuple(rng.randint(0, 9) for _ in range(main_arity))
+    return GeneratedProgram(
+        seed=seed,
+        index=index,
+        module=module,
+        source=render_module(module),
+        args=args,
+    )

@@ -1,0 +1,138 @@
+"""Delta-debugging minimizer: shrink a diverging program to its essence.
+
+Given a module whose differential run diverges, greedily applies the
+first semantics-shrinking edit that preserves the divergence, restarting
+until no edit helps (or the check budget runs out). Edits, coarse to
+fine:
+
+1. drop a whole function (``main`` always stays — it is the entry);
+2. delete a chunk of statements from any block (ddmin-style: whole
+   block first, then halves, then single statements);
+3. hoist a control-flow statement's body over the statement itself
+   (``if`` → its branch, loops → their body);
+4. reduce an expression to ``0``/``1`` or to one of its own
+   subexpressions.
+
+Candidate edits routinely produce invalid programs (deleting a
+declaration whose uses survive, hoisting a loop body that reads the loop
+variable); the interestingness predicate compiles each candidate and
+simply rejects the invalid ones, so the minimizer needs no scope
+analysis of its own. The result is always a well-formed module that
+still satisfies the predicate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from ..lang import ast
+
+#: A path from the module root to a node: ``(field_name, tuple_index)``
+#: steps, with ``None`` for scalar fields.
+Path = tuple[tuple[str, int | None], ...]
+
+
+def _children(node: ast.Node) -> Iterator[tuple[tuple[str, int | None], ast.Node]]:
+    for f in dataclasses.fields(node):
+        if f.name in ("line", "col"):
+            continue
+        value = getattr(node, f.name)
+        if isinstance(value, ast.Node):
+            yield (f.name, None), value
+        elif isinstance(value, tuple):
+            for index, item in enumerate(value):
+                if isinstance(item, ast.Node):
+                    yield (f.name, index), item
+
+
+def _walk(node: ast.Node, path: Path = ()) -> Iterator[tuple[Path, ast.Node]]:
+    yield path, node
+    for step, child in _children(node):
+        yield from _walk(child, path + (step,))
+
+
+def _set(node: ast.Node, path: Path, replacement: ast.Node) -> ast.Node:
+    if not path:
+        return replacement
+    (fname, index), rest = path[0], path[1:]
+    value = getattr(node, fname)
+    if index is None:
+        return dataclasses.replace(node, **{fname: _set(value, rest, replacement)})
+    items = list(value)
+    items[index] = _set(items[index], rest, replacement)
+    return dataclasses.replace(node, **{fname: tuple(items)})
+
+
+def _candidates(module: ast.Module) -> Iterator[ast.Module]:
+    """Yield reduced variants of *module*, coarsest reductions first."""
+    functions = module.functions
+    if len(functions) > 1:
+        for i, fn in enumerate(functions):
+            if fn.name == "main":
+                continue
+            yield dataclasses.replace(
+                module, functions=functions[:i] + functions[i + 1 :]
+            )
+
+    nodes = list(_walk(module))
+
+    for path, node in nodes:
+        if isinstance(node, ast.Block) and node.statements and path:
+            n = len(node.statements)
+            size = n
+            while size >= 1:
+                for start in range(0, n, size):
+                    kept = (
+                        node.statements[:start] + node.statements[start + size :]
+                    )
+                    if len(kept) == n:
+                        continue
+                    yield _set(
+                        module,
+                        path,
+                        dataclasses.replace(node, statements=kept),
+                    )
+                size //= 2
+
+    for path, node in nodes:
+        if isinstance(node, ast.If):
+            yield _set(module, path, node.then_body)
+            if node.else_body is not None:
+                yield _set(module, path, node.else_body)
+        elif isinstance(node, (ast.While, ast.For)):
+            yield _set(module, path, node.body)
+
+    for path, node in nodes:
+        if isinstance(node, ast.Expr) and path:
+            if not (isinstance(node, ast.IntLit) and node.value in (0, 1)):
+                yield _set(module, path, ast.IntLit(value=1))
+                yield _set(module, path, ast.IntLit(value=0))
+            for _, child in _children(node):
+                if isinstance(child, ast.Expr):
+                    yield _set(module, path, child)
+
+
+def minimize(
+    module: ast.Module,
+    is_interesting: Callable[[ast.Module], bool],
+    max_checks: int = 1500,
+) -> ast.Module:
+    """Greedily shrink *module* while ``is_interesting`` stays true.
+
+    *module* itself must satisfy the predicate. The predicate must return
+    False (not raise) for candidates that fail to compile.
+    """
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _candidates(module):
+            checks += 1
+            if is_interesting(candidate):
+                module = candidate
+                improved = True
+                break
+            if checks >= max_checks:
+                break
+    return module

@@ -1,0 +1,112 @@
+"""AST → MiniLang source rendering.
+
+The fuzzing pipeline works on :mod:`repro.lang.ast` trees (the generator
+emits them, the minimizer rewrites them), but reproducers are stored and
+replayed as ordinary MiniLang source so a corpus entry is a plain,
+human-readable program. Rendering goes through the full front end when
+recompiled, so every corpus file is guaranteed to be valid MiniLang.
+
+Expressions are emitted fully parenthesized: the renderer never needs to
+reason about precedence, and the parser accepts redundant parentheses.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+
+_INDENT = "  "
+
+
+def render_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, ast.Index):
+        return f"{render_expr(expr.array)}[{render_expr(expr.index)}]"
+    raise TypeError(f"cannot render expression {type(expr).__name__}")
+
+
+def _render_simple(stmt: ast.Stmt) -> str:
+    """One of the semicolon-less statement forms (also used in for-headers)."""
+    if isinstance(stmt, ast.VarDecl):
+        return f"var {stmt.name} = {render_expr(stmt.init)}"
+    if isinstance(stmt, ast.Assign):
+        return f"{stmt.name} = {render_expr(stmt.value)}"
+    if isinstance(stmt, ast.IndexAssign):
+        return (
+            f"{render_expr(stmt.array)}[{render_expr(stmt.index)}]"
+            f" = {render_expr(stmt.value)}"
+        )
+    if isinstance(stmt, ast.ExprStmt):
+        return render_expr(stmt.expr)
+    raise TypeError(f"{type(stmt).__name__} is not a simple statement")
+
+
+def render_stmt(stmt: ast.Stmt, depth: int = 1) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, (ast.VarDecl, ast.Assign, ast.IndexAssign, ast.ExprStmt)):
+        return [f"{pad}{_render_simple(stmt)};"]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {render_expr(stmt.value)};"]
+    if isinstance(stmt, ast.Break):
+        return [f"{pad}break;"]
+    if isinstance(stmt, ast.Continue):
+        return [f"{pad}continue;"]
+    if isinstance(stmt, ast.Block):
+        lines = [f"{pad}{{"]
+        for inner in stmt.statements:
+            lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({render_expr(stmt.cond)}) {{"]
+        for inner in stmt.then_body.statements:
+            lines.extend(render_stmt(inner, depth + 1))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.else_body.statements:
+                lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({render_expr(stmt.cond)}) {{"]
+        for inner in stmt.body.statements:
+            lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.For):
+        init = _render_simple(stmt.init) if stmt.init is not None else ""
+        cond = render_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _render_simple(stmt.step) if stmt.step is not None else ""
+        lines = [f"{pad}for ({init}; {cond}; {step}) {{"]
+        for inner in stmt.body.statements:
+            lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"cannot render statement {type(stmt).__name__}")
+
+
+def render_function(fn: ast.Function) -> str:
+    header = f"fn {fn.name}({', '.join(fn.params)}) {{"
+    lines = [header]
+    for stmt in fn.body.statements:
+        lines.extend(render_stmt(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_module(module: ast.Module) -> str:
+    """Render *module* as compilable MiniLang source text."""
+    return "\n\n".join(render_function(fn) for fn in module.functions) + "\n"

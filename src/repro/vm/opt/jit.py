@@ -81,11 +81,23 @@ class CompiledCode:
 
 
 class JITCompiler:
-    """Compiles methods of one program under one cost configuration."""
+    """Compiles methods of one program under one cost configuration.
 
-    def __init__(self, program: Program, config: VMConfig):
+    *tier_passes* optionally overrides the default per-level pass
+    pipelines (levels absent from the mapping keep their defaults). The
+    differential fuzzing harness uses this to compile the same program
+    under single-pass configurations.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: VMConfig,
+        tier_passes: dict[int, tuple] | None = None,
+    ):
         self.program = program
         self.config = config
+        self.tier_passes = tier_passes
         self._cache: dict[tuple[str, int], CompiledCode] = {}
         self._optimizability: dict[str, float] = {}
 
@@ -120,7 +132,12 @@ class JITCompiler:
         from .pipeline import run_pipeline
 
         method = self.program.method(method_name)
-        code, num_locals, stats = run_pipeline(self.program, method, level)
+        passes = (
+            self.tier_passes.get(level) if self.tier_passes is not None else None
+        )
+        code, num_locals, stats = run_pipeline(
+            self.program, method, level, passes=passes
+        )
         compiled = CompiledCode(
             method_name=method_name,
             level=level,

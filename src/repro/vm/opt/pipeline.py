@@ -44,7 +44,10 @@ MAX_PIPELINE_ROUNDS = 8
 
 
 def run_pipeline(
-    program: Program, method: Method, level: int
+    program: Program,
+    method: Method,
+    level: int,
+    passes: tuple[PassFn, ...] | None = None,
 ) -> tuple[tuple, int, dict[str, int]]:
     """Optimize *method* at *level*.
 
@@ -52,10 +55,15 @@ def run_pipeline(
     original code untouched; higher levels iterate their pipeline until no
     pass reports a change (bounded by :data:`MAX_PIPELINE_ROUNDS`), then
     compact NOPs out.
+
+    *passes* overrides the tier's default pipeline — the differential
+    fuzzing harness uses this to run each pass in isolation against the
+    same program.
     """
     if level not in OPT_LEVELS:
         raise ValueError(f"unknown optimization level {level}")
-    passes = TIER_PASSES[level]
+    if passes is None:
+        passes = TIER_PASSES[level]
     if not passes:
         return method.code, method.num_locals, {}
     buf = CodeBuffer(method.code)

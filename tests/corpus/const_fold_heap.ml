@@ -1,0 +1,8 @@
+fn main() {
+  var a = (2 + 3);
+  alloc((a * 16));
+  retain(32);
+  print((a + 7));
+  release(8);
+  return ((a * a) + (10 - 4));
+}

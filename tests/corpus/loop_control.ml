@@ -1,0 +1,20 @@
+fn main(n) {
+  var a = array(5);
+  var s = 0;
+  for (var i = 0; i < 8; i = i + 1) {
+    if (i == 6) {
+      break;
+    }
+    if ((i % 2) == 0) {
+      continue;
+    }
+    a[(i % 5)] = (i * i);
+    s = ((s + a[(i % 5)]) % 1009);
+  }
+  var j = 3;
+  while (j > 0) {
+    s = ((s + (j * n)) % 1009);
+    j = (j - 1);
+  }
+  return s;
+}

@@ -1,0 +1,10 @@
+fn sum(n, acc) {
+  if (n <= 0) {
+    return acc;
+  }
+  return sum((n - 1), ((acc + n) % 9973));
+}
+
+fn main(k) {
+  return ((sum(50, k) + (2 + 3)) % 9973);
+}

@@ -34,3 +34,25 @@ class TestCLI:
     def test_gc_study_reduced(self, capsys):
         assert main(["gc-study", "--runs", "8"]) == 0
         assert "GC-selection" in capsys.readouterr().out
+
+    def test_fuzz_smoke(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--seed",
+                    "0",
+                    "--iterations",
+                    "3",
+                    "--corpus-dir",
+                    str(corpus),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3/3" in out
+        assert "0 divergence(s)" in out
+        # clean campaign: nothing written to the corpus
+        assert not corpus.exists() or not list(corpus.glob("*.ml"))

@@ -1,0 +1,80 @@
+"""Corpus round-trip tests and the tier-1 regression replay.
+
+``tests/corpus/`` holds minimized reproducers (plus seed entries that
+pin down historically delicate optimizer behaviour: tail recursion,
+heap-op ordering, loop control flow). Every entry must pass the full
+differential matrix — a divergence here means a previously-fixed bug is
+back.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing import load_corpus, replay_corpus, save_reproducer
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        source = "fn main(n) {\n  return (n + 1);\n}\n"
+        path = save_reproducer(
+            tmp_path,
+            source,
+            seed=5,
+            index=12,
+            args=(3,),
+            divergent=("L2", "pass:dce"),
+        )
+        assert path.name == "fuzz_s5_i12.ml"
+        entries = load_corpus(tmp_path)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.source == source
+        assert entry.args == (3,)
+        assert entry.meta["divergent"] == ["L2", "pass:dce"]
+
+    def test_bare_ml_without_sidecar_is_loadable(self, tmp_path):
+        (tmp_path / "manual.ml").write_text("fn main() { return 7; }\n")
+        entries = load_corpus(tmp_path)
+        assert entries[0].name == "manual"
+        assert entries[0].args == ()
+
+    def test_missing_directory_is_empty_corpus(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+
+class TestRegressionReplay:
+    def test_seed_corpus_exists(self):
+        assert load_corpus(CORPUS_DIR), "seed corpus entries missing"
+
+    def test_corpus_replays_without_divergence(self):
+        results = replay_corpus(CORPUS_DIR)
+        assert results
+        for entry, report in results:
+            assert not report.skipped, entry.name
+            assert not report.divergences, (
+                entry.name,
+                [d.describe() for d in report.divergences],
+            )
+
+    def test_replayed_entries_actually_execute(self):
+        for entry, report in replay_corpus(CORPUS_DIR):
+            assert report.reference.kind == "ok", entry.name
+
+
+class TestReplayDetectsRegressions:
+    def test_replay_flags_a_broken_pass(self, tmp_path):
+        # Replay is only a safety net if it actually fails when the
+        # compiler regresses: re-break a fold and replay the seed corpus.
+        from repro.vm.opt.passes.constant_folding import _FOLDERS
+        from repro.vm.program import Op
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setitem(_FOLDERS, Op.ADD, lambda a, b: a + b + 1)
+            diverged = sum(
+                len(report.divergences)
+                for _, report in replay_corpus(CORPUS_DIR)
+            )
+        assert diverged > 0

@@ -1,0 +1,118 @@
+"""Tests for the differential executor and the end-to-end fuzz loop.
+
+The acceptance test at the bottom breaks an optimization pass on purpose
+and requires the harness to catch the miscompile and shrink it to a
+minimal reproducer — the whole point of the subsystem.
+"""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.testing import (
+    REFERENCE,
+    default_variants,
+    execute_variant,
+    generate,
+    load_corpus,
+    replay_corpus,
+    run_differential,
+    run_fuzz,
+)
+from repro.vm.opt.passes.constant_folding import _FOLDERS
+from repro.vm.program import Op
+
+
+class TestVariantMatrix:
+    def test_default_variants_cover_levels_and_passes(self):
+        names = [v.name for v in default_variants()]
+        assert names[:3] == ["L0", "L1", "L2"]
+        assert "pass:constant_folding" in names
+        assert "pass:tail_call" in names
+        assert "pass:dce" in names
+        assert len(names) == 9
+
+    def test_outcome_tracks_output_and_heap(self):
+        source = """
+        fn main() {
+          print(3);
+          alloc(64);
+          print(max(7, 2));
+          return 0;
+        }
+        """
+        program = compile_source(source, name="obs")
+        reference = execute_variant(program, (), REFERENCE)
+        assert reference.kind == "ok"
+        assert len(reference.output) == 2
+        assert reference.heap[1] >= 1  # allocation_count
+        for variant in default_variants():
+            assert execute_variant(program, (), variant) == reference
+
+    def test_faulting_program_faults_identically_everywhere(self):
+        # Constant folding deliberately leaves div-by-zero unfolded so
+        # the fault stays a runtime fault under every configuration.
+        program = compile_source("fn main() { return 1 / 0; }", name="div0")
+        report = run_differential(program, ())
+        assert report.reference.kind == "error"
+        assert not report.divergences
+
+
+class TestGeneratedBatchInvariant:
+    def test_zero_divergences_across_batch(self):
+        for i in range(30):
+            case = generate(1, i)
+            program = compile_source(case.source, name=f"d{i}")
+            report = run_differential(program, case.args)
+            assert not report.skipped, i
+            assert not report.divergences, (
+                i,
+                [d.describe() for d in report.divergences],
+            )
+
+
+class TestBrokenPassAcceptance:
+    """ISSUE acceptance: an intentionally-broken pass must be caught and
+    minimized to a reproducer of at most 10 instructions."""
+
+    @pytest.fixture
+    def broken_sub(self, monkeypatch):
+        monkeypatch.setitem(_FOLDERS, Op.SUB, lambda a, b: a - b + 1)
+
+    def test_broken_fold_caught_and_minimized(self, broken_sub, tmp_path):
+        report = run_fuzz(
+            seed=0,
+            iterations=20,
+            jobs=1,  # inline: the monkeypatch must stay visible
+            corpus_dir=str(tmp_path),
+        )
+        assert not report.ok
+        finding = report.findings[0]
+        assert "pass:constant_folding" in finding.divergent
+        assert finding.instructions <= 10
+        assert finding.reproducer is not None
+        entries = load_corpus(tmp_path)
+        assert entries and entries[0].meta["seed"] == 0
+
+    def test_corpus_replays_clean_after_fix(self, tmp_path):
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setitem(_FOLDERS, Op.SUB, lambda a, b: a - b + 1)
+            report = run_fuzz(
+                seed=0, iterations=20, jobs=1, corpus_dir=str(tmp_path)
+            )
+            assert report.findings
+        # Patch undone — the "fix" landed; the stored reproducer must now
+        # pass the whole matrix, which is exactly what tier-1 replay does.
+        for entry, replay in replay_corpus(tmp_path):
+            assert not replay.divergences, entry.name
+
+
+class TestFuzzDriver:
+    def test_clean_campaign_reports_ok(self):
+        report = run_fuzz(seed=3, iterations=10, jobs=1)
+        assert report.ok
+        assert report.checked == 10
+        assert "10/10" in report.describe()
+
+    def test_time_budget_stops_early(self):
+        report = run_fuzz(seed=0, iterations=500, jobs=1, time_budget=0.0)
+        assert report.checked < 500

@@ -1,0 +1,102 @@
+"""Tests for the delta-debugging minimizer.
+
+The predicates here are synthetic (keep a marker call / keep compiling)
+so minimization behaviour is tested independently of any real
+miscompile; the broken-pass acceptance test exercises the real
+``module_diverges`` predicate.
+"""
+
+from repro.lang import compile_source
+from repro.lang.errors import LangError
+from repro.lang.parser import parse
+from repro.testing import minimize, render_module
+from repro.testing.minimize import _candidates
+from repro.vm.errors import VerificationError
+
+BUSY_SOURCE = """
+fn helper(x) {
+  return x * 2;
+}
+
+fn main() {
+  var a = 1;
+  var b = 2;
+  var c = (a + b);
+  print(c);
+  for (var i = 0; i < 4; i = i + 1) {
+    a = (a + i);
+  }
+  if (a > 2) {
+    burn(7);
+  } else {
+    burn(9);
+  }
+  var d = helper(c);
+  return (d + a);
+}
+"""
+
+
+def _keeps_marker(module) -> bool:
+    source = render_module(module)
+    try:
+        compile_source(source, name="cand")
+    except (LangError, VerificationError):
+        return False
+    return "burn(7)" in source
+
+
+class TestMinimize:
+    def test_shrinks_to_essentials(self):
+        module = parse(BUSY_SOURCE)
+        assert _keeps_marker(module)
+        small = minimize(module, _keeps_marker)
+        source = render_module(small)
+        assert "burn(7)" in source
+        # Everything unrelated to reaching burn(7) is gone.
+        assert "helper" not in source
+        assert "for (" not in source
+        assert "print(" not in source
+        assert len(source.splitlines()) <= 6
+
+    def test_result_always_compiles(self):
+        module = parse(BUSY_SOURCE)
+        small = minimize(module, _keeps_marker)
+        compile_source(render_module(small), name="minimized")
+
+    def test_noop_when_nothing_shrinkable(self):
+        module = parse("fn main() { burn(7); }\n")
+        small = minimize(module, _keeps_marker)
+        assert "burn(7)" in render_module(small)
+
+    def test_budget_respected(self):
+        module = parse(BUSY_SOURCE)
+        # A one-check budget can apply at most one reduction.
+        small = minimize(module, _keeps_marker, max_checks=1)
+        assert _keeps_marker(small)
+
+
+class TestCandidates:
+    def test_candidates_include_function_drop(self):
+        module = parse(BUSY_SOURCE)
+        drops = [c for c in _candidates(module) if len(c.functions) == 1]
+        assert drops and drops[0].functions[0].name == "main"
+
+    def test_main_never_dropped(self):
+        module = parse(BUSY_SOURCE)
+        for candidate in _candidates(module):
+            assert any(fn.name == "main" for fn in candidate.functions)
+
+    def test_candidates_never_grow_the_tree(self):
+        module = parse("fn main() { return (1 + 2); }\n")
+
+        def nodes(m):
+            from repro.testing.minimize import _walk
+
+            return sum(1 for _ in _walk(m))
+
+        baseline = nodes(module)
+        sizes = [nodes(candidate) for candidate in _candidates(module)]
+        assert sizes
+        assert all(size <= baseline for size in sizes)
+        assert any(size < baseline for size in sizes)

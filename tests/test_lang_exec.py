@@ -62,6 +62,17 @@ class TestScoping:
         """
         assert run(source) == 0 + 1 + 2 + 10 + 11
 
+    def test_bare_block_opens_scope(self):
+        source = """
+        fn main() {
+          var x = 1;
+          { var x = 40; x = x + 2; }
+          { var y = x + 8; x = y; }
+          return x;
+        }
+        """
+        assert run(source) == 9
+
 
 class TestLoops:
     def test_while_with_break(self):

@@ -83,6 +83,16 @@ class TestStatements:
         assert isinstance(stmt, ast.Return)
         assert stmt.value is None
 
+    def test_bare_block(self):
+        stmt = only_stmt("{ var x = 1; burn(x); }")
+        assert isinstance(stmt, ast.Block)
+        assert len(stmt.statements) == 2
+
+    def test_nested_bare_blocks(self):
+        stmt = only_stmt("{ { burn(1); } }")
+        assert isinstance(stmt, ast.Block)
+        assert isinstance(stmt.statements[0], ast.Block)
+
 
 class TestExpressions:
     def expr(self, text, params="a, b, c"):

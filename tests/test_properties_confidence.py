@@ -1,0 +1,141 @@
+"""Property-based tests for the confidence tracker and strategy predictor.
+
+The paper's update rule ``conf ← (1 − γ)·conf + γ·acc`` is a convex
+combination, which gives three properties worth pinning for *all*
+inputs, not just the examples the unit tests pick: the value never
+leaves [0, 1], every update lands between the old value and the observed
+accuracy, and under a constant accuracy stream the value approaches that
+accuracy monotonically. The predictor tests pin the TH_c gate: below
+threshold it must decline without consulting the models at all.
+"""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.aos.strategy import LevelStrategy
+from repro.core.confidence import ConfidenceTracker
+from repro.core.predictor import OverheadModel, StrategyPredictor
+from repro.xicl.features import FeatureVector
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestConfidenceProperties:
+    @given(gamma=unit, accuracies=st.lists(unit, max_size=30))
+    def test_value_stays_in_unit_interval(self, gamma, accuracies):
+        tracker = ConfidenceTracker(gamma=gamma)
+        for accuracy in accuracies:
+            value = tracker.update(accuracy)
+            assert 0.0 <= value <= 1.0
+
+    @given(gamma=unit, start=unit, accuracy=unit)
+    def test_update_is_a_convex_step_toward_accuracy(
+        self, gamma, start, accuracy
+    ):
+        tracker = ConfidenceTracker(gamma=gamma, value=start)
+        value = tracker.update(accuracy)
+        lo, hi = min(start, accuracy), max(start, accuracy)
+        assert lo - 1e-12 <= value <= hi + 1e-12
+
+    @given(accuracy=unit, steps=st.integers(min_value=1, max_value=25))
+    def test_constant_stream_converges_monotonically(self, accuracy, steps):
+        # Paper default γ = 0.7: distance to the target accuracy shrinks
+        # by the factor (1 − γ) every update, so it never increases.
+        tracker = ConfidenceTracker(gamma=0.7)
+        distance = abs(accuracy - tracker.value)
+        for _ in range(steps):
+            tracker.update(accuracy)
+            new_distance = abs(accuracy - tracker.value)
+            assert new_distance <= distance + 1e-12
+            distance = new_distance
+
+    @given(accuracies=st.lists(unit, min_size=1, max_size=20))
+    def test_history_tracks_every_update(self, accuracies):
+        tracker = ConfidenceTracker()
+        for accuracy in accuracies:
+            tracker.update(accuracy)
+        assert len(tracker.history) == len(accuracies)
+        assert tracker.history[-1] == tracker.value
+
+    @given(
+        accuracy=st.one_of(
+            st.floats(max_value=-1e-9, allow_nan=False),
+            st.floats(min_value=1.0 + 1e-9, allow_nan=False),
+        )
+    )
+    def test_out_of_range_accuracy_rejected(self, accuracy):
+        tracker = ConfidenceTracker()
+        before = tracker.value
+        with pytest.raises(ValueError):
+            tracker.update(accuracy)
+        assert tracker.value == before
+
+    def test_out_of_range_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceTracker(gamma=1.5)
+        with pytest.raises(ValueError):
+            ConfidenceTracker(threshold=-0.1)
+
+    @given(value=unit, threshold=unit)
+    def test_gate_is_strictly_above_threshold(self, value, threshold):
+        tracker = ConfidenceTracker(threshold=threshold, value=value)
+        assert tracker.confident == (value > threshold)
+
+
+class _StubModels:
+    """Stands in for ModelBuilder: fixed model count, canned prediction."""
+
+    def __init__(self, strategy: LevelStrategy, size: int = 1):
+        self.strategy = strategy
+        self.size = size
+        self.predict_calls = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def predict(self, fvector) -> LevelStrategy:
+        self.predict_calls += 1
+        return self.strategy
+
+
+class TestPredictorGate:
+    FVECTOR = FeatureVector()
+
+    def _predictor(self, value: float, models: _StubModels):
+        confidence = ConfidenceTracker(threshold=0.7, value=value)
+        return StrategyPredictor(models, confidence)
+
+    @given(value=unit)
+    def test_below_threshold_never_touches_models(self, value):
+        models = _StubModels(LevelStrategy({"m": 2}))
+        predictor = self._predictor(value, models)
+        strategy, cycles = predictor.maybe_predict(self.FVECTOR)
+        if value <= 0.7:
+            assert strategy is None and cycles == 0.0
+            assert models.predict_calls == 0
+        else:
+            assert strategy is not None
+            assert models.predict_calls == 1
+
+    def test_confident_but_no_models_declines(self):
+        predictor = self._predictor(0.9, _StubModels(LevelStrategy({}), size=0))
+        assert predictor.maybe_predict(self.FVECTOR) == (None, 0.0)
+
+    def test_confident_but_empty_strategy_declines(self):
+        predictor = self._predictor(0.9, _StubModels(LevelStrategy({})))
+        assert predictor.maybe_predict(self.FVECTOR) == (None, 0.0)
+
+    def test_prediction_cost_scales_with_strategy_size(self):
+        strategy = LevelStrategy({"a": 1, "b": 2, "c": 0})
+        predictor = self._predictor(0.9, _StubModels(strategy))
+        predicted, cycles = predictor.maybe_predict(self.FVECTOR)
+        assert predicted is strategy
+        assert cycles == OverheadModel().per_predicted_method_cycles * 3
+
+    def test_posterior_predict_ignores_the_gate(self):
+        strategy = LevelStrategy({"m": 1})
+        models = _StubModels(strategy)
+        predictor = self._predictor(0.0, models)  # gate firmly closed
+        assert predictor.posterior_predict(self.FVECTOR) is strategy
+        assert models.predict_calls == 1
