@@ -10,6 +10,7 @@ Commands map one-to-one onto the experiment harness:
     python -m repro sensitivity           # §V-B.3
     python -m repro gc-study              # §VI extension (GC selection)
     python -m repro server-study          # §V extension (request-specific)
+    python -m repro bench                 # VM wall-clock benchmark suite
     python -m repro bench NAME [RUNS]     # one benchmark, 3 scenarios
     python -m repro sweep [NAME ...]      # parallel sweep w/ cache+telemetry
     python -m repro fuzz                  # differential fuzz the VM/JIT
@@ -19,10 +20,16 @@ Options: ``--seed N`` (default 0), ``--runs N`` (scaled-down protocol;
 omit for the paper's full run counts), ``--jobs N`` (parallel engine;
 ``bench``, ``sweep``, ``table1``, ``fuzz``), ``--telemetry PATH`` (JSONL
 run events), ``--cache-dir PATH`` / ``--no-cache`` (on-disk result
-cache; ``sweep`` caches by default). ``fuzz`` adds ``--iterations N``,
-``--time-budget SECONDS``, and ``--corpus-dir PATH`` (write minimized
-reproducers there; exit status 1 when any divergence is found). See
-``docs/experiments.md`` and ``docs/testing.md``.
+cache; ``sweep`` caches by default; ``--no-jit-cache`` additionally
+disables the cross-run JIT artifact cache). ``fuzz`` adds
+``--iterations N``, ``--time-budget SECONDS``, ``--corpus-dir PATH``
+(write minimized reproducers there; exit status 1 when any divergence is
+found), and ``--engines`` (cross-check the fast engine against the
+reference interpreter instead of the pass matrix). Bare ``bench`` runs
+the wall-clock VM benchmark suite and writes ``BENCH_vm.json``; it takes
+``--quick``, ``--out PATH``, ``--baseline PATH``, and
+``--max-regression FRACTION``. See ``docs/experiments.md``,
+``docs/performance.md``, and ``docs/testing.md``.
 """
 
 from __future__ import annotations
@@ -103,6 +110,44 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fuzz: write minimized reproducers (.ml + .json) to PATH",
     )
+    parser.add_argument(
+        "--engines",
+        action="store_true",
+        help="fuzz: compare the fast engine against the reference "
+        "interpreter (clocks, samples, compile events) instead of the "
+        "pass matrix",
+    )
+    parser.add_argument(
+        "--no-jit-cache",
+        action="store_true",
+        help="sweep: disable the cross-run JIT artifact cache",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench: smaller workloads (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_vm.json",
+        help="bench: where to write the JSON report (default BENCH_vm.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="bench: compare speedups against this recorded report; "
+        "exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        metavar="FRACTION",
+        help="bench: allowed fractional speedup regression vs the "
+        "baseline (default 0.20)",
+    )
     return parser
 
 
@@ -142,8 +187,35 @@ def main(argv: list[str] | None = None) -> int:
 
     if command == "bench":
         if not options.args:
-            print("usage: python -m repro bench NAME [RUNS]", file=sys.stderr)
-            return 2
+            # Bare `repro bench`: the VM wall-clock benchmark suite.
+            import json
+
+            from .bench.vmbench import (
+                bench_report,
+                compare_to_baseline,
+                format_report,
+                write_report,
+            )
+
+            report = bench_report(quick=options.quick)
+            write_report(report, options.out)
+            print(format_report(report))
+            print(f"report -> {options.out}")
+            if options.baseline is not None:
+                with open(options.baseline, "r", encoding="utf-8") as fh:
+                    baseline = json.load(fh)
+                failures = compare_to_baseline(
+                    report, baseline, max_regression=options.max_regression
+                )
+                for failure in failures:
+                    print(f"REGRESSION: {failure}", file=sys.stderr)
+                if failures:
+                    return 1
+                print(
+                    f"within {options.max_regression:.0%} of baseline "
+                    f"{options.baseline}"
+                )
+            return 0
         from .bench import get_benchmark
         from .experiments import run_experiment
         from .experiments.report import format_table
@@ -185,6 +257,18 @@ def main(argv: list[str] | None = None) -> int:
         )
         telemetry = _make_telemetry(options)
         cache = _make_cache(options, default_on=True)
+        # The JIT artifact cache lives next to the result cache; workers
+        # share it across cells and sweep invocations. Disable with
+        # --no-jit-cache (or --no-cache, which turns off all disk caching).
+        jit_cache_dir = None
+        if not options.no_jit_cache and not options.no_cache:
+            import os
+
+            from .experiments.telemetry import DEFAULT_CACHE_DIR
+
+            jit_cache_dir = os.path.join(
+                options.cache_dir or DEFAULT_CACHE_DIR, "jit"
+            )
         report = run_sweep(
             benchmarks,
             jobs=options.jobs,
@@ -192,6 +276,7 @@ def main(argv: list[str] | None = None) -> int:
             runs=options.runs,
             telemetry=telemetry,
             cache=cache,
+            jit_cache_dir=jit_cache_dir,
         )
         print(format_sweep(report.results))
         print(report.describe())
@@ -214,6 +299,7 @@ def main(argv: list[str] | None = None) -> int:
             time_budget=options.time_budget,
             jobs=options.jobs,
             corpus_dir=options.corpus_dir,
+            engine_check=options.engines,
         )
         print(f"fuzz seed={report.seed}: {report.describe()}")
         for finding in report.findings:

@@ -1,0 +1,378 @@
+"""Wall-clock benchmark suite for the VM execution engines.
+
+Everything else in this repository measures *virtual* cycles; this module
+measures *host* wall-clock, answering one question: how much real time does
+the fast-path engine (:mod:`repro.vm.fastpath`) save over the reference
+interpreter? It times three things:
+
+1. **Interpreter throughput** — three workloads (arithmetic loop, array
+   sweep, call-heavy) on both engines at baseline and at opt level 2,
+   reporting instructions/second and the fast/reference speedup.
+2. **A Table I sweep cell** — one benchmark's scenario cell through
+   :func:`repro.experiments.parallel.execute_cell`, cold vs. warm JIT
+   artifact cache, asserting the virtual-cycle outcomes are identical.
+3. **Fuzz iterations** — differential fuzz throughput, since the fuzz
+   harness is the other big wall-clock consumer in CI.
+
+Results are emitted as a schema-checked ``BENCH_vm.json``. CI's regression
+gate compares the fast/reference **speedup ratio** against a checked-in
+baseline (``benchmarks/BENCH_baseline.json``) rather than absolute
+instructions/second, which would vary with runner hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+
+from ..lang import compile_source
+from ..vm import Interpreter
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Workload sources: small MiniLang kernels exercising the three hot shapes
+#: the fast engine targets (fused arithmetic loops, array traffic, calls).
+WORKLOADS: dict[str, str] = {
+    "arith_loop": """
+fn main(n) {
+  var total = 0;
+  var i = 0;
+  while (i < n) {
+    total = total + i * 3 - (i % 7);
+    i = i + 1;
+  }
+  return total;
+}
+""",
+    "array_sweep": """
+fn main(n) {
+  var a = array(64);
+  var i = 0;
+  while (i < n) {
+    a[(i % 64)] = a[(i % 64)] + i;
+    i = i + 1;
+  }
+  return a[7];
+}
+""",
+    "call_heavy": """
+fn main(n) {
+  var total = 0;
+  var i = 0;
+  while (i < n) {
+    total = total + step(i);
+    i = i + 1;
+  }
+  return total;
+}
+fn step(x) {
+  return x * 2 + 1;
+}
+""",
+}
+
+#: Loop trip counts per workload: (quick, full).
+_ITERS = {
+    "arith_loop": (40_000, 200_000),
+    "array_sweep": (30_000, 150_000),
+    "call_heavy": (25_000, 120_000),
+}
+
+#: Opt levels measured per workload (None = leave everything at baseline).
+_LEVELS: tuple[int | None, ...] = (None, 2)
+
+
+def _time_run(program, n: int, engine: str, level: int | None) -> tuple[float, int, object]:
+    hook = (lambda _name: level) if level is not None else None
+    interp = Interpreter(
+        program, first_invocation_hook=hook, engine=engine
+    )
+    start = time.perf_counter()
+    profile = interp.run((n,))
+    wall = time.perf_counter() - start
+    return wall, profile.instructions_executed, interp.result
+
+
+def bench_workloads(quick: bool = False, repeats: int = 3) -> list[dict]:
+    """Time every workload on both engines; best-of-*repeats* per engine."""
+    rows: list[dict] = []
+    for name, source in WORKLOADS.items():
+        program = compile_source(source)
+        n = _ITERS[name][0 if quick else 1]
+        for level in _LEVELS:
+            best: dict[str, float] = {}
+            instructions = 0
+            results: dict[str, object] = {}
+            for engine in ("reference", "fast"):
+                walls = []
+                for _ in range(repeats):
+                    wall, instructions, result = _time_run(
+                        program, n, engine, level
+                    )
+                    walls.append(wall)
+                    results[engine] = result
+                best[engine] = min(walls)
+            if results["reference"] != results["fast"]:  # pragma: no cover
+                raise AssertionError(
+                    f"engine divergence in workload {name!r}: "
+                    f"{results['reference']!r} != {results['fast']!r}"
+                )
+            ref_ips = instructions / best["reference"]
+            fast_ips = instructions / best["fast"]
+            rows.append(
+                {
+                    "name": name,
+                    "level": level,
+                    "instructions": instructions,
+                    "reference_wall_s": best["reference"],
+                    "fast_wall_s": best["fast"],
+                    "reference_ips": ref_ips,
+                    "fast_ips": fast_ips,
+                    "speedup": fast_ips / ref_ips,
+                }
+            )
+    return rows
+
+
+def bench_sweep_cell(quick: bool = False, cache_dir=None) -> dict:
+    """Time one Table I sweep cell cold vs. warm JIT artifact cache.
+
+    The cell's virtual-cycle outcomes must be bit-identical with the cache
+    off, cold, and warm — this function asserts it (the acceptance
+    criterion for cache soundness) and reports wall times plus cache stats.
+    """
+    import tempfile
+
+    from .suite import get_benchmark
+    from ..experiments.parallel import (
+        CellSpec,
+        _ARTIFACT_CACHES,
+        derive_sequence,
+        execute_cell,
+    )
+    from ..vm.config import DEFAULT_CONFIG
+
+    bench = get_benchmark("Compress")
+    runs = 2 if quick else 6
+    sequence = tuple(derive_sequence(bench, seed=0, n_runs=runs))
+
+    def spec(jit_cache_dir):
+        return CellSpec(
+            benchmark=bench.name,
+            scenarios=("default",),
+            start=0,
+            stop=runs,
+            seed=0,
+            sequence=sequence,
+            config=DEFAULT_CONFIG,
+            gamma=None,
+            threshold=None,
+            tree_params=None,
+            jit_cache_dir=jit_cache_dir,
+        )
+
+    def cycles(payload) -> list[float]:
+        return [
+            outcome.profile.total_cycles
+            for outcome in payload["outcomes"]["default"]
+        ]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        jit_dir = str(cache_dir) if cache_dir is not None else tmp
+        start = time.perf_counter()
+        uncached = execute_cell(spec(None))
+        wall_off = time.perf_counter() - start
+
+        _ARTIFACT_CACHES.pop(jit_dir, None)
+        start = time.perf_counter()
+        cold = execute_cell(spec(jit_dir))
+        wall_cold = time.perf_counter() - start
+
+        # Drop the in-memory layer so the warm pass exercises disk hits the
+        # way a fresh sweep worker process would.
+        _ARTIFACT_CACHES.pop(jit_dir, None)
+        start = time.perf_counter()
+        warm = execute_cell(spec(jit_dir))
+        wall_warm = time.perf_counter() - start
+        stats = _ARTIFACT_CACHES[jit_dir].stats()
+        _ARTIFACT_CACHES.pop(jit_dir, None)
+
+    if not (cycles(uncached) == cycles(cold) == cycles(warm)):  # pragma: no cover
+        raise AssertionError(
+            "JIT artifact cache changed virtual-cycle results"
+        )
+    return {
+        "benchmark": bench.name,
+        "runs": runs,
+        "wall_s_cache_off": wall_off,
+        "wall_s_cache_cold": wall_cold,
+        "wall_s_cache_warm": wall_warm,
+        "cache_stats": stats,
+        "identical_cycles": True,
+    }
+
+
+def bench_fuzz(quick: bool = False) -> dict:
+    """Time a short differential fuzz burst (single process)."""
+    from ..testing import run_fuzz
+
+    iterations = 5 if quick else 25
+    start = time.perf_counter()
+    report = run_fuzz(seed=0, iterations=iterations, jobs=1)
+    wall = time.perf_counter() - start
+    return {
+        "iterations": iterations,
+        "wall_s": wall,
+        "iterations_per_s": iterations / wall,
+        "ok": report.ok,
+    }
+
+
+def geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def bench_report(quick: bool = False) -> dict:
+    """Run the full suite and assemble the ``BENCH_vm.json`` payload."""
+    workloads = bench_workloads(quick=quick)
+    speedups = [row["speedup"] for row in workloads]
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "workloads": workloads,
+        "speedup": {
+            "geomean": geomean(speedups),
+            "min": min(speedups),
+            "max": max(speedups),
+        },
+        "sweep_cell": bench_sweep_cell(quick=quick),
+        "fuzz": bench_fuzz(quick=quick),
+    }
+
+
+def validate_bench_report(report: dict) -> None:
+    """Schema-check a bench report; raises ``ValueError`` on violations."""
+
+    def need(mapping, key, kind, where):
+        if key not in mapping:
+            raise ValueError(f"{where}: missing key {key!r}")
+        if not isinstance(mapping[key], kind):
+            raise ValueError(
+                f"{where}: {key!r} must be {kind}, got {type(mapping[key])}"
+            )
+
+    if not isinstance(report, dict):
+        raise ValueError("report must be a dict")
+    need(report, "schema_version", int, "report")
+    if report["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {report['schema_version']!r}"
+        )
+    need(report, "quick", bool, "report")
+    need(report, "host", dict, "report")
+    need(report, "workloads", list, "report")
+    if not report["workloads"]:
+        raise ValueError("report: workloads must be non-empty")
+    for i, row in enumerate(report["workloads"]):
+        where = f"workloads[{i}]"
+        if not isinstance(row, dict):
+            raise ValueError(f"{where}: must be a dict")
+        need(row, "name", str, where)
+        need(row, "instructions", int, where)
+        for key in (
+            "reference_wall_s",
+            "fast_wall_s",
+            "reference_ips",
+            "fast_ips",
+            "speedup",
+        ):
+            need(row, key, (int, float), where)
+            if row[key] <= 0:
+                raise ValueError(f"{where}: {key!r} must be positive")
+    need(report, "speedup", dict, "report")
+    for key in ("geomean", "min", "max"):
+        need(report["speedup"], key, (int, float), "speedup")
+    need(report, "sweep_cell", dict, "report")
+    need(report["sweep_cell"], "identical_cycles", bool, "sweep_cell")
+    if report["sweep_cell"]["identical_cycles"] is not True:
+        raise ValueError("sweep_cell: cache must not change results")
+    need(report, "fuzz", dict, "report")
+    need(report["fuzz"], "ok", bool, "fuzz")
+
+
+def compare_to_baseline(
+    report: dict, baseline: dict, max_regression: float = 0.20
+) -> list[str]:
+    """Regression check against a recorded baseline report.
+
+    Compares the machine-independent fast/reference speedup ratios (the
+    geomean and each workload) — not absolute instructions/second, which
+    depend on runner hardware. Returns a list of human-readable failures
+    (empty when within tolerance).
+    """
+    failures: list[str] = []
+    floor = 1.0 - max_regression
+    base_geo = baseline["speedup"]["geomean"]
+    new_geo = report["speedup"]["geomean"]
+    if new_geo < base_geo * floor:
+        failures.append(
+            f"geomean speedup regressed: {new_geo:.2f}x vs baseline "
+            f"{base_geo:.2f}x (floor {base_geo * floor:.2f}x)"
+        )
+    base_rows = {
+        (row["name"], row["level"]): row for row in baseline["workloads"]
+    }
+    for row in report["workloads"]:
+        base = base_rows.get((row["name"], row["level"]))
+        if base is None:
+            continue
+        if row["speedup"] < base["speedup"] * floor:
+            failures.append(
+                f"{row['name']} (level {row['level']}): speedup "
+                f"{row['speedup']:.2f}x vs baseline {base['speedup']:.2f}x"
+            )
+    return failures
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary for the CLI."""
+    lines = ["workload        level  ref Mips  fast Mips  speedup"]
+    for row in report["workloads"]:
+        level = "base" if row["level"] is None else str(row["level"])
+        lines.append(
+            f"{row['name']:<15} {level:>5}  "
+            f"{row['reference_ips'] / 1e6:>8.2f}  {row['fast_ips'] / 1e6:>9.2f}  "
+            f"{row['speedup']:>6.2f}x"
+        )
+    sp = report["speedup"]
+    lines.append(
+        f"speedup: geomean {sp['geomean']:.2f}x, "
+        f"min {sp['min']:.2f}x, max {sp['max']:.2f}x"
+    )
+    cell = report["sweep_cell"]
+    lines.append(
+        f"sweep cell ({cell['benchmark']}, {cell['runs']} runs): "
+        f"cache off {cell['wall_s_cache_off']:.2f}s, "
+        f"cold {cell['wall_s_cache_cold']:.2f}s, "
+        f"warm {cell['wall_s_cache_warm']:.2f}s"
+    )
+    fuzz = report["fuzz"]
+    lines.append(
+        f"fuzz: {fuzz['iterations']} iteration(s) in {fuzz['wall_s']:.2f}s "
+        f"({fuzz['iterations_per_s']:.2f}/s)"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path) -> None:
+    validate_bench_report(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

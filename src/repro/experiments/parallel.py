@@ -45,6 +45,7 @@ from ..bench.suite import get_benchmark
 from ..core.evolvable import EvolvableVM, RepVM, run_default
 from ..learning.tree import TreeParams
 from ..vm.config import DEFAULT_CONFIG, VMConfig
+from ..vm.opt.artifact_cache import JITArtifactCache
 from ..vm.opt.jit import JITCompiler
 from .runner import ExperimentResult, _run_phase
 from .telemetry import (
@@ -79,6 +80,10 @@ class CellSpec:
     gamma: float | None
     threshold: float | None
     tree_params: TreeParams | None
+    #: Directory of the shared cross-run JIT artifact cache, or ``None``
+    #: to compile from scratch per cell. Deliberately NOT part of the cell
+    #: cache key: artifact reuse only changes wall-clock, never results.
+    jit_cache_dir: str | None = None
 
     def cache_key(self) -> CacheKey:
         digest = config_digest(
@@ -118,6 +123,7 @@ def plan_cells(
     threshold: float | None = None,
     tree_params: TreeParams | None = None,
     sequence: list[int] | None = None,
+    jit_cache_dir: str | None = None,
 ) -> list[CellSpec]:
     """Split one benchmark's experiment into independent cell specs."""
     if grain not in ("benchmark", "cell"):
@@ -139,6 +145,7 @@ def plan_cells(
             gamma=gamma,
             threshold=threshold,
             tree_params=tree_params,
+            jit_cache_dir=jit_cache_dir,
         )
 
     if grain == "benchmark":
@@ -159,6 +166,23 @@ def plan_cells(
 # Worker side
 # ---------------------------------------------------------------------------
 
+#: Per-process artifact caches, one per cache directory. Worker processes
+#: are reused across cells, so the in-memory layer of each cache warms up
+#: over the lifetime of the pool; the disk layer shares artifacts between
+#: workers (and across whole sweep invocations).
+_ARTIFACT_CACHES: dict[str, JITArtifactCache] = {}
+
+
+def _artifact_cache_for(cache_dir: str | None) -> JITArtifactCache | None:
+    if cache_dir is None:
+        return None
+    cache = _ARTIFACT_CACHES.get(cache_dir)
+    if cache is None:
+        cache = JITArtifactCache(cache_dir)
+        _ARTIFACT_CACHES[cache_dir] = cache
+    return cache
+
+
 def execute_cell(spec: CellSpec) -> dict:
     """Run one cell and return a pickle-safe payload.
 
@@ -169,7 +193,11 @@ def execute_cell(spec: CellSpec) -> dict:
     cell_clock = time.perf_counter()
     bench = get_benchmark(spec.benchmark)
     app, inputs = bench.build(seed=spec.seed)
-    jit = JITCompiler(app.program, spec.config)
+    jit = JITCompiler(
+        app.program,
+        spec.config,
+        artifact_cache=_artifact_cache_for(spec.jit_cache_dir),
+    )
 
     evolve_kwargs: dict = {"config": spec.config, "jit": jit}
     if spec.gamma is not None:
@@ -319,6 +347,7 @@ def run_sweep(
     tree_params: TreeParams | None = None,
     telemetry: TelemetryLog | None = None,
     cache: ResultCache | None = None,
+    jit_cache_dir: str | None = None,
 ) -> SweepReport:
     """Run the §V-B protocol for many benchmarks, fanned out over cells.
 
@@ -343,6 +372,7 @@ def run_sweep(
             gamma=gamma,
             threshold=threshold,
             tree_params=tree_params,
+            jit_cache_dir=jit_cache_dir,
         )
         plans.append((bench, cells))
         all_cells.extend(cells)
@@ -435,6 +465,7 @@ def run_experiment_parallel(
     tree_params: TreeParams | None = None,
     telemetry: TelemetryLog | None = None,
     cache: ResultCache | None = None,
+    jit_cache_dir: str | None = None,
 ) -> ExperimentResult:
     """One benchmark through the parallel engine (the runner's ``jobs=N``
     path); results are identical to :func:`~.runner.run_experiment`."""
@@ -451,5 +482,6 @@ def run_experiment_parallel(
         tree_params=tree_params,
         telemetry=telemetry,
         cache=cache,
+        jit_cache_dir=jit_cache_dir,
     )
     return report.results[0]

@@ -17,17 +17,24 @@ Pieces, in data-flow order:
 
 from .corpus import CorpusEntry, load_corpus, replay_corpus, save_reproducer
 from .differential import (
+    ENGINE_LEVELS,
     FUZZ_CONFIG,
     PASS_REGISTRY,
     REFERENCE,
     DifferentialReport,
     Divergence,
+    EngineDivergence,
+    EngineObservation,
+    EngineReport,
     Outcome,
     Variant,
+    compare_engines,
     compile_module,
     default_variants,
+    execute_engine,
     execute_variant,
     module_diverges,
+    module_engine_diverges,
     run_differential,
 )
 from .fuzz import FuzzFinding, FuzzReport, run_fuzz
@@ -39,6 +46,10 @@ __all__ = [
     "CorpusEntry",
     "DifferentialReport",
     "Divergence",
+    "ENGINE_LEVELS",
+    "EngineDivergence",
+    "EngineObservation",
+    "EngineReport",
     "FUZZ_CONFIG",
     "FuzzFinding",
     "FuzzReport",
@@ -47,13 +58,16 @@ __all__ = [
     "PASS_REGISTRY",
     "REFERENCE",
     "Variant",
+    "compare_engines",
     "compile_module",
     "default_variants",
+    "execute_engine",
     "execute_variant",
     "generate",
     "load_corpus",
     "minimize",
     "module_diverges",
+    "module_engine_diverges",
     "render_module",
     "replay_corpus",
     "run_differential",

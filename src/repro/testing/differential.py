@@ -69,11 +69,15 @@ class Variant:
 
     ``level`` None means the plain interpreter (all methods baseline);
     ``tier_passes`` overrides the pass pipelines (single-pass variants).
+    ``engine`` selects the dispatch engine (``auto`` resolves to the
+    fast path; the reference variant pins the original loop, so the
+    ordinary matrix also cross-checks the two engines' semantics).
     """
 
     name: str
     level: int | None = None
     tier_passes: dict[int, tuple] | None = None
+    engine: str = "auto"
 
 
 def default_variants() -> tuple[Variant, ...]:
@@ -84,7 +88,7 @@ def default_variants() -> tuple[Variant, ...]:
     return tuple(variants)
 
 
-REFERENCE = Variant("interp", None, None)
+REFERENCE = Variant("interp", None, None, engine="reference")
 
 
 @dataclass(frozen=True)
@@ -163,6 +167,7 @@ def execute_variant(
         rng_seed=rng_seed,
         jit=jit,
         first_invocation_hook=hook,
+        engine=variant.engine,
     )
     try:
         interp.run(args)
@@ -218,6 +223,170 @@ def run_differential(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Engine-equivalence mode: reference loop vs. fast-path engine
+# ---------------------------------------------------------------------------
+
+#: Levels the engine comparison forces via the first-invocation hook
+#: (None = everything stays at baseline).
+ENGINE_LEVELS: tuple[int | None, ...] = (None, 0, 1, 2)
+
+
+@dataclass(frozen=True)
+class EngineObservation:
+    """Everything one engine observed — *including* the virtual clocks.
+
+    The ordinary differential matrix excludes cycle counts (levels differ
+    by design); between the two dispatch engines at the *same* level they
+    must match bit-for-bit, so this observation captures total cycles,
+    compile cycles, instruction count, per-method samples and cycle
+    accounts, and the full compile-event sequence. For ``error`` and
+    ``resource`` outcomes only the fault type, output, and heap summary
+    are compared: the engines batch sampler bookkeeping differently, so
+    mid-fault bookkeeping is only loosely defined (a tick crossed by the
+    instruction that faults may or may not have been registered yet).
+    """
+
+    kind: str
+    value: str = ""
+    error: str = ""
+    output: tuple[str, ...] = ()
+    heap: tuple = ()
+    total_cycles: float = 0.0
+    compile_cycles: float = 0.0
+    instructions: int = 0
+    samples: tuple = ()
+    method_cycles: tuple = ()
+    method_work: tuple = ()
+    final_levels: tuple = ()
+    compile_events: tuple = ()
+
+
+@dataclass(frozen=True)
+class EngineDivergence:
+    """One field where the fast engine disagreed with the reference."""
+
+    level: int | None
+    field: str
+    reference: str
+    observed: str
+
+    def describe(self) -> str:
+        label = "base" if self.level is None else f"L{self.level}"
+        return (
+            f"engines@{label}: {self.field} expected {self.reference}, "
+            f"got {self.observed}"
+        )
+
+
+@dataclass
+class EngineReport:
+    """Engine-equivalence matrix of one program across opt levels."""
+
+    observations: dict[object, tuple[EngineObservation, EngineObservation]] = field(
+        default_factory=dict
+    )
+    divergences: list[EngineDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def execute_engine(
+    program: Program,
+    args: tuple,
+    engine: str,
+    level: int | None,
+    config: VMConfig = FUZZ_CONFIG,
+    rng_seed: int = 0,
+) -> EngineObservation:
+    """Run *program* on one engine with every method forced to *level*."""
+    hook = None if level is None else (lambda name: level)
+    interp = Interpreter(
+        program,
+        config=config,
+        rng_seed=rng_seed,
+        first_invocation_hook=hook,
+        engine=engine,
+    )
+    try:
+        interp.run(args)
+    except (FuelExhaustedError, StackOverflowError) as exc:
+        return EngineObservation(
+            kind="resource",
+            error=type(exc).__name__,
+            output=tuple(interp.output),
+            heap=_heap_summary(interp),
+        )
+    except ExecutionError as exc:
+        return EngineObservation(
+            kind="error",
+            error=type(exc).__name__,
+            output=tuple(interp.output),
+            heap=_heap_summary(interp),
+        )
+    profile = interp.profile
+    return EngineObservation(
+        kind="ok",
+        value=repr(interp.result),
+        output=tuple(interp.output),
+        heap=_heap_summary(interp),
+        total_cycles=profile.total_cycles,
+        compile_cycles=profile.compile_cycles,
+        instructions=profile.instructions_executed,
+        samples=tuple(sorted(profile.samples.items())),
+        method_cycles=tuple(sorted(profile.method_cycles.items())),
+        method_work=tuple(sorted(profile.method_work.items())),
+        final_levels=tuple(sorted(profile.final_levels.items())),
+        compile_events=tuple(
+            (e.method, e.level, e.cycles, e.at_clock)
+            for e in profile.compile_events
+        ),
+    )
+
+
+#: Fields compared per outcome kind. ``ok`` compares everything.
+_ENGINE_FAULT_FIELDS = ("kind", "error", "output", "heap")
+
+
+def compare_engines(
+    program: Program,
+    args: tuple,
+    levels: tuple[int | None, ...] = ENGINE_LEVELS,
+    config: VMConfig = FUZZ_CONFIG,
+    rng_seed: int = 0,
+) -> EngineReport:
+    """Run the reference and fast engines side by side at every level.
+
+    Appends one :class:`EngineDivergence` per mismatching field — the
+    acceptance oracle for the fast-path engine (zero divergences over the
+    corpus and the fuzz stream).
+    """
+    report = EngineReport()
+    for level in levels:
+        ref = execute_engine(program, args, "reference", level, config, rng_seed)
+        fast = execute_engine(program, args, "fast", level, config, rng_seed)
+        report.observations[level] = (ref, fast)
+        if ref.kind == "ok" and fast.kind == "ok":
+            fields = [f.name for f in ref.__dataclass_fields__.values()]
+        else:
+            fields = list(_ENGINE_FAULT_FIELDS)
+        for name in fields:
+            a = getattr(ref, name)
+            b = getattr(fast, name)
+            if a != b:
+                report.divergences.append(
+                    EngineDivergence(
+                        level=level,
+                        field=name,
+                        reference=repr(a),
+                        observed=repr(b),
+                    )
+                )
+    return report
+
+
 def compile_module(module: ast.Module) -> Program:
     """Compile an AST module through the full front end (render + parse),
     so exactly what a corpus file replays is what gets checked."""
@@ -242,3 +411,17 @@ def module_diverges(
         return False
     report = run_differential(program, args, variants, config, rng_seed)
     return bool(report.divergences)
+
+
+def module_engine_diverges(
+    module: ast.Module,
+    args: tuple,
+    config: VMConfig = FUZZ_CONFIG,
+    rng_seed: int = 0,
+) -> bool:
+    """Minimization predicate for engine-equivalence findings."""
+    try:
+        program = compile_module(module)
+    except (LangError, VerificationError):
+        return False
+    return not compare_engines(program, args, config=config, rng_seed=rng_seed).ok

@@ -25,8 +25,10 @@ from .corpus import save_reproducer
 from .differential import (
     FUZZ_CONFIG,
     Variant,
+    compare_engines,
     compile_module,
     module_diverges,
+    module_engine_diverges,
     run_differential,
 )
 from .generator import generate
@@ -90,7 +92,7 @@ def _fuzz_chunk(spec: tuple) -> tuple[int, int, list[tuple[int, tuple[str, ...]]
     ``(index, variant-names)`` pairs) so chunk results are cheap to ship
     back from pool workers.
     """
-    seed, start, stop, deadline, config = spec
+    seed, start, stop, deadline, config, engine_check = spec
     checked = 0
     skipped = 0
     hits: list[tuple[int, tuple[str, ...]]] = []
@@ -99,6 +101,21 @@ def _fuzz_chunk(spec: tuple) -> tuple[int, int, list[tuple[int, tuple[str, ...]]
             break
         case = generate(seed, index)
         program = compile_source(case.source, name=f"fuzz_s{seed}_i{index}")
+        if engine_check:
+            # Engine mode: reference loop vs fast path at every level,
+            # strict comparison (clocks, samples, compile events).
+            engine_report = compare_engines(program, case.args, config=config)
+            checked += 1
+            if engine_report.divergences:
+                labels = tuple(
+                    dict.fromkeys(
+                        f"{'base' if d.level is None else f'L{d.level}'}"
+                        f":{d.field}"
+                        for d in engine_report.divergences
+                    )
+                )
+                hits.append((index, labels))
+            continue
         report = run_differential(program, case.args, config=config)
         checked += 1
         if report.skipped:
@@ -118,6 +135,7 @@ def run_fuzz(
     minimize_findings: bool = True,
     variants: tuple[Variant, ...] | None = None,
     config: VMConfig = FUZZ_CONFIG,
+    engine_check: bool = False,
 ) -> FuzzReport:
     """Run a fuzz campaign; returns a report whose ``ok`` means no findings.
 
@@ -125,11 +143,15 @@ def run_fuzz(
     stop checking, so ``checked`` may fall short of ``iterations``.
     ``variants`` narrows the matrix for the minimization predicate and
     the stored sidecar; workers always check the full default matrix.
+    ``engine_check`` switches the oracle from the pass matrix to the
+    reference-vs-fast engine comparison (strict: clocks, samples, and
+    compile events must match bit-for-bit at every opt level).
     """
     clock = time.perf_counter()
     deadline = time.time() + time_budget if time_budget is not None else None
     chunks = [
-        (seed, start, min(start + CHUNK, iterations), deadline, config)
+        (seed, start, min(start + CHUNK, iterations), deadline, config,
+         engine_check)
         for start in range(0, iterations, CHUNK)
     ]
     results, parallel = map_parallel(_fuzz_chunk, chunks, max(1, jobs))
@@ -144,12 +166,15 @@ def run_fuzz(
         case = generate(seed, index)
         module = case.module
         if minimize_findings:
-            module = minimize(
-                module,
-                lambda m: module_diverges(
+            if engine_check:
+                predicate = lambda m: module_engine_diverges(  # noqa: E731
+                    m, case.args, config=config
+                )
+            else:
+                predicate = lambda m: module_diverges(  # noqa: E731
                     m, case.args, variants=variants, config=config
-                ),
-            )
+                )
+            module = minimize(module, predicate)
         source = render_module(module)
         instructions = compile_module(module).total_size()
         reproducer = None

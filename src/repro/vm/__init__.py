@@ -36,8 +36,9 @@ from .errors import (
     VerificationError,
     VMError,
 )
-from .instructions import BASE_COST, Instr, Op
+from .instructions import BASE_COST, BASE_COST_TABLE, Instr, Op
 from .interpreter import Interpreter, run_program
+from .opt.artifact_cache import JITArtifactCache
 from .opt.jit import CompiledCode, JITCompiler, method_optimizability
 from .profiles import CompileEvent, RunProfile
 from .program import Method, MethodBuilder, Program
@@ -60,6 +61,7 @@ __all__ = [
     "estimate_gc_cost",
     "ideal_gc_policy",
     "BASE_COST",
+    "BASE_COST_TABLE",
     "assemble",
     "assemble_program",
     "disassemble_method",
@@ -77,6 +79,7 @@ __all__ = [
     "FuelExhaustedError",
     "Instr",
     "Interpreter",
+    "JITArtifactCache",
     "JITCompiler",
     "Method",
     "MethodBuilder",

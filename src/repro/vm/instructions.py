@@ -73,7 +73,9 @@ class Op(enum.IntEnum):
 #: Base virtual-cycle cost of one execution of each opcode at level −1.
 #: Values loosely mirror the relative latencies of interpreted Java bytecode:
 #: cheap stack traffic, slightly dearer arithmetic, expensive call setup.
-BASE_COST: dict[int, int] = {
+#: The canonical table is keyed by opcode; the interpreter indexes the flat
+#: ``BASE_COST`` list by int opcode (no hashing on the dispatch path).
+BASE_COST_TABLE: dict[Op, int] = {
     Op.CONST: 1,
     Op.POP: 1,
     Op.DUP: 1,
@@ -105,6 +107,19 @@ BASE_COST: dict[int, int] = {
     Op.INTRIN: 6,
     Op.NOP: 1,
 }
+
+#: Flat cost list indexed by int opcode (``BASE_COST[Op.ADD]`` still works:
+#: ``Op`` is an ``IntEnum``). Opcodes must stay contiguous from 0 for this
+#: representation to be valid; the assertions below keep list and table in
+#: sync at import time.
+BASE_COST: list[int] = [BASE_COST_TABLE[op] for op in sorted(Op)]
+
+assert sorted(op.value for op in Op) == list(range(len(Op))), (
+    "opcodes must be contiguous ints starting at 0"
+)
+assert len(BASE_COST) == len(Op) and all(
+    BASE_COST[op] == cost for op, cost in BASE_COST_TABLE.items()
+), "BASE_COST list out of sync with BASE_COST_TABLE"
 
 #: Opcodes whose operand is an absolute jump target (patched by passes).
 JUMP_OPS = frozenset({Op.JMP, Op.JZ, Op.JNZ})

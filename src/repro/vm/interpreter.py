@@ -19,6 +19,7 @@ from random import Random
 from typing import Callable
 
 from .config import BASELINE_LEVEL, DEFAULT_CONFIG, VMConfig
+from .fastpath import FastFrame, run_fast
 from .errors import (
     ExecutionError,
     FuelExhaustedError,
@@ -86,8 +87,14 @@ class Interpreter:
         first_invocation_hook: FirstInvocationHook | None = None,
         gc_policy: str = DEFAULT_GC_POLICY,
         gc_model: GCCostModel = GCCostModel(),
+        engine: str = "auto",
     ):
+        if engine not in ("auto", "fast", "reference"):
+            raise ValueError(
+                f"engine must be 'auto', 'fast', or 'reference', got {engine!r}"
+            )
         self.program = program
+        self.engine = engine
         self.config = config
         self.jit = jit if jit is not None else JITCompiler(program, config)
         self.sampler = Sampler(config.sample_interval)
@@ -150,8 +157,20 @@ class Interpreter:
         return state
 
     def _apply_recompiles(self) -> None:
-        while self._recompile_queue:
-            name, level = self._recompile_queue.pop(0)
+        # Collapse the queue to the max requested level per method first:
+        # controllers may enqueue several (method, level) requests between
+        # two safe points (or the same request repeatedly), and compiling
+        # the intermediate tiers would charge compile cycles for artifacts
+        # that are replaced before ever executing.
+        queue = self._recompile_queue
+        if not queue:
+            return
+        best: dict[str, int] = {}
+        for name, level in queue:
+            if level > best.get(name, BASELINE_LEVEL - 1):
+                best[name] = level
+        queue.clear()
+        for name, level in best.items():
             state = self._states.get(name)
             if state is None or level <= state.level:
                 continue
@@ -177,9 +196,15 @@ class Interpreter:
             )
         self._apply_recompiles()
         state.invocations += 1
-        self._frames.append(_Frame(state.compiled, list(args)))
+        # "auto" resolves to the fast engine; "reference" keeps the original
+        # per-instruction loop (used as the oracle by the differential
+        # harness and the benchmark suite). Both are bit-identical in
+        # virtual-cycle semantics — see repro.vm.fastpath.
+        use_fast = self.engine != "reference"
+        frame_cls = FastFrame if use_fast else _Frame
+        self._frames.append(frame_cls(state.compiled, list(args)))
         try:
-            result = self._loop()
+            result = run_fast(self) if use_fast else self._loop()
         except ExecutionError:
             raise
         except (TypeError, ValueError, IndexError, ZeroDivisionError, KeyError) as exc:
@@ -439,12 +464,13 @@ def run_program(
     args: tuple = (),
     config: VMConfig = DEFAULT_CONFIG,
     rng_seed: int = 0,
+    engine: str = "auto",
 ) -> tuple[object, RunProfile]:
     """Convenience: run *program* once with no adaptive controller.
 
     Returns ``(result, profile)``. All methods stay at the baseline level;
     use :mod:`repro.aos` or :mod:`repro.core` drivers for adaptive runs.
     """
-    interp = Interpreter(program, config=config, rng_seed=rng_seed)
+    interp = Interpreter(program, config=config, rng_seed=rng_seed, engine=engine)
     profile = interp.run(args)
     return interp.result, profile

@@ -1,11 +1,21 @@
 """Tiered JIT optimizer: IR, passes, pipelines, and the compiler."""
 
+from .artifact_cache import (
+    JITArtifactCache,
+    artifact_key,
+    method_digest,
+    program_digest,
+)
 from .context import PassContext
 from .ir import CodeBuffer, basic_block_starts, reachable_pcs
 from .jit import CompiledCode, JITCompiler, method_optimizability
 from .pipeline import MAX_PIPELINE_ROUNDS, TIER_PASSES, run_pipeline
 
 __all__ = [
+    "JITArtifactCache",
+    "artifact_key",
+    "method_digest",
+    "program_digest",
     "CodeBuffer",
     "CompiledCode",
     "JITCompiler",

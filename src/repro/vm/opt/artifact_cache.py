@@ -1,0 +1,151 @@
+"""Cross-run JIT artifact cache.
+
+A :class:`~repro.vm.opt.jit.JITCompiler` instance already memoizes per
+``(method, level)`` — but compilers are typically created per run (or per
+sweep cell), so a Table I sweep recompiles the same methods at the same
+levels thousands of times. This module adds a second, *cross-run* layer:
+compiled artifacts keyed by everything that can influence codegen, shared
+between compiler instances and optionally persisted to disk next to the
+experiment result cache.
+
+Soundness of the key. A compiled artifact is a pure function of:
+
+- the method's own bytecode (its digest),
+- the *whole program's* bytecode — inlining and tail-call elimination pull
+  callee bodies into the caller, so two programs containing a bit-identical
+  method may still compile it differently (the program digest covers this),
+- the optimization level,
+- the pass pipeline actually applied (pass names, in order — the
+  differential harness overrides pipelines per level),
+- the cost configuration (dispatch factors, opt gains, compile rates feed
+  ``speed_factor`` and ``compile_cycles``, which are *stored in* the
+  artifact).
+
+Because ``compile_cycles`` is part of the artifact, a cache hit charges the
+run's virtual clock exactly what a fresh compile would have: wall-clock
+changes, virtual-cycle results do not. This is asserted by the equivalence
+tests and is what makes the cache safe to enable under ``repro sweep``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from ..program import Method, Program
+
+#: Bump when the artifact layout changes incompatibly (invalidates disk
+#: entries from older versions without needing a cache wipe).
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def method_digest(method: Method) -> str:
+    """Stable digest of one method's identity and bytecode."""
+    lines = [method.name, str(method.num_params), str(method.num_locals)]
+    lines.extend(
+        f"{int(ins.op)} {ins.arg!r}" for ins in method.code
+    )
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def program_digest(program: Program) -> str:
+    """Stable digest of a whole program (all methods, sorted by name)."""
+    h = hashlib.sha256()
+    h.update(program.entry.encode("utf-8"))
+    for name in sorted(program.method_names):
+        h.update(b"\x00")
+        h.update(method_digest(program.method(name)).encode("ascii"))
+    return h.hexdigest()
+
+
+def artifact_key(
+    mdigest: str,
+    pdigest: str,
+    level: int,
+    config_digest: str,
+    pass_names: tuple[str, ...],
+) -> str:
+    """The cache key: one hex digest covering every codegen input."""
+    parts = "\n".join(
+        (
+            f"v{ARTIFACT_SCHEMA_VERSION}",
+            mdigest,
+            pdigest,
+            str(level),
+            config_digest,
+            *pass_names,
+        )
+    )
+    return hashlib.sha256(parts.encode("utf-8")).hexdigest()
+
+
+class JITArtifactCache:
+    """Shared artifact store: in-memory map plus optional disk layer.
+
+    Thread-unsafe by design (one per process); *processes* coordinate via
+    the disk layer, whose writes are atomic renames, so concurrent sweep
+    workers can share one directory — a torn or concurrent write is at
+    worst a miss, never a corrupt hit.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def get(self, key: str):
+        """Return the cached artifact for *key*, or ``None``."""
+        artifact = self._memory.get(key)
+        if artifact is not None:
+            self.hits += 1
+            return artifact
+        if self.cache_dir is not None:
+            path = self.cache_dir / f"{key}.pkl"
+            try:
+                with open(path, "rb") as fh:
+                    artifact = pickle.load(fh)
+            except (OSError, pickle.PickleError, EOFError, AttributeError):
+                artifact = None
+            if artifact is not None:
+                self._memory[key] = artifact
+                self.hits += 1
+                self.disk_hits += 1
+                return artifact
+        self.misses += 1
+        return None
+
+    def put(self, key: str, artifact) -> None:
+        self._memory[key] = artifact
+        if self.cache_dir is None:
+            return
+        path = self.cache_dir / f"{key}.pkl"
+        if path.exists():
+            return
+        # Atomic publish: write to a temp file in the same directory, then
+        # rename over the final name. Readers either see a complete entry
+        # or none at all.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "entries": len(self._memory),
+        }

@@ -79,6 +79,18 @@ class CompiledCode:
     def size(self) -> int:
         return len(self.code)
 
+    def __getstate__(self):
+        # The fast-path engine memoizes its decoded instruction streams on
+        # the artifact (repro.vm.fastpath.ensure_decoded); strip the memo
+        # when pickling so disk-cached artifacts stay compact and decode
+        # format changes never leak across processes.
+        state = dict(self.__dict__)
+        state.pop("_decoded", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
 
 class JITCompiler:
     """Compiles methods of one program under one cost configuration.
@@ -87,6 +99,13 @@ class JITCompiler:
     pipelines (levels absent from the mapping keep their defaults). The
     differential fuzzing harness uses this to compile the same program
     under single-pass configurations.
+
+    *artifact_cache* optionally plugs in a cross-run
+    :class:`~repro.vm.opt.artifact_cache.JITArtifactCache`: artifacts are
+    looked up there (keyed by method/program digests, level, config, and
+    pass pipeline) before compiling, and published there after. Virtual
+    compile cycles are charged identically on hit and miss — the cache
+    only saves host wall-clock.
     """
 
     def __init__(
@@ -94,12 +113,17 @@ class JITCompiler:
         program: Program,
         config: VMConfig,
         tier_passes: dict[int, tuple] | None = None,
+        artifact_cache=None,
     ):
         self.program = program
         self.config = config
         self.tier_passes = tier_passes
+        self.artifact_cache = artifact_cache
         self._cache: dict[tuple[str, int], CompiledCode] = {}
         self._optimizability: dict[str, float] = {}
+        self._program_digest: str | None = None
+        self._method_digests: dict[str, str] = {}
+        self._config_digest: str | None = None
 
     def optimizability(self, method_name: str) -> float:
         value = self._optimizability.get(method_name)
@@ -121,6 +145,35 @@ class JITCompiler:
         size = self.program.method(method_name).size
         return self.config.compile_rate[level] * size
 
+    def _artifact_key(self, method_name: str, level: int) -> str:
+        """Cross-run cache key for *method_name* at *level* (see
+        :mod:`repro.vm.opt.artifact_cache` for the soundness argument)."""
+        from .artifact_cache import artifact_key, method_digest, program_digest
+        from .pipeline import TIER_PASSES
+
+        pdigest = self._program_digest
+        if pdigest is None:
+            pdigest = self._program_digest = program_digest(self.program)
+        mdigest = self._method_digests.get(method_name)
+        if mdigest is None:
+            mdigest = method_digest(self.program.method(method_name))
+            self._method_digests[method_name] = mdigest
+        cdigest = self._config_digest
+        if cdigest is None:
+            import hashlib
+
+            cdigest = hashlib.sha256(
+                repr(self.config).encode("utf-8")
+            ).hexdigest()
+            self._config_digest = cdigest
+        passes = (
+            self.tier_passes.get(level) if self.tier_passes is not None else None
+        )
+        if passes is None:
+            passes = TIER_PASSES[level]
+        pass_names = tuple(p.__name__ for p in passes)
+        return artifact_key(mdigest, pdigest, level, cdigest, pass_names)
+
     def compile(self, method_name: str, level: int) -> CompiledCode:
         """Compile (with caching — compiled code is immutable) and return."""
         if level not in OPT_LEVELS:
@@ -129,6 +182,13 @@ class JITCompiler:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        akey = None
+        if self.artifact_cache is not None:
+            akey = self._artifact_key(method_name, level)
+            artifact = self.artifact_cache.get(akey)
+            if artifact is not None:
+                self._cache[key] = artifact
+                return artifact
         from .pipeline import run_pipeline
 
         method = self.program.method(method_name)
@@ -148,4 +208,6 @@ class JITCompiler:
             pass_stats=stats,
         )
         self._cache[key] = compiled
+        if self.artifact_cache is not None:
+            self.artifact_cache.put(akey, compiled)
         return compiled

@@ -41,14 +41,46 @@ class Sampler:
     def add_listener(self, listener: SampleListener) -> None:
         self._listeners.append(listener)
 
+    @property
+    def has_listeners(self) -> bool:
+        """True when at least one listener must be notified per sample.
+
+        The fast-path interpreter consults this once per run: with no
+        listeners it may batch clock advancement across fused instruction
+        units, because no observer can act between two samples of the
+        same segment (see ``docs/performance.md``).
+        """
+        return bool(self._listeners)
+
     def advance(self, clock: float, method: str) -> None:
-        """Register clock progress; emit samples for every crossed tick."""
-        while clock >= self._next_tick:
-            count = self.counts.get(method, 0) + 1
+        """Register clock progress; emit samples for every crossed tick.
+
+        With no listeners registered the loop takes a stripped path: no
+        per-sample listener iteration and a single ``counts`` write for
+        the whole batch of crossed ticks. ``_next_tick`` still advances
+        by repeated addition (never ``n * interval``) so its value stays
+        bit-identical to the per-sample reference for any float interval.
+        """
+        next_tick = self._next_tick
+        if clock < next_tick:
+            return
+        interval = self.interval
+        if self._listeners:
+            while clock >= next_tick:
+                count = self.counts.get(method, 0) + 1
+                self.counts[method] = count
+                next_tick += interval
+                self._next_tick = next_tick
+                for listener in self._listeners:
+                    listener.on_sample(method, next_tick - interval, count)
+                next_tick = self._next_tick
+        else:
+            count = self.counts.get(method, 0)
+            while clock >= next_tick:
+                count += 1
+                next_tick += interval
             self.counts[method] = count
-            self._next_tick += self.interval
-            for listener in self._listeners:
-                listener.on_sample(method, self._next_tick - self.interval, count)
+            self._next_tick = next_tick
 
     def skip_to(self, clock: float) -> None:
         """Advance past *clock* without emitting samples.

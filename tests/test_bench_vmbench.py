@@ -1,0 +1,106 @@
+"""Schema and regression-gate tests for the VM wall-clock bench suite.
+
+The timing itself lives in ``benchmarks/bench_vm.py`` (bench-marked);
+tier-1 only checks the report contract: schema validation, baseline
+comparison logic, and that one minimal timed workload round-trips
+through ``write_report``.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.vmbench import (
+    BENCH_SCHEMA_VERSION,
+    bench_workloads,
+    compare_to_baseline,
+    validate_bench_report,
+    write_report,
+)
+
+
+def synthetic_report(speedup: float = 4.0) -> dict:
+    row = {
+        "name": "arith_loop",
+        "level": None,
+        "instructions": 1000,
+        "reference_wall_s": 1.0,
+        "fast_wall_s": 1.0 / speedup,
+        "reference_ips": 1000.0,
+        "fast_ips": 1000.0 * speedup,
+        "speedup": speedup,
+    }
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "quick": True,
+        "host": {"python": "3", "implementation": "x", "machine": "y"},
+        "workloads": [row],
+        "speedup": {"geomean": speedup, "min": speedup, "max": speedup},
+        "sweep_cell": {"identical_cycles": True},
+        "fuzz": {"ok": True},
+    }
+
+
+def test_valid_report_passes():
+    validate_bench_report(synthetic_report())
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda r: r.pop("workloads"),
+        lambda r: r.update(schema_version=99),
+        lambda r: r["workloads"][0].update(speedup=0),
+        lambda r: r["workloads"][0].pop("fast_ips"),
+        lambda r: r.update(workloads=[]),
+        lambda r: r["sweep_cell"].update(identical_cycles=False),
+    ],
+    ids=[
+        "missing-workloads",
+        "bad-version",
+        "nonpositive-speedup",
+        "missing-field",
+        "empty-workloads",
+        "cache-changed-results",
+    ],
+)
+def test_invalid_reports_rejected(mutate):
+    report = synthetic_report()
+    mutate(report)
+    with pytest.raises(ValueError):
+        validate_bench_report(report)
+
+
+def test_baseline_within_tolerance():
+    report = synthetic_report(speedup=3.5)
+    baseline = synthetic_report(speedup=4.0)
+    # 3.5 >= 4.0 * 0.8 → fine.
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
+
+
+def test_baseline_regression_detected():
+    report = synthetic_report(speedup=2.0)
+    baseline = synthetic_report(speedup=4.0)
+    failures = compare_to_baseline(report, baseline, max_regression=0.20)
+    assert failures
+    assert any("geomean" in failure for failure in failures)
+
+
+def test_checked_in_baseline_is_valid():
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "benchmarks" / "BENCH_baseline.json"
+    baseline = json.loads(path.read_text())
+    validate_bench_report(baseline)
+    # The tentpole acceptance bar, recorded in the baseline itself.
+    assert baseline["speedup"]["geomean"] >= 3.0
+
+
+def test_workload_timing_roundtrip(tmp_path):
+    # One tiny real measurement exercises the writer end to end.
+    rows = bench_workloads(quick=True, repeats=1)
+    assert all(row["speedup"] > 0 for row in rows)
+    report = synthetic_report()
+    out = tmp_path / "BENCH_vm.json"
+    write_report(report, out)
+    assert json.loads(out.read_text())["schema_version"] == BENCH_SCHEMA_VERSION

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -12,9 +14,43 @@ class TestCLI:
         for name in ("Mtrt", "Compress", "RayTracer", "Search"):
             assert name in out
 
-    def test_bench_requires_name(self, capsys):
-        assert main(["bench"]) == 2
-        assert "usage" in capsys.readouterr().err
+    def test_bare_bench_runs_vm_suite(self, capsys, tmp_path):
+        # Bare `repro bench` is the fast-engine wall-clock suite; point the
+        # timings at tiny trip counts via quick mode and a tmp report path.
+        out = tmp_path / "BENCH_vm.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "speedup" in captured
+        report = json.loads(out.read_text())
+        assert report["quick"] is True
+        assert report["speedup"]["geomean"] > 1.0
+
+    def test_bare_bench_regression_gate(self, capsys, tmp_path):
+        # A baseline demanding an impossible speedup must trip the gate.
+        out = tmp_path / "BENCH_vm.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        inflated = json.loads(out.read_text())
+        inflated["speedup"]["geomean"] = report["speedup"]["geomean"] * 100
+        for row in inflated["workloads"]:
+            row["speedup"] *= 100
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(inflated))
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "bench",
+                    "--quick",
+                    "--out",
+                    str(out),
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 1
+        )
+        assert "REGRESSION" in capsys.readouterr().err
 
     def test_bench_runs_scenarios(self, capsys):
         assert main(["bench", "Search", "4", "--seed", "3"]) == 0

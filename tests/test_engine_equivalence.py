@@ -1,0 +1,284 @@
+"""Equivalence suite: fast-path engine vs. the reference interpreter.
+
+The fast engine (:mod:`repro.vm.fastpath`) promises *bit-identical*
+virtual-cycle semantics: same results, output, heap effects, final
+clocks, per-method cycle/work accounts, sample counts, and compile-event
+sequences as the reference loop, at every optimization level. These tests
+hold it to that over the regression corpus, a seeded fuzz stream,
+adaptive (listener-attached) runs, and the resource-limit edges where
+batching could plausibly leak.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.aos.controller import AdaptiveController
+from repro.lang import compile_source
+from repro.testing import (
+    ENGINE_LEVELS,
+    compare_engines,
+    generate,
+    load_corpus,
+)
+from repro.vm import Interpreter, Op, VMConfig
+from repro.vm.fastpath import (
+    F_CMP_JZ,
+    F_DUP_ADD,
+    F_LC,
+    F_LC_ARITH_S,
+    F_LL,
+    F_LL_CMP_JZ,
+    FUSED_BASE,
+    decode,
+    ensure_decoded,
+)
+from repro.vm.instructions import Instr
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+#: Seeded fuzz programs checked per CI run. Iteration *i* of seed 1234 is
+#: deterministic, so a failure here replays with
+#: ``generate(1234, i)`` directly.
+FUZZ_SEED = 1234
+FUZZ_ITERATIONS = 50
+
+HOT_SRC = """
+fn main(n) {
+  var total = 0;
+  var i = 0;
+  while (i < n) {
+    total = total + helper(i) * 2 - (i % 5);
+    i = i + 1;
+  }
+  print(total);
+  return total;
+}
+fn helper(x) {
+  var acc = 0;
+  var j = 0;
+  while (j < 12) {
+    acc = acc + x * j;
+    j = j + 1;
+  }
+  return acc;
+}
+"""
+
+
+def assert_engines_agree(program, args, config=None, rng_seed=0, levels=ENGINE_LEVELS):
+    kwargs = {"levels": levels, "rng_seed": rng_seed}
+    if config is not None:
+        kwargs["config"] = config
+    report = compare_engines(program, args, **kwargs)
+    assert report.ok, "\n".join(d.describe() for d in report.divergences)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Corpus + fuzz stream
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "entry", load_corpus(CORPUS_DIR), ids=lambda e: e.name
+)
+def test_corpus_programs_identical_across_engines(entry):
+    program = compile_source(entry.source, name=entry.name)
+    assert_engines_agree(program, entry.args)
+
+
+@pytest.mark.parametrize("index", range(FUZZ_ITERATIONS))
+def test_fuzz_programs_identical_across_engines(index):
+    case = generate(FUZZ_SEED, index)
+    program = compile_source(case.source, name=f"eq_{index}")
+    assert_engines_agree(program, case.args)
+
+
+# ---------------------------------------------------------------------------
+# Adaptive runs: listeners disable fusion but must stay identical
+# ---------------------------------------------------------------------------
+
+def _adaptive_run(program, args, engine, interval=4_000):
+    interp = Interpreter(
+        program,
+        config=VMConfig(sample_interval=interval),
+        rng_seed=3,
+        engine=engine,
+    )
+    AdaptiveController(interp)
+    profile = interp.run(args)
+    return (
+        interp.result,
+        tuple(interp.output),
+        profile.total_cycles,
+        profile.compile_cycles,
+        profile.instructions_executed,
+        tuple(sorted(profile.samples.items())),
+        tuple(sorted(profile.method_cycles.items())),
+        tuple(sorted(profile.final_levels.items())),
+        tuple(
+            (e.method, e.level, e.cycles, e.at_clock)
+            for e in profile.compile_events
+        ),
+    )
+
+
+def test_adaptive_controller_runs_identical():
+    program = compile_source(HOT_SRC)
+    ref = _adaptive_run(program, (600,), "reference")
+    fast = _adaptive_run(program, (600,), "fast")
+    assert ref == fast
+    # The run must actually have exercised recompilation for this to mean
+    # anything.
+    assert any(level > -1 for _, level in ref[7])
+
+
+def test_fused_mode_disabled_with_listeners():
+    program = compile_source(HOT_SRC)
+    interp = Interpreter(program, engine="fast")
+    assert not interp.sampler.has_listeners
+    AdaptiveController(interp)
+    assert interp.sampler.has_listeners
+
+
+# ---------------------------------------------------------------------------
+# Resource-limit edges
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("fuel", [7, 50, 123, 1000, 4321])
+def test_fuel_exhaustion_timing_identical(fuel):
+    # The fast engine falls back to the unfused stream near the budget;
+    # the fault must surface after exactly the same instruction, with the
+    # same partial output and heap effects.
+    program = compile_source(HOT_SRC)
+    config = VMConfig(max_instructions=fuel)
+    assert_engines_agree(program, (600,), config=config)
+
+
+def test_stack_overflow_identical():
+    program = compile_source(
+        """
+        fn main(n) { return down(n); }
+        fn down(k) { return down(k + 1); }
+        """
+    )
+    config = VMConfig(max_call_depth=40)
+    # Level 2 eliminates the tail call (no overflow) — levels differ from
+    # each other, but the two engines must agree at every level.
+    assert_engines_agree(program, (0,), config=config)
+
+
+def test_runtime_fault_identical():
+    program = compile_source(
+        """
+        fn main(n) {
+          var i = 0;
+          var s = 0;
+          while (i < 50) { s = s + i; i = i + 1; }
+          return s / (n - n);
+        }
+        """
+    )
+    assert_engines_agree(program, (3,))
+
+
+# ---------------------------------------------------------------------------
+# Decoded-stream unit tests
+# ---------------------------------------------------------------------------
+
+def test_decode_is_pc_aligned_and_keeps_standalone_slots():
+    code = (
+        Instr(Op.LOAD, 1),
+        Instr(Op.LOAD, 0),
+        Instr(Op.LT),
+        Instr(Op.JZ, 9),
+        Instr(Op.LOAD, 1),
+        Instr(Op.CONST, 1),
+        Instr(Op.ADD),
+        Instr(Op.STORE, 1),
+        Instr(Op.JMP, 0),
+        Instr(Op.CONST, 0),
+        Instr(Op.RET),
+    )
+    fops, fargs, pops, pargs = decode(code)
+    assert len(fops) == len(fargs) == len(pops) == len(pargs) == len(code)
+    # Loop guard fuses into a quad at pc 0; increment fuses at pc 4.
+    assert fops[0] == F_LL_CMP_JZ
+    assert fargs[0] == (1, 0, int(Op.LT), 9)
+    assert fops[4] == F_LC_ARITH_S
+    assert fargs[4] == (1, 1, int(Op.ADD), 1)
+    # The plain stream always keeps the standalone decoding, so a jump
+    # into the middle of a fused window (e.g. pc 2, the LT) still works.
+    assert pops == [int(ins.op) for ins in code]
+    assert pops[2] == int(Op.LT)
+    # Interior slots of a fused window also decode independently: pc 2
+    # starts a cmp;JZ pair of its own.
+    assert fops[2] == F_CMP_JZ
+    assert fargs[2] == (int(Op.LT), 9)
+
+
+def test_decode_pairs_and_peephole_patterns():
+    code = (
+        Instr(Op.LOAD, 0),
+        Instr(Op.LOAD, 1),
+        Instr(Op.DUP),
+        Instr(Op.ADD),
+        Instr(Op.RET),
+    )
+    fops, fargs, _, _ = decode(code)
+    assert fops[0] == F_LL
+    assert fops[2] == F_DUP_ADD
+    assert fops[4] == int(Op.RET) < FUSED_BASE
+
+
+def test_decode_never_fuses_faultable_arithmetic():
+    # DIV/MOD can raise; they must stay standalone so fault pcs and the
+    # partial accounting around them match the reference exactly.
+    code = (
+        Instr(Op.LOAD, 0),
+        Instr(Op.CONST, 2),
+        Instr(Op.DIV),
+        Instr(Op.RET),
+    )
+    fops, _, _, _ = decode(code)
+    assert fops[0] == F_LC  # LOAD;CONST still pairs...
+    assert fops[2] == int(Op.DIV)  # ...but the DIV stays standalone
+
+
+def test_ensure_decoded_memoizes_and_pickles_clean():
+    import pickle
+
+    from repro.vm import DEFAULT_CONFIG, JITCompiler
+
+    program = compile_source(HOT_SRC)
+    jit = JITCompiler(program, DEFAULT_CONFIG)
+    compiled = jit.compile("main", 2)
+    first = ensure_decoded(compiled)
+    assert ensure_decoded(compiled) is first
+    clone = pickle.loads(pickle.dumps(compiled))
+    assert "_decoded" not in clone.__dict__
+    assert clone.code == compiled.code
+
+
+# ---------------------------------------------------------------------------
+# Recompile-queue dedupe (satellite regression test)
+# ---------------------------------------------------------------------------
+
+def test_recompile_queue_collapses_to_max_level():
+    program = compile_source(HOT_SRC)
+    interp = Interpreter(program)
+    interp._ensure_state("main")
+    # Multiple queued requests for one method — including duplicates and
+    # an intermediate tier — must produce exactly one compile, at the max.
+    interp.request_recompile("main", 1)
+    interp.request_recompile("main", 2)
+    interp.request_recompile("main", 1)
+    interp._apply_recompiles()
+    events = [
+        (e.method, e.level)
+        for e in interp.profile.compile_events
+        if e.level > -1
+    ]
+    assert events == [("main", 2)]
+    assert interp.current_level("main") == 2
+    assert interp._recompile_queue == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.vm import BASE_COST, Instr, Op
+from repro.vm import BASE_COST, BASE_COST_TABLE, Instr, Op
 from repro.vm.instructions import (
     BINARY_OPS,
     JUMP_OPS,
@@ -13,9 +13,17 @@ from repro.vm.instructions import (
 
 
 def test_every_opcode_has_a_base_cost():
+    assert len(BASE_COST) == len(Op)
     for op in Op:
-        assert op in BASE_COST, f"{op.name} missing from BASE_COST"
+        assert op in BASE_COST_TABLE, f"{op.name} missing from BASE_COST_TABLE"
         assert BASE_COST[op] >= 1
+
+
+def test_base_cost_list_matches_table():
+    # The interpreter indexes the flat list by int opcode; it must stay in
+    # lockstep with the canonical per-opcode table.
+    for op in Op:
+        assert BASE_COST[int(op)] == BASE_COST_TABLE[op]
 
 
 def test_base_costs_reflect_relative_latency():

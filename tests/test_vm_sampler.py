@@ -65,3 +65,41 @@ class TestSampler:
         assert sampler.next_tick == 100
         sampler.advance(100, "m")
         assert sampler.next_tick == 200
+
+
+class TestBatchedAdvance:
+    """The listener-free fast path of ``advance`` must be bit-identical
+    to per-tick advancement (same counts, same ``next_tick`` bits)."""
+
+    def test_has_listeners_reflects_registration(self):
+        sampler = Sampler(100)
+        assert not sampler.has_listeners
+        sampler.add_listener(Recorder())
+        assert sampler.has_listeners
+
+    def test_batched_advance_matches_stepwise(self):
+        # Awkward float interval: repeated addition must stay bitwise in
+        # sync between one big advance and many small ones.
+        interval = 104.729
+        batched = Sampler(interval)
+        stepwise = Sampler(interval)
+        clock = 0.0
+        for i in range(1, 400):
+            clock += 13.37 * (i % 7 + 1)
+            stepwise.advance(clock, "m")
+        batched.advance(clock, "m")
+        assert batched.counts == stepwise.counts
+        assert batched.next_tick == stepwise.next_tick
+
+    def test_listener_path_unchanged_by_batching(self):
+        interval = 100.0
+        plain = Sampler(interval)
+        listened = Sampler(interval)
+        recorder = Recorder()
+        listened.add_listener(recorder)
+        for clock in (150.0, 320.0, 805.5):
+            plain.advance(clock, "m")
+            listened.advance(clock, "m")
+        assert plain.counts == listened.counts
+        assert plain.next_tick == listened.next_tick
+        assert [count for _, _, count in recorder.events] == list(range(1, 9))
