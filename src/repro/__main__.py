@@ -14,6 +14,7 @@ Commands map one-to-one onto the experiment harness:
     python -m repro bench NAME [RUNS]     # one benchmark, 3 scenarios
     python -m repro sweep [NAME ...]      # parallel sweep w/ cache+telemetry
     python -m repro fuzz                  # differential fuzz the VM/JIT
+    python -m repro chaos                 # fault-injection campaign
     python -m repro list                  # available benchmarks
 
 Options: ``--seed N`` (default 0), ``--runs N`` (scaled-down protocol;
@@ -28,8 +29,12 @@ found), and ``--engines`` (cross-check the fast engine against the
 reference interpreter instead of the pass matrix). Bare ``bench`` runs
 the wall-clock VM benchmark suite and writes ``BENCH_vm.json``; it takes
 ``--quick``, ``--out PATH``, ``--baseline PATH``, and
-``--max-regression FRACTION``. See ``docs/experiments.md``,
-``docs/performance.md``, and ``docs/testing.md``.
+``--max-regression FRACTION``. ``chaos [BENCH]`` runs seeded
+fault-injection campaigns over the crash-safe persistence stack
+(``--iterations N`` campaigns, ``--seed N``, ``--runs N`` VM runs per
+reference; exit status 1 when any resilience invariant is violated).
+See ``docs/experiments.md``, ``docs/performance.md``,
+``docs/testing.md``, and ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -57,6 +62,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "bench",
             "sweep",
             "fuzz",
+            "chaos",
             "list",
         ],
     )
@@ -95,7 +101,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--iterations",
         type=int,
         default=200,
-        help="fuzz: programs to generate and differentially check",
+        help="fuzz: programs to generate and differentially check; "
+        "chaos: fault-plan iterations to run",
     )
     parser.add_argument(
         "--time-budget",
@@ -306,6 +313,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  divergence: {finding.describe()}")
             if finding.reproducer is not None:
                 print(f"    reproducer: {finding.reproducer}")
+        return 0 if report.ok else 1
+
+    if command == "chaos":
+        from .resilience.chaos import run_chaos
+
+        report = run_chaos(
+            seed=options.seed,
+            iterations=options.iterations,
+            benchmark=options.args[0] if options.args else "Search",
+            runs=options.runs or 3,
+        )
+        print(f"chaos seed={report.seed}: {report.describe()}")
+        for violation in report.violations:
+            print(f"  violation: {violation.describe()}", file=sys.stderr)
+        if report.ok:
+            print("all resilience invariants held")
         return 0 if report.ok else 1
 
     if command == "table1":

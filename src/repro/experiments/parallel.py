@@ -30,6 +30,16 @@ changes.
 On platforms where multiprocessing is unavailable (sandboxes without
 semaphore support), the engine falls back to in-process execution with
 identical results.
+
+Sweeps are **fault-tolerant** (see ``docs/robustness.md``): a cell whose
+worker raises is retried with exponential backoff; a worker that dies
+(``BrokenProcessPool``) does not abort the sweep — every lost cell is
+re-executed serially in the parent; a cell exceeding ``cell_timeout`` is
+marked *failed-but-reported* (a :class:`CellFailure` on the report, a
+``cell_failed`` telemetry event) while the rest of the sweep completes.
+Retried and re-executed cells are bit-identical to serial execution
+because cells are pure functions of their spec. Every recovery decision
+lands in the report's :class:`~repro.resilience.degradation.DegradationReport`.
 """
 
 from __future__ import annotations
@@ -37,13 +47,16 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from random import Random
 
 from ..bench.base import Benchmark
 from ..bench.suite import get_benchmark
 from ..core.evolvable import EvolvableVM, RepVM, run_default
 from ..learning.tree import TreeParams
+from ..resilience.degradation import DegradationReport
+from ..resilience.faults import WorkerFaultPlan
 from ..vm.config import DEFAULT_CONFIG, VMConfig
 from ..vm.opt.artifact_cache import JITArtifactCache
 from ..vm.opt.jit import JITCompiler
@@ -53,6 +66,7 @@ from .telemetry import (
     ResultCache,
     TelemetryLog,
     cell_event,
+    cell_failed_event,
     config_digest,
     run_event,
 )
@@ -264,6 +278,29 @@ def execute_cell(spec: CellSpec) -> dict:
 # Parent side
 # ---------------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell that could not produce a payload (failed-but-reported).
+
+    The sweep still completes; the failure is visible here, in the
+    degradation report, and as a ``cell_failed`` telemetry event.
+    """
+
+    benchmark: str
+    scenario: str
+    start: int
+    stop: int
+    reason: str  # "exception" | "timeout"
+    detail: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}/{self.scenario}[{self.start}:{self.stop}] "
+            f"{self.reason} after {self.attempts} attempt(s): {self.detail}"
+        )
+
+
 @dataclass
 class SweepReport:
     """What a parallel sweep produced, beyond the results themselves."""
@@ -272,16 +309,22 @@ class SweepReport:
     cells_total: int = 0
     cells_cached: int = 0
     cells_executed: int = 0
+    cells_failed: int = 0
+    failures: list[CellFailure] = field(default_factory=list)
+    degradation: DegradationReport = field(default_factory=DegradationReport)
     wall_s: float = 0.0
     parallel: bool = False
 
     def describe(self) -> str:
         mode = "parallel" if self.parallel else "inline"
-        return (
+        text = (
             f"{self.cells_total} cell(s): {self.cells_cached} cached, "
             f"{self.cells_executed} executed ({mode}), "
             f"{self.wall_s:.2f}s wall"
         )
+        if self.cells_failed:
+            text += f", {self.cells_failed} FAILED"
+        return text
 
 
 def _resolve_jobs(jobs: int | None) -> int:
@@ -319,17 +362,273 @@ def map_parallel(worker, items: list, jobs: int) -> tuple[list, bool]:
     return [worker(item) for item in items], False
 
 
-def _execute_pending(
-    pending: list[tuple[int, CellSpec]], jobs: int
-) -> tuple[dict[int, dict], bool]:
-    """Run the uncached cells through :func:`map_parallel`."""
-    results, parallel = map_parallel(
-        execute_cell, [spec for _, spec in pending], jobs
+# ---------------------------------------------------------------------------
+# Resilient cell execution
+# ---------------------------------------------------------------------------
+
+#: How often the parent re-checks cell deadlines while waiting on the pool.
+_POLL_S = 0.05
+
+
+class InjectedWorkerFault(RuntimeError):
+    """The exception a ``raise``-fault worker throws (and, inline, the
+    stand-in for a lost worker, which must not kill the parent)."""
+
+
+def _apply_worker_fault(fault: str | None, hang_s: float) -> None:
+    """Worker-side fault behaviors for :class:`WorkerFaultPlan`."""
+    if fault is None:
+        return
+    if fault == "raise":
+        raise InjectedWorkerFault("injected worker exception")
+    if fault == "exit":
+        os._exit(43)  # hard death: breaks the whole process pool
+    if fault == "hang":
+        time.sleep(hang_s)
+        return
+    raise ValueError(f"unknown worker fault {fault!r}")
+
+
+def _cell_worker(item: tuple) -> dict:
+    """Pool-side wrapper: optionally misbehave, then run the cell."""
+    spec, fault, hang_s = item
+    _apply_worker_fault(fault, hang_s)
+    return execute_cell(spec)
+
+
+def _cell_tag(spec: CellSpec) -> str:
+    return f"{spec.benchmark}/{'+'.join(spec.scenarios)}[{spec.start}:{spec.stop}]"
+
+
+def _failure(spec: CellSpec, reason: str, detail: str, attempts: int) -> CellFailure:
+    return CellFailure(
+        benchmark=spec.benchmark,
+        scenario="+".join(spec.scenarios),
+        start=spec.start,
+        stop=spec.stop,
+        reason=reason,
+        detail=detail,
+        attempts=attempts,
     )
-    return {
-        index: payload
-        for (index, _), payload in zip(pending, results)
-    }, parallel
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, healthy: bool) -> None:
+    if healthy:
+        pool.shutdown(wait=True)
+        return
+    # A worker is hung or dead: waiting would block the sweep (or the
+    # interpreter at exit), so terminate the workers outright. The pool
+    # is discarded either way.
+    try:
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
+    except Exception:
+        pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _pool_phase(
+    pool: ProcessPoolExecutor,
+    pending: list[tuple[int, CellSpec]],
+    payloads: dict[int, dict],
+    failures: dict[int, CellFailure],
+    attempts: dict[int, int],
+    *,
+    retries: int,
+    cell_timeout: float | None,
+    backoff_s: float,
+    fault_plan: WorkerFaultPlan | None,
+    report: DegradationReport,
+) -> list[tuple[int, CellSpec]]:
+    """Run cells on the pool; returns cells that must re-run serially.
+
+    The pool stays in charge while it is healthy. The first sign of
+    pool-level disruption — a dead worker (``BrokenProcessPool``) or a
+    cell blowing its deadline (the stuck worker poisons a pool slot for
+    the rest of the sweep) — flips ``healthy``; everything unresolved is
+    handed back for serial re-execution in the parent. A timed-out cell
+    itself is marked failed-but-reported, not retried.
+    """
+    futures: dict = {}
+    deadlines: dict = {}
+    healthy = True
+    lost: list[tuple[int, CellSpec]] = []
+
+    def submit(index: int, spec: CellSpec):
+        fault = (
+            fault_plan.fault_for(index, attempts[index])
+            if fault_plan is not None
+            else None
+        )
+        hang_s = fault_plan.hang_s if fault_plan is not None else 0.0
+        attempts[index] += 1
+        future = pool.submit(_cell_worker, (spec, fault, hang_s))
+        futures[future] = (index, spec)
+        if cell_timeout is not None:
+            deadlines[future] = time.monotonic() + cell_timeout
+        return future
+
+    try:
+        not_done = {submit(index, spec) for index, spec in pending}
+        poll = _POLL_S if cell_timeout is not None else None
+        while not_done and healthy:
+            done, not_done = wait(
+                not_done, timeout=poll, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                index, spec = futures.pop(future)
+                try:
+                    payloads[index] = future.result()
+                except BrokenProcessPool:
+                    # The worker died mid-cell. Nothing wrong with the
+                    # cell itself: re-execute it (and everything else
+                    # still outstanding) serially instead of aborting.
+                    healthy = False
+                    lost.append((index, spec))
+                    report.record(
+                        "sweep", "serial-reexec", "worker-lost",
+                        detail=_cell_tag(spec),
+                    )
+                except Exception as exc:
+                    if attempts[index] <= retries:
+                        report.record(
+                            "sweep", "retry", type(exc).__name__,
+                            detail=_cell_tag(spec),
+                        )
+                        time.sleep(backoff_s * (2 ** (attempts[index] - 1)))
+                        not_done.add(submit(index, spec))
+                    else:
+                        failures[index] = _failure(
+                            spec, "exception",
+                            f"{type(exc).__name__}: {exc}", attempts[index],
+                        )
+                        report.record(
+                            "sweep", "cell-failed", "exception",
+                            detail=_cell_tag(spec),
+                        )
+            if healthy and cell_timeout is not None:
+                now = time.monotonic()
+                for future in list(not_done):
+                    if deadlines.get(future, float("inf")) <= now:
+                        index, spec = futures.pop(future)
+                        not_done.discard(future)
+                        future.cancel()
+                        failures[index] = _failure(
+                            spec, "timeout",
+                            f"exceeded {cell_timeout:.2f}s cell timeout",
+                            attempts[index],
+                        )
+                        report.record(
+                            "sweep", "timeout", "cell-deadline",
+                            detail=_cell_tag(spec),
+                        )
+                        healthy = False
+        # Whatever is still outstanding re-runs serially in the parent.
+        for future in not_done:
+            if future in futures:
+                index, spec = futures.pop(future)
+                lost.append((index, spec))
+                report.record(
+                    "sweep", "serial-reexec", "pool-drain",
+                    detail=_cell_tag(spec),
+                )
+    finally:
+        _shutdown_pool(pool, healthy)
+    return lost
+
+
+def _serial_phase(
+    queue: list[tuple[int, CellSpec]],
+    payloads: dict[int, dict],
+    failures: dict[int, CellFailure],
+    attempts: dict[int, int],
+    *,
+    retries: int,
+    backoff_s: float,
+    fault_plan: WorkerFaultPlan | None,
+    report: DegradationReport,
+) -> None:
+    """In-process execution with the same retry contract as the pool.
+
+    Inline, a ``exit``/``hang`` fault cannot be allowed to kill or stall
+    the parent, so both degrade to :class:`InjectedWorkerFault` — the
+    retry path they exercise is the same.
+    """
+    for index, spec in queue:
+        while True:
+            fault = (
+                fault_plan.fault_for(index, attempts[index])
+                if fault_plan is not None
+                else None
+            )
+            if fault in ("exit", "hang"):
+                fault = "raise"
+            attempts[index] += 1
+            try:
+                _apply_worker_fault(fault, 0.0)
+                payloads[index] = execute_cell(spec)
+                break
+            except Exception as exc:
+                if attempts[index] <= retries:
+                    report.record(
+                        "sweep", "retry", type(exc).__name__,
+                        detail=_cell_tag(spec),
+                    )
+                    time.sleep(backoff_s * (2 ** (attempts[index] - 1)))
+                    continue
+                failures[index] = _failure(
+                    spec, "exception",
+                    f"{type(exc).__name__}: {exc}", attempts[index],
+                )
+                report.record(
+                    "sweep", "cell-failed", "exception", detail=_cell_tag(spec)
+                )
+                break
+
+
+def execute_cells(
+    pending: list[tuple[int, CellSpec]],
+    jobs: int,
+    *,
+    retries: int = 1,
+    cell_timeout: float | None = None,
+    backoff_s: float = 0.05,
+    fault_plan: WorkerFaultPlan | None = None,
+    report: DegradationReport | None = None,
+) -> tuple[dict[int, dict], dict[int, CellFailure], bool]:
+    """Run the uncached cells with retries, pool recovery, and timeouts.
+
+    Returns ``(payloads, failures, parallel)``; every pending index ends
+    up in exactly one of the two dicts — a sweep never aborts on a bad
+    cell or a dead worker.
+    """
+    if report is None:
+        report = DegradationReport()
+    payloads: dict[int, dict] = {}
+    failures: dict[int, CellFailure] = {}
+    attempts: dict[int, int] = {index: 0 for index, _ in pending}
+    parallel = False
+    serial_queue = list(pending)
+
+    if jobs > 1 and len(pending) > 1:
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        except (OSError, PermissionError, NotImplementedError):
+            pool = None
+        if pool is not None:
+            parallel = True
+            serial_queue = _pool_phase(
+                pool, pending, payloads, failures, attempts,
+                retries=retries, cell_timeout=cell_timeout,
+                backoff_s=backoff_s, fault_plan=fault_plan, report=report,
+            )
+
+    _serial_phase(
+        serial_queue, payloads, failures, attempts,
+        retries=retries, backoff_s=backoff_s, fault_plan=fault_plan,
+        report=report,
+    )
+    return payloads, failures, parallel
 
 
 def run_sweep(
@@ -348,6 +647,11 @@ def run_sweep(
     telemetry: TelemetryLog | None = None,
     cache: ResultCache | None = None,
     jit_cache_dir: str | None = None,
+    retries: int = 1,
+    cell_timeout: float | None = None,
+    backoff_s: float = 0.05,
+    fault_plan: WorkerFaultPlan | None = None,
+    report: DegradationReport | None = None,
 ) -> SweepReport:
     """Run the §V-B protocol for many benchmarks, fanned out over cells.
 
@@ -356,8 +660,18 @@ def run_sweep(
     and is bitwise-identical to what the serial runner produces for the
     same arguments. ``evolve_vm``/``rep_vm`` are ``None`` (the live VMs
     stay in the workers); ``evolve_summary`` carries the model snapshot.
+
+    Failure handling: a raising cell is retried up to *retries* times
+    with exponential backoff (``backoff_s`` base); dead workers trigger
+    serial re-execution of lost cells; a cell over *cell_timeout*
+    seconds is marked failed-but-reported. *fault_plan* injects worker
+    faults (testing/chaos only). Recovery decisions accumulate in
+    *report* (a fresh :class:`DegradationReport` when ``None``), which
+    the returned :class:`SweepReport` carries.
     """
     sweep_clock = time.perf_counter()
+    if report is None:
+        report = DegradationReport()
     plans: list[tuple[Benchmark, list[CellSpec]]] = []
     all_cells: list[CellSpec] = []
     for bench in benchmarks:
@@ -399,7 +713,15 @@ def run_sweep(
         else:
             pending.append((index, spec))
 
-    executed, parallel = _execute_pending(pending, _resolve_jobs(jobs))
+    executed, cell_failures, parallel = execute_cells(
+        pending,
+        _resolve_jobs(jobs),
+        retries=retries,
+        cell_timeout=cell_timeout,
+        backoff_s=backoff_s,
+        fault_plan=fault_plan,
+        report=report,
+    )
     for index, payload in executed.items():
         spec = all_cells[index]
         payloads[index] = payload
@@ -417,6 +739,20 @@ def run_sweep(
                     wall_s=payload["wall_s"],
                 )
             )
+    failures = [cell_failures[index] for index in sorted(cell_failures)]
+    if telemetry is not None:
+        for failure in failures:
+            telemetry.append(
+                cell_failed_event(
+                    failure.benchmark,
+                    failure.scenario,
+                    failure.start,
+                    failure.stop,
+                    reason=failure.reason,
+                    detail=failure.detail,
+                    attempts=failure.attempts,
+                )
+            )
 
     results: list[ExperimentResult] = []
     cursor = 0
@@ -428,7 +764,9 @@ def run_sweep(
         )
         by_scenario: dict[str, list[tuple[int, list]]] = {}
         for offset, spec in enumerate(cells):
-            payload = payloads[cursor + offset]
+            payload = payloads.get(cursor + offset)
+            if payload is None:
+                continue  # failed cell: reported, not sweep-fatal
             for scenario, outs in payload["outcomes"].items():
                 by_scenario.setdefault(scenario, []).append((spec.start, outs))
             if payload.get("model_summary") is not None:
@@ -445,7 +783,10 @@ def run_sweep(
         results=results,
         cells_total=len(all_cells),
         cells_cached=cached,
-        cells_executed=len(pending),
+        cells_executed=len(pending) - len(failures),
+        cells_failed=len(failures),
+        failures=failures,
+        degradation=report,
         wall_s=time.perf_counter() - sweep_clock,
         parallel=parallel,
     )

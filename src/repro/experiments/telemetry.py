@@ -18,6 +18,12 @@ and cheap to re-run:
    re-run only executes cells whose inputs changed. Determinism of the
    underlying VM (see ``docs/architecture.md``) is what makes caching
    sound: same key → bit-identical outcomes.
+
+Both are crash-safe (``docs/robustness.md``): cache entries live inside
+the checksummed atomic envelope, so a torn write or silent bit flip is a
+*miss* (with the corrupt entry quarantined), never a wrong result; the
+JSONL log validates per line on read, skipping partial trailing lines,
+and degrades to dropping events on I/O errors rather than failing runs.
 """
 
 from __future__ import annotations
@@ -25,15 +31,29 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Iterable
+from typing import Iterable
+
+from ..resilience.degradation import DegradationReport
+from ..resilience.envelope import (
+    REAL_FS,
+    EnvelopeError,
+    FileSystem,
+    encode_envelope,
+    decode_envelope,
+)
+from ..resilience.quarantine import quarantine_file
 
 #: Bumped whenever an event's required fields change.
 TELEMETRY_SCHEMA_VERSION = 1
 
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Envelope kind tag for result-cache cell entries.
+RESULT_KIND = "result-cell"
 
 
 # ---------------------------------------------------------------------------
@@ -100,6 +120,31 @@ def cell_event(
     }
 
 
+def cell_failed_event(
+    benchmark: str,
+    scenario: str,
+    start: int,
+    stop: int,
+    *,
+    reason: str,
+    detail: str = "",
+    attempts: int = 1,
+) -> dict:
+    """A cell that exhausted its retries (failed-but-reported, not
+    sweep-fatal); ``reason`` is ``"exception"``/``"timeout"``/…"""
+    return {
+        "event": "cell_failed",
+        "v": TELEMETRY_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "scenario": scenario,
+        "start": start,
+        "stop": stop,
+        "reason": reason,
+        "detail": detail,
+        "attempts": attempts,
+    }
+
+
 #: Required fields per event kind, with the types a valid value may take.
 #: ``type(None)`` marks a field as nullable.
 _RUN_FIELDS: dict[str, tuple[type, ...]] = {
@@ -132,6 +177,18 @@ _CELL_FIELDS: dict[str, tuple[type, ...]] = {
     "cached": (bool,),
 }
 
+_CELL_FAILED_FIELDS: dict[str, tuple[type, ...]] = {
+    "event": (str,),
+    "v": (int,),
+    "benchmark": (str,),
+    "scenario": (str,),
+    "start": (int,),
+    "stop": (int,),
+    "reason": (str,),
+    "detail": (str,),
+    "attempts": (int,),
+}
+
 
 def validate_event(event: dict) -> list[str]:
     """Schema check for one telemetry event; returns a list of problems
@@ -142,6 +199,8 @@ def validate_event(event: dict) -> list[str]:
         fields = _RUN_FIELDS
     elif kind in ("cell", "cache_hit"):
         fields = _CELL_FIELDS
+    elif kind == "cell_failed":
+        fields = _CELL_FAILED_FIELDS
     else:
         return [f"unknown event kind {kind!r}"]
     for name, types in fields.items():
@@ -171,19 +230,38 @@ class TelemetryLog:
     Opened lazily on first write so constructing a log never touches the
     filesystem; usable as a context manager. The engine funnels worker
     events through the parent process, so a log has a single writer.
+
+    Writes are best-effort: an I/O failure (full disk) drops the event
+    — counted in :attr:`events_dropped` and recorded in *report* —
+    rather than aborting the run that produced it. Telemetry is
+    observability, never a single point of failure.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fs: FileSystem = REAL_FS,
+        report: DegradationReport | None = None,
+    ):
         self.path = Path(path)
-        self._fh: IO[str] | None = None
+        self.fs = fs
+        self.report = report
         self.events_written = 0
+        self.events_dropped = 0
 
     def append(self, event: dict) -> None:
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("a", encoding="utf-8")
-        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
-        self._fh.flush()
+        line = json.dumps(event, sort_keys=True) + "\n"
+        try:
+            self.fs.append_text(self.path, line)
+        except OSError as exc:
+            self.events_dropped += 1
+            if self.report is not None:
+                self.report.record(
+                    "telemetry", "drop-event", type(exc).__name__,
+                    detail=str(exc), path=str(self.path),
+                )
+            return
         self.events_written += 1
 
     def extend(self, events: Iterable[dict]) -> None:
@@ -191,9 +269,7 @@ class TelemetryLog:
             self.append(event)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        """Kept for API compatibility; appends close their own handles."""
 
     def __enter__(self) -> "TelemetryLog":
         return self
@@ -202,14 +278,44 @@ class TelemetryLog:
         self.close()
 
 
-def read_events(path: str | Path) -> list[dict]:
-    """Load every event from a telemetry JSONL file."""
+def read_events(
+    path: str | Path,
+    *,
+    strict: bool = False,
+    report: DegradationReport | None = None,
+) -> list[dict]:
+    """Load every valid event from a telemetry JSONL file.
+
+    A line that fails to parse — most commonly the *partial trailing
+    line* a crashed or out-of-disk writer leaves behind — is skipped
+    with a warning (and recorded in *report*) instead of poisoning the
+    whole log. Pass ``strict=True`` to re-raise instead.
+    """
     events = []
+    skipped = 0
     with Path(path).open(encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise
+                skipped += 1
+                if report is not None:
+                    report.record(
+                        "telemetry", "skip-line", "invalid-json",
+                        detail=f"line {lineno}: {exc}", path=str(path),
+                    )
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} unparseable telemetry line(s) "
+            "(partial trailing write?)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return events
 
 
@@ -254,21 +360,40 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantined: int = 0
+    store_failures: int = 0
 
     def describe(self) -> str:
-        return f"{self.hits} hit(s), {self.misses} miss(es)"
+        extra = ""
+        if self.quarantined:
+            extra += f", {self.quarantined} quarantined"
+        if self.store_failures:
+            extra += f", {self.store_failures} store failure(s)"
+        return f"{self.hits} hit(s), {self.misses} miss(es){extra}"
 
 
 class ResultCache:
     """Pickle-per-cell result cache under one root directory.
 
     Entries are immutable: a key fully determines its outcomes, so a hit
-    is always safe to reuse and a corrupt/unreadable entry is treated as
-    a miss and rewritten.
+    is always safe to reuse. Entries live inside the crash-safe envelope
+    (atomic publish + checksum), so a torn write, bit flip, or stale
+    partial file can never surface as a wrong payload: any entry that
+    fails verification is quarantined and reported as a **miss** — the
+    cell simply re-executes. Store failures (full disk) are likewise
+    non-fatal: the sweep continues uncached.
     """
 
-    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        *,
+        fs: FileSystem = REAL_FS,
+        report: DegradationReport | None = None,
+    ):
         self.root = Path(root)
+        self.fs = fs
+        self.report = report
         self.stats = CacheStats()
 
     def _path(self, key: CacheKey) -> Path:
@@ -278,19 +403,48 @@ class ResultCache:
         """The cached cell payload, or None on a miss."""
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
-                payload = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            blob = self.fs.read_bytes(path)
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            payload = pickle.loads(decode_envelope(blob, RESULT_KIND))
+        except (
+            EnvelopeError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ValueError,
+        ) as exc:
+            reason = getattr(exc, "reason", type(exc).__name__)
+            quarantine_file(
+                path, reason, str(exc),
+                component="result-cache", fs=self.fs, report=self.report,
+            )
+            if self.report is not None:
+                self.report.record(
+                    "result-cache", "cache-miss", reason, path=str(path)
+                )
+            self.stats.quarantined += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return payload
 
     def put(self, key: CacheKey, payload: dict) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("wb") as fh:
-            pickle.dump(payload, fh)
-        tmp.replace(path)
+        blob = encode_envelope(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+            RESULT_KIND,
+        )
+        try:
+            self.fs.write_bytes_atomic(path, blob)
+        except OSError as exc:
+            self.stats.store_failures += 1
+            if self.report is not None:
+                self.report.record(
+                    "result-cache", "store-failed", type(exc).__name__,
+                    detail=str(exc), path=str(path),
+                )
+            return
         self.stats.stores += 1

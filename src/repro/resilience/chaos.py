@@ -1,0 +1,467 @@
+"""The chaos harness: seeded fault campaigns over the persistence stack.
+
+``repro chaos`` runs N iterations. Each iteration derives a fresh
+:class:`~repro.resilience.faults.FaultPlan` from the campaign seed and
+drives every crash-safe layer through it, asserting the resilience
+invariants the repo promises (``docs/robustness.md``):
+
+1. **Never wrong** — whenever a result is produced (a state load
+   succeeds, a cache returns a hit, a VM completes a run), it is
+   bit-identical to the fault-free reference computed once up front.
+2. **Never crashed** — no fault plan may surface as an unhandled
+   exception; faults degrade, they do not propagate.
+3. **Always accounted** — every injected corruption that reaches a
+   loader produces a quarantine + fallback, observable in the
+   :class:`~repro.resilience.degradation.DegradationReport`.
+
+Four pillars are exercised per iteration: evolvable-VM state
+(save → corrupt? → load → run), the sweep result cache, the JIT artifact
+cache (fed seeded programs from the differential-fuzz generator — the
+same machinery as ``repro fuzz``), and the telemetry JSONL log.
+Periodically an iteration also runs a whole sweep under a
+:class:`~repro.resilience.faults.WorkerFaultPlan` to exercise the
+retry/re-execution path end to end.
+
+Everything is a pure function of ``(seed, iteration)``, so any reported
+violation replays exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+import traceback
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..bench.suite import get_benchmark
+from ..core.evolvable import EvolvableVM
+from ..core.records import load_state, load_state_file, save_state, state_to_dict
+from ..experiments.parallel import derive_sequence, run_sweep
+from ..experiments.telemetry import (
+    CacheKey,
+    ResultCache,
+    TelemetryLog,
+    cell_event,
+    read_events,
+)
+from ..lang.compiler import compile_source
+from ..testing.differential import FUZZ_CONFIG
+from ..testing.generator import generate
+from ..vm.errors import ExecutionError
+from ..vm.interpreter import Interpreter
+from ..vm.opt.artifact_cache import JITArtifactCache
+from ..vm.opt.jit import JITCompiler
+from .degradation import DegradationReport
+from .faults import FaultPlan, FaultyFS, WorkerFaultPlan
+
+
+@dataclass(frozen=True)
+class ChaosViolation:
+    """One broken invariant; ``kind`` is machine-readable."""
+
+    iteration: int
+    kind: str  # "divergence" | "corruption-not-detected" |
+    #           "missing-degradation" | "unhandled-exception"
+    detail: str
+
+    def describe(self) -> str:
+        return f"iteration {self.iteration}: {self.kind} — {self.detail}"
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos campaign injected, survived, and (never) broke."""
+
+    seed: int
+    iterations: int
+    benchmark: str
+    completed: int = 0
+    faults_injected: int = 0
+    degradations: int = 0
+    quarantines: int = 0
+    violations: list[ChaosViolation] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        return (
+            f"{self.completed}/{self.iterations} iteration(s), "
+            f"{self.faults_injected} fault(s) injected, "
+            f"{self.degradations} degradation(s) "
+            f"({self.quarantines} quarantine(s)), "
+            f"{len(self.violations)} violation(s), {self.wall_s:.2f}s wall"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fault-free references (computed once per campaign)
+# ---------------------------------------------------------------------------
+
+def _sweep_signature(result) -> tuple:
+    """Reduce an ExperimentResult to comparable virtual-cycle facts."""
+    parts = []
+    for scenario in ("default", "evolve"):
+        outs = getattr(result, scenario, []) or []
+        parts.append(
+            (
+                scenario,
+                tuple(
+                    (o.result, o.total_cycles, o.profile.compile_cycles)
+                    for o in outs
+                ),
+            )
+        )
+    return tuple(parts)
+
+
+@dataclass
+class _Reference:
+    """Everything a chaos iteration compares against."""
+
+    bench: object
+    app: object
+    inputs: list
+    sequence: list[int]
+    vm: EvolvableVM                 # trained, fault-free
+    run_cycles: tuple[float, ...]   # per training run
+    warm_post: tuple                # (result, cycles) after state reload
+    cold_post: tuple                # (result, cycles) from empty records
+    cache_payload: dict
+    cache_key: CacheKey
+    programs: list[tuple]           # (program, args, result_repr, cycles)
+    sweep_signature: tuple
+
+
+def _post_run(vm: EvolvableVM, reference: "_Reference") -> tuple:
+    index = reference.sequence[-1]
+    outcome = vm.run(
+        reference.inputs[index].cmdline, rng_seed=len(reference.sequence) - 1
+    )
+    return (outcome.result, outcome.total_cycles)
+
+
+def _build_reference(
+    seed: int, benchmark: str, runs: int, fuzz_programs: int
+) -> _Reference:
+    bench = get_benchmark(benchmark)
+    app, inputs = bench.build(seed=seed)
+    # One extra slot at the tail: the post-load probe run.
+    sequence = derive_sequence(bench, seed, runs + 1)
+
+    vm = EvolvableVM(app)
+    run_cycles = []
+    for run_index in range(runs):
+        outcome = vm.run(
+            inputs[sequence[run_index]].cmdline, rng_seed=run_index
+        )
+        run_cycles.append(outcome.total_cycles)
+
+    reference = _Reference(
+        bench=bench,
+        app=app,
+        inputs=inputs,
+        sequence=sequence,
+        vm=vm,
+        run_cycles=tuple(run_cycles),
+        warm_post=(),
+        cold_post=(),
+        cache_payload={"benchmark": benchmark, "cycles": tuple(run_cycles)},
+        cache_key=CacheKey("chaos", "state", 0, runs, seed, "chaos-ref"),
+        programs=[],
+        sweep_signature=(),
+    )
+
+    # Warm post-run: a fresh VM restored through the same JSON round trip
+    # the envelope performs, then probed once.
+    warm = EvolvableVM(app)
+    load_state(warm, json.loads(json.dumps(state_to_dict(vm), sort_keys=True)))
+    reference.warm_post = _post_run(warm, reference)
+    # Cold post-run: the degraded path — empty records, reactive default.
+    reference.cold_post = _post_run(EvolvableVM(app), reference)
+
+    # Seeded fuzz programs (same generator as ``repro fuzz``); skip the
+    # rare case that faults deterministically — chaos wants clean
+    # references so every divergence is attributable to the cache.
+    index = 0
+    while len(reference.programs) < fuzz_programs and index < 50:
+        case = generate(seed, index)
+        index += 1
+        program = compile_source(case.source)
+        jit = JITCompiler(program, FUZZ_CONFIG)
+        interp = Interpreter(
+            program,
+            config=FUZZ_CONFIG,
+            rng_seed=0,
+            jit=jit,
+            first_invocation_hook=lambda name: 2,
+        )
+        try:
+            profile = interp.run(case.args)
+        except ExecutionError:
+            continue
+        reference.programs.append(
+            (program, case.args, repr(interp.result), profile.total_cycles)
+        )
+
+    fault_free = run_sweep(
+        [bench], jobs=1, seed=seed, runs=runs,
+        scenarios=("default", "evolve"),
+    )
+    reference.sweep_signature = _sweep_signature(fault_free.results[0])
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# The pillars, one iteration each
+# ---------------------------------------------------------------------------
+
+def _check_state_pillar(
+    reference: _Reference,
+    fs: FaultyFS,
+    report: DegradationReport,
+    root: Path,
+    violations: list[str],
+) -> None:
+    state_path = root / "state.json"
+    saved = save_state(reference.vm, str(state_path), fs=fs, report=report)
+    vm2 = EvolvableVM(reference.app)
+    loaded = load_state_file(vm2, str(state_path), fs=fs, report=report)
+
+    corrupted_writes = fs.corrupting_faults_for(state_path)
+    if corrupted_writes and loaded:
+        violations.append(
+            ("corruption-not-detected",
+             f"state file had {len(corrupted_writes)} corrupting write "
+             "fault(s) yet loaded successfully")
+        )
+    if loaded:
+        if (
+            vm2.confidence.value != reference.vm.confidence.value
+            or vm2.run_count != reference.vm.run_count
+        ):
+            violations.append(
+                ("divergence", "restored state differs from saved state")
+            )
+    else:
+        if report.count(component="state") == 0:
+            violations.append(
+                ("missing-degradation",
+                 "state load fell back with no degradation recorded")
+            )
+    if saved and not loaded and not fs.faults_for(state_path):
+        violations.append(
+            ("divergence", "clean save + clean read still failed to load")
+        )
+
+    # The probe run must match the warm reference when state survived,
+    # and the cold (reactive fallback) reference when it did not —
+    # degraded means slower/forgetful, never different semantics.
+    expected = reference.warm_post if loaded else reference.cold_post
+    actual = _post_run(vm2, reference)
+    if actual != expected:
+        violations.append(
+            ("divergence",
+             f"post-{'load' if loaded else 'fallback'} run observed "
+             f"{actual}, expected {expected}")
+        )
+
+
+def _check_result_cache_pillar(
+    reference: _Reference,
+    fs: FaultyFS,
+    report: DegradationReport,
+    root: Path,
+    violations: list[str],
+) -> None:
+    cache = ResultCache(root / "cells", fs=fs, report=report)
+    cache.put(reference.cache_key, reference.cache_payload)
+    entry_path = cache._path(reference.cache_key)
+    got = cache.get(reference.cache_key)
+    if got is not None:
+        if got != reference.cache_payload:
+            violations.append(
+                ("divergence", "result cache returned a different payload")
+            )
+        if fs.corrupting_faults_for(entry_path):
+            violations.append(
+                ("corruption-not-detected",
+                 "result-cache entry was corrupted yet served as a hit")
+            )
+
+
+def _check_jit_cache_pillar(
+    reference: _Reference,
+    fs: FaultyFS,
+    report: DegradationReport,
+    root: Path,
+    violations: list[str],
+) -> None:
+    for prog_index, (program, args, ref_result, ref_cycles) in enumerate(
+        reference.programs
+    ):
+        cache_dir = root / f"jit{prog_index}"
+        # Cold pass writes artifacts (possibly corrupted on the way out);
+        # the second cache instance reads them back from disk (quarantine
+        # or hit). Either way the virtual clock must not move.
+        for attempt in range(2):
+            cache = JITArtifactCache(cache_dir, fs=fs, report=report)
+            jit = JITCompiler(program, FUZZ_CONFIG, artifact_cache=cache)
+            interp = Interpreter(
+                program,
+                config=FUZZ_CONFIG,
+                rng_seed=0,
+                jit=jit,
+                first_invocation_hook=lambda name: 2,
+            )
+            profile = interp.run(args)
+            if (
+                repr(interp.result) != ref_result
+                or profile.total_cycles != ref_cycles
+            ):
+                violations.append(
+                    ("divergence",
+                     f"program {prog_index} pass {attempt}: "
+                     f"({interp.result!r}, {profile.total_cycles}) != "
+                     f"({ref_result}, {ref_cycles})")
+                )
+
+
+def _check_telemetry_pillar(
+    fs: FaultyFS,
+    report: DegradationReport,
+    root: Path,
+    violations: list[str],
+) -> None:
+    path = root / "telemetry.jsonl"
+    written = [
+        cell_event("cell", "Chaos", "state", start, start + 1, wall_s=None)
+        for start in range(6)
+    ]
+    log = TelemetryLog(path, fs=fs, report=report)
+    log.extend(written)
+    if not path.exists():
+        if log.events_dropped == 0:
+            violations.append(
+                ("missing-degradation",
+                 "telemetry file missing but no drops recorded")
+            )
+        return
+    with warnings.catch_warnings():
+        # Skipped torn lines are expected here; the DegradationReport
+        # already accounts for them.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        read_back = read_events(path, report=report)
+    for event in read_back:
+        if event not in written:
+            violations.append(
+                ("divergence",
+                 f"telemetry read produced an event never written: {event}")
+            )
+    if log.events_dropped == 0 and not fs.faults_for(path):
+        if read_back != written:
+            violations.append(
+                ("divergence", "fault-free telemetry round trip diverged")
+            )
+
+
+def _check_sweep_pillar(
+    reference: _Reference,
+    iteration_seed: int,
+    seed: int,
+    runs: int,
+    report: DegradationReport,
+    violations: list[str],
+) -> None:
+    plan = WorkerFaultPlan(seed=iteration_seed, raise_rate=0.4)
+    swept = run_sweep(
+        [reference.bench],
+        jobs=1,
+        seed=seed,
+        runs=runs,
+        scenarios=("default", "evolve"),
+        fault_plan=plan,
+        retries=2,
+        backoff_s=0.0,
+        report=report,
+    )
+    # Faults fire only on first attempts and retries are clean, so the
+    # sweep must complete every cell with bit-identical results.
+    if swept.cells_failed:
+        violations.append(
+            ("divergence",
+             f"sweep reported {swept.cells_failed} failed cell(s) despite "
+             "retries covering every injected fault")
+        )
+    elif _sweep_signature(swept.results[0]) != reference.sweep_signature:
+        violations.append(
+            ("divergence", "faulted sweep diverged from fault-free sweep")
+        )
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver
+# ---------------------------------------------------------------------------
+
+def run_chaos(
+    seed: int = 0,
+    iterations: int = 25,
+    *,
+    benchmark: str = "Search",
+    runs: int = 3,
+    fuzz_programs: int = 2,
+    sweep_every: int = 5,
+    workdir: str | None = None,
+) -> ChaosReport:
+    """Run a seeded chaos campaign; ``report.ok`` means every invariant held.
+
+    ``sweep_every`` controls how often (every k-th iteration) a full
+    sweep runs under worker faults; 0 disables that pillar.
+    """
+    clock = time.perf_counter()
+    report = ChaosReport(seed=seed, iterations=iterations, benchmark=benchmark)
+    reference = _build_reference(seed, benchmark, runs, fuzz_programs)
+
+    for iteration in range(iterations):
+        iteration_seed = seed * 99_991 + iteration
+        plan = FaultPlan.chaos_default(iteration_seed)
+        fs = FaultyFS(plan)
+        degradation = DegradationReport()
+        found: list[tuple[str, str]] = []
+        try:
+            with tempfile.TemporaryDirectory(
+                prefix=f"chaos{iteration}-", dir=workdir
+            ) as tmp:
+                root = Path(tmp)
+                _check_state_pillar(reference, fs, degradation, root, found)
+                _check_result_cache_pillar(
+                    reference, fs, degradation, root, found
+                )
+                _check_jit_cache_pillar(reference, fs, degradation, root, found)
+                _check_telemetry_pillar(fs, degradation, root, found)
+                if sweep_every and iteration % sweep_every == 0:
+                    _check_sweep_pillar(
+                        reference, iteration_seed, seed, runs,
+                        degradation, found,
+                    )
+        except Exception:
+            found.append(
+                ("unhandled-exception",
+                 traceback.format_exc(limit=3).strip().replace("\n", " | "))
+            )
+        report.completed += 1
+        report.faults_injected += len(fs.fault_log)
+        report.degradations += len(degradation)
+        report.quarantines += degradation.count(action="quarantine")
+        report.violations.extend(
+            ChaosViolation(iteration=iteration, kind=kind, detail=detail)
+            for kind, detail in found
+        )
+
+    report.wall_s = time.perf_counter() - clock
+    return report

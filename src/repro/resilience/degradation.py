@@ -1,0 +1,93 @@
+"""Degradation accounting: every fallback, recorded.
+
+The resilience contract is "never crashed, never wrong, only slower" —
+corruption or I/O failure degrades to the paper's low-confidence path
+(empty records, reactive adaptive optimization, cache misses) instead of
+propagating. :class:`DegradationReport` is the ledger of those
+decisions: every quarantine, cold-start, dropped telemetry event, cell
+retry, and serial re-execution lands here so tests, the chaos harness,
+and the CLI can assert exactly *how* a run survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import Counter
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recorded fallback decision."""
+
+    #: Which subsystem degraded: ``state`` / ``result-cache`` /
+    #: ``jit-cache`` / ``telemetry`` / ``sweep``.
+    component: str
+    #: What it did instead of failing: ``quarantine`` / ``cold-start`` /
+    #: ``cache-miss`` / ``store-failed`` / ``drop-event`` / ``skip-line`` /
+    #: ``retry`` / ``serial-reexec`` / ``cell-failed`` / ``timeout``.
+    action: str
+    #: Machine-readable cause (an :class:`EnvelopeError` reason, an errno
+    #: name, an exception type name, …).
+    reason: str
+    detail: str = ""
+    path: str | None = None
+
+    def describe(self) -> str:
+        where = f" [{self.path}]" if self.path else ""
+        what = f": {self.detail}" if self.detail else ""
+        return f"{self.component}/{self.action} ({self.reason}){where}{what}"
+
+
+class DegradationReport:
+    """Accumulates :class:`DegradationEvent` records across one run."""
+
+    def __init__(self) -> None:
+        self.events: list[DegradationEvent] = []
+
+    def record(
+        self,
+        component: str,
+        action: str,
+        reason: str,
+        detail: str = "",
+        path: str | None = None,
+    ) -> DegradationEvent:
+        event = DegradationEvent(
+            component=component,
+            action=action,
+            reason=reason,
+            detail=detail,
+            path=str(path) if path is not None else None,
+        )
+        self.events.append(event)
+        return event
+
+    def extend(self, other: "DegradationReport") -> None:
+        self.events.extend(other.events)
+
+    def count(
+        self, component: str | None = None, action: str | None = None
+    ) -> int:
+        return sum(
+            1
+            for e in self.events
+            if (component is None or e.component == component)
+            and (action is None or e.action == action)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        # Truthiness follows existence, not emptiness, so callers can
+        # write ``report or DegradationReport()`` without surprises.
+        return True
+
+    def describe(self) -> str:
+        if not self.events:
+            return "no degradations"
+        counts = Counter(f"{e.component}/{e.action}" for e in self.events)
+        parts = ", ".join(
+            f"{name}×{count}" for name, count in sorted(counts.items())
+        )
+        return f"{len(self.events)} degradation(s): {parts}"

@@ -1,0 +1,224 @@
+"""The crash-safe persistence envelope shared by every on-disk artifact.
+
+Every cross-run artifact the repo persists — evolvable-VM state, JIT
+artifacts, sweep result-cache cells — is wrapped in one self-describing
+binary envelope:
+
+    REPROENV <version> <kind> <payload-length> <sha256-of-payload>\\n
+    <payload bytes>
+
+The header names the artifact *kind* (so a result-cache entry can never
+be mistaken for VM state), the exact payload length (torn writes show up
+as a length mismatch), and a content checksum (bit rot shows up as a
+checksum mismatch). Writes are atomic: payload is written to a temp file
+in the destination directory, fsynced, then renamed over the final name,
+so readers observe either the previous complete artifact or the new one,
+never a partial write.
+
+All filesystem traffic flows through a small :class:`FileSystem`
+interface so the fault-injection layer (:mod:`.faults`) can interpose
+seeded torn writes, bit flips, and I/O errors without monkeypatching.
+
+Any decode failure raises :class:`EnvelopeError` carrying a
+machine-readable ``reason`` — the quarantine layer persists it next to
+the offending file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Magic token opening every envelope header line.
+MAGIC = "REPROENV"
+
+#: Bump on incompatible header changes; old envelopes then quarantine
+#: cleanly (reason ``bad-version``) instead of half-parsing.
+ENVELOPE_VERSION = 1
+
+
+class EnvelopeError(Exception):
+    """An envelope could not be decoded.
+
+    ``reason`` is a machine-readable token (stable across messages):
+    ``truncated-header`` / ``bad-magic`` / ``bad-version`` /
+    ``bad-header`` / ``truncated`` / ``length-mismatch`` /
+    ``checksum-mismatch`` / ``kind-mismatch``.
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+class FileSystem:
+    """The real filesystem, behind the interface faults can shim.
+
+    Only the handful of operations the persistence layer needs; every
+    method maps onto one obvious ``os``/``pathlib`` call.
+    """
+
+    def read_bytes(self, path: str | Path) -> bytes:
+        return Path(path).read_bytes()
+
+    def write_bytes_atomic(self, path: str | Path, data: bytes) -> None:
+        """Write-temp-then-rename publish of *data* at *path*."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def append_text(self, path: str | Path, text: str) -> None:
+        """Append *text* to *path* (the telemetry JSONL write path)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+
+    def exists(self, path: str | Path) -> bool:
+        return Path(path).exists()
+
+    def move(self, src: str | Path, dst: str | Path) -> None:
+        Path(dst).parent.mkdir(parents=True, exist_ok=True)
+        os.replace(src, dst)
+
+    def unlink(self, path: str | Path) -> None:
+        Path(path).unlink(missing_ok=True)
+
+
+#: Shared default instance; pass a :class:`~repro.resilience.faults.FaultyFS`
+#: instead to inject faults.
+REAL_FS = FileSystem()
+
+
+# ---------------------------------------------------------------------------
+# Encode / decode
+# ---------------------------------------------------------------------------
+
+def encode_envelope(payload: bytes, kind: str) -> bytes:
+    """Wrap *payload* in a header carrying kind, length, and checksum."""
+    if any(ch.isspace() for ch in kind) or not kind:
+        raise ValueError(f"invalid envelope kind {kind!r}")
+    digest = hashlib.sha256(payload).hexdigest()
+    header = f"{MAGIC} {ENVELOPE_VERSION} {kind} {len(payload)} {digest}\n"
+    return header.encode("ascii") + payload
+
+
+def decode_envelope(blob: bytes, expected_kind: str | None = None) -> bytes:
+    """Unwrap an envelope, verifying every header field; returns payload."""
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise EnvelopeError("truncated-header", "no header line found")
+    try:
+        header = blob[:newline].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise EnvelopeError("bad-header", f"undecodable header: {exc}") from exc
+    fields = header.split(" ")
+    if not fields or fields[0] != MAGIC:
+        raise EnvelopeError("bad-magic", f"bad magic {fields[0]!r}")
+    if len(fields) != 5:
+        raise EnvelopeError(
+            "bad-header", f"expected 5 header fields, got {len(fields)}"
+        )
+    _, version, kind, length, digest = fields
+    if version != str(ENVELOPE_VERSION):
+        raise EnvelopeError(
+            "bad-version", f"unsupported envelope version {version!r}"
+        )
+    try:
+        expected_len = int(length)
+    except ValueError as exc:
+        raise EnvelopeError("bad-header", f"bad length field {length!r}") from exc
+    payload = blob[newline + 1:]
+    if len(payload) < expected_len:
+        raise EnvelopeError(
+            "truncated",
+            f"payload is {len(payload)} byte(s), header promises {expected_len}",
+        )
+    if len(payload) > expected_len:
+        raise EnvelopeError(
+            "length-mismatch",
+            f"payload is {len(payload)} byte(s), header promises {expected_len}",
+        )
+    actual = hashlib.sha256(payload).hexdigest()
+    if actual != digest:
+        raise EnvelopeError(
+            "checksum-mismatch",
+            f"payload sha256 {actual[:12]}… != header {digest[:12]}…",
+        )
+    if expected_kind is not None and kind != expected_kind:
+        raise EnvelopeError(
+            "kind-mismatch", f"artifact is {kind!r}, expected {expected_kind!r}"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# File-level helpers
+# ---------------------------------------------------------------------------
+
+def write_envelope(
+    path: str | Path,
+    payload: bytes,
+    *,
+    kind: str,
+    fs: FileSystem = REAL_FS,
+) -> None:
+    """Atomically publish *payload* at *path* inside an envelope."""
+    fs.write_bytes_atomic(path, encode_envelope(payload, kind))
+
+
+def read_envelope(
+    path: str | Path,
+    *,
+    expected_kind: str | None = None,
+    fs: FileSystem = REAL_FS,
+) -> bytes:
+    """Read and verify the envelope at *path*; returns the payload.
+
+    Raises ``OSError`` for I/O failures (missing file, EIO) and
+    :class:`EnvelopeError` for any corruption.
+    """
+    return decode_envelope(fs.read_bytes(path), expected_kind)
+
+
+def write_json_envelope(
+    path: str | Path, obj, *, kind: str, fs: FileSystem = REAL_FS
+) -> None:
+    payload = json.dumps(obj, sort_keys=True).encode("utf-8")
+    write_envelope(path, payload, kind=kind, fs=fs)
+
+
+def read_json_envelope(
+    path: str | Path, *, kind: str, fs: FileSystem = REAL_FS
+):
+    return json.loads(read_envelope(path, expected_kind=kind, fs=fs))
+
+
+def write_pickle_envelope(
+    path: str | Path, obj, *, kind: str, fs: FileSystem = REAL_FS
+) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    write_envelope(path, payload, kind=kind, fs=fs)
+
+
+def read_pickle_envelope(
+    path: str | Path, *, kind: str, fs: FileSystem = REAL_FS
+):
+    return pickle.loads(read_envelope(path, expected_kind=kind, fs=fs))

@@ -1,0 +1,240 @@
+"""Seeded fault injection for the persistence and sweep layers.
+
+Two injection surfaces:
+
+- :class:`FaultyFS` — a :class:`~repro.resilience.envelope.FileSystem`
+  shim that corrupts or fails I/O according to a seeded
+  :class:`FaultPlan`: torn writes (the file lands truncated), bit flips
+  on write or read, ``ENOSPC`` on write, ``EIO`` on read, stale-lock
+  write failures, and slow I/O. Every injected fault is logged, so the
+  chaos harness can cross-check that each corruption produced a
+  quarantine + fallback downstream.
+
+- :class:`WorkerFaultPlan` — per-cell faults for the sweep engine:
+  a worker raising mid-cell, a worker dying (``os._exit``, which breaks
+  the whole process pool), or a worker hanging past the cell timeout.
+  Faults fire only on a cell's *first* attempt, so the retry path can be
+  asserted bit-identical to fault-free execution.
+
+Both plans are pure functions of their seed: the same plan injects the
+same faults at the same operations every time, which is what makes chaos
+findings reproducible from ``(seed, iteration)`` alone.
+"""
+
+from __future__ import annotations
+
+import errno
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+
+from .envelope import REAL_FS, FileSystem
+
+
+class StaleLockError(OSError):
+    """An injected "a previous writer left its lock behind" failure."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-operation fault probabilities for :class:`FaultyFS`.
+
+    Rates are independent probabilities drawn per filesystem operation
+    from one seeded stream; at most one fault fires per operation
+    (priority: I/O error, then torn write, then bit flip).
+    """
+
+    seed: int = 0
+    #: Atomic writes that land truncated at a random byte (torn).
+    torn_write: float = 0.0
+    #: Writes whose payload gets one random bit flipped (silent bit rot).
+    bit_flip_write: float = 0.0
+    #: Writes failing with ``OSError(ENOSPC)`` (full disk).
+    io_error_write: float = 0.0
+    #: Writes failing with :class:`StaleLockError` (stale lock file).
+    stale_lock: float = 0.0
+    #: Reads returning data with one random bit flipped.
+    bit_flip_read: float = 0.0
+    #: Reads failing with ``OSError(EIO)``.
+    io_error_read: float = 0.0
+    #: Operations delayed by ``slow_s`` seconds (slow I/O).
+    slow_io: float = 0.0
+    slow_s: float = 0.001
+
+    @classmethod
+    def chaos_default(cls, seed: int) -> "FaultPlan":
+        """The mix the chaos harness uses: every class of fault, often."""
+        return cls(
+            seed=seed,
+            torn_write=0.12,
+            bit_flip_write=0.12,
+            io_error_write=0.08,
+            stale_lock=0.04,
+            bit_flip_read=0.12,
+            io_error_read=0.08,
+        )
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually fired."""
+
+    op: str        # "read" | "write" | "append"
+    kind: str      # "torn-write" | "bit-flip" | "enospc" | "eio" | ...
+    path: str
+
+    def corrupts(self) -> bool:
+        """Did this fault silently corrupt data (vs. raising an error)?"""
+        return self.kind in ("torn-write", "bit-flip", "torn-append")
+
+
+def _flip_one_bit(data: bytes, rng: Random) -> bytes:
+    if not data:
+        return data
+    index = rng.randrange(len(data))
+    bit = 1 << rng.randrange(8)
+    mutated = bytearray(data)
+    mutated[index] ^= bit
+    return bytes(mutated)
+
+
+class FaultyFS(FileSystem):
+    """A filesystem that misbehaves on a seeded schedule.
+
+    Wraps a base :class:`FileSystem` (the real one by default). Faults
+    are drawn from ``plan``'s seeded stream in operation order, so a
+    given call sequence always experiences the same faults. The
+    :attr:`fault_log` records every injection.
+    """
+
+    def __init__(self, plan: FaultPlan, base: FileSystem = REAL_FS):
+        self.plan = plan
+        self.base = base
+        self.rng = Random(plan.seed * 0x9E3779B1 + 0x7F4A7C15)
+        self.fault_log: list[InjectedFault] = []
+
+    # -- bookkeeping ------------------------------------------------------
+    def _log(self, op: str, kind: str, path: str | Path) -> None:
+        self.fault_log.append(InjectedFault(op=op, kind=kind, path=str(path)))
+
+    def faults_for(self, path: str | Path) -> list[InjectedFault]:
+        return [f for f in self.fault_log if f.path == str(path)]
+
+    def corrupting_faults_for(self, path: str | Path) -> list[InjectedFault]:
+        return [f for f in self.faults_for(path) if f.corrupts()]
+
+    def _maybe_slow(self) -> None:
+        if self.plan.slow_io and self.rng.random() < self.plan.slow_io:
+            time.sleep(self.plan.slow_s)
+
+    # -- faulted operations ----------------------------------------------
+    def read_bytes(self, path: str | Path) -> bytes:
+        self._maybe_slow()
+        if self.rng.random() < self.plan.io_error_read:
+            self._log("read", "eio", path)
+            raise OSError(errno.EIO, "injected I/O error on read", str(path))
+        data = self.base.read_bytes(path)
+        if self.rng.random() < self.plan.bit_flip_read:
+            self._log("read", "bit-flip", path)
+            data = _flip_one_bit(data, self.rng)
+        return data
+
+    def write_bytes_atomic(self, path: str | Path, data: bytes) -> None:
+        self._maybe_slow()
+        if self.rng.random() < self.plan.io_error_write:
+            self._log("write", "enospc", path)
+            raise OSError(
+                errno.ENOSPC, "injected: no space left on device", str(path)
+            )
+        if self.rng.random() < self.plan.stale_lock:
+            self._log("write", "stale-lock", path)
+            raise StaleLockError(
+                errno.EEXIST, "injected: stale lock held", str(path)
+            )
+        if self.rng.random() < self.plan.torn_write:
+            # A torn write that still landed: the publish was not atomic
+            # (crashed mid-rename, buggy filesystem) and readers see a
+            # truncated artifact.
+            self._log("write", "torn-write", path)
+            cut = self.rng.randrange(len(data)) if data else 0
+            self.base.write_bytes_atomic(path, data[:cut])
+            return
+        if self.rng.random() < self.plan.bit_flip_write:
+            self._log("write", "bit-flip", path)
+            data = _flip_one_bit(data, self.rng)
+        self.base.write_bytes_atomic(path, data)
+
+    def append_text(self, path: str | Path, text: str) -> None:
+        self._maybe_slow()
+        if self.rng.random() < self.plan.io_error_write:
+            self._log("append", "enospc", path)
+            raise OSError(
+                errno.ENOSPC, "injected: no space left on device", str(path)
+            )
+        if self.rng.random() < self.plan.torn_write:
+            # A crash mid-append: only a prefix of the line reaches disk.
+            self._log("append", "torn-append", path)
+            cut = self.rng.randrange(len(text)) if text else 0
+            self.base.append_text(path, text[:cut])
+            return
+        self.base.append_text(path, text)
+
+    # Metadata operations stay truthful: quarantine must be able to move
+    # files aside even under heavy data-path fault rates.
+    def exists(self, path: str | Path) -> bool:
+        return self.base.exists(path)
+
+    def move(self, src: str | Path, dst: str | Path) -> None:
+        self.base.move(src, dst)
+
+    def unlink(self, path: str | Path) -> None:
+        self.base.unlink(path)
+
+
+# ---------------------------------------------------------------------------
+# Worker-level faults for the sweep engine
+# ---------------------------------------------------------------------------
+
+#: The fault kinds a sweep worker can be told to exhibit.
+WORKER_FAULTS = ("raise", "exit", "hang")
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Seeded per-cell faults for :func:`repro.experiments.parallel.run_sweep`.
+
+    ``fault_for(index, attempt)`` decides deterministically whether the
+    cell at *index* misbehaves — but only on attempt 0, so retried and
+    serially re-executed cells always run clean (which is what lets the
+    tests demand bit-identity with serial execution).
+    """
+
+    seed: int = 0
+    #: Probability a cell's worker raises mid-execution.
+    raise_rate: float = 0.0
+    #: Probability a cell's worker dies hard (breaks the process pool).
+    exit_rate: float = 0.0
+    #: Probability a cell's worker hangs (must trip the cell timeout).
+    hang_rate: float = 0.0
+    #: How long a hanging worker sleeps.
+    hang_s: float = 30.0
+    #: Explicit per-cell overrides (cell index → fault kind); applied
+    #: before the random draw, for pinpoint tests.
+    forced: tuple[tuple[int, str], ...] = field(default_factory=tuple)
+
+    def fault_for(self, index: int, attempt: int = 0) -> str | None:
+        if attempt > 0:
+            return None
+        for forced_index, kind in self.forced:
+            if forced_index == index:
+                return kind
+        rng = Random((self.seed + 1) * 1_000_003 + index * 7919)
+        draw = rng.random()
+        if draw < self.exit_rate:
+            return "exit"
+        if draw < self.exit_rate + self.raise_rate:
+            return "raise"
+        if draw < self.exit_rate + self.raise_rate + self.hang_rate:
+            return "hang"
+        return None

@@ -1,0 +1,101 @@
+"""Quarantine: corrupt artifacts are moved aside, never half-trusted.
+
+When a persisted artifact fails to load (bad magic, checksum mismatch,
+truncation, unpicklable payload, …) the loader does not delete it —
+evidence of corruption is preserved for post-mortems — and it must not
+stay in place, where the next reader would trip over it again. Instead
+the file moves to a ``.quarantine/`` sibling directory next to where it
+lived, with a machine-readable ``*.reason.json`` sidecar describing why,
+and the caller degrades (cold start, cache miss) with the decision
+recorded in a :class:`~repro.resilience.degradation.DegradationReport`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .degradation import DegradationReport
+from .envelope import REAL_FS, FileSystem
+
+#: Name of the sibling directory quarantined artifacts move into.
+QUARANTINE_DIR = ".quarantine"
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """Where a corrupt artifact went and why."""
+
+    original: str
+    #: Final resting path, or ``None`` if even the move failed (the file
+    #: was then unlinked best-effort so it cannot re-poison loads).
+    quarantined: str | None
+    reason: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "original": self.original,
+            "quarantined": self.quarantined,
+            "reason": self.reason,
+            "detail": self.detail,
+        }
+
+
+def quarantine_dir(path: str | Path) -> Path:
+    """The quarantine directory used for artifacts living at *path*."""
+    return Path(path).parent / QUARANTINE_DIR
+
+
+def quarantine_file(
+    path: str | Path,
+    reason: str,
+    detail: str = "",
+    *,
+    component: str = "artifact",
+    fs: FileSystem = REAL_FS,
+    report: DegradationReport | None = None,
+) -> QuarantineRecord:
+    """Move the corrupt file at *path* into quarantine.
+
+    Never raises: a quarantine that itself hits I/O errors falls back to
+    unlinking the offender, and failing even that still returns a record
+    (the caller's degradation path proceeds regardless).
+    """
+    path = Path(path)
+    dest_dir = quarantine_dir(path)
+    dest = dest_dir / path.name
+    counter = 0
+    while fs.exists(dest):
+        counter += 1
+        dest = dest_dir / f"{path.name}.{counter}"
+    quarantined: str | None = str(dest)
+    try:
+        fs.move(path, dest)
+    except OSError:
+        quarantined = None
+        try:
+            fs.unlink(path)
+        except OSError:
+            pass
+    record = QuarantineRecord(
+        original=str(path),
+        quarantined=quarantined,
+        reason=reason,
+        detail=detail,
+    )
+    if quarantined is not None:
+        # Best-effort sidecar; losing it loses forensics, not safety.
+        try:
+            fs.write_bytes_atomic(
+                dest_dir / f"{dest.name}.reason.json",
+                json.dumps(record.to_dict(), sort_keys=True).encode("utf-8"),
+            )
+        except OSError:
+            pass
+    if report is not None:
+        report.record(
+            component, "quarantine", reason, detail=detail, path=str(path)
+        )
+    return record

@@ -25,21 +25,38 @@ Because ``compile_cycles`` is part of the artifact, a cache hit charges the
 run's virtual clock exactly what a fresh compile would have: wall-clock
 changes, virtual-cycle results do not. This is asserted by the equivalence
 tests and is what makes the cache safe to enable under ``repro sweep``.
+
+Disk entries ride the shared crash-safe envelope
+(:mod:`repro.resilience.envelope`): atomic write-temp-then-rename publish
+plus a content checksum, so concurrent sweep workers can share one
+directory and a torn or bit-flipped entry is at worst a **miss** (the
+corrupt file is quarantined), never a corrupt hit. Store failures (full
+disk) silently skip persistence — the in-memory layer still serves.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
-import tempfile
 from pathlib import Path
 
+from ...resilience.degradation import DegradationReport
+from ...resilience.envelope import (
+    REAL_FS,
+    EnvelopeError,
+    FileSystem,
+    encode_envelope,
+    decode_envelope,
+)
+from ...resilience.quarantine import quarantine_file
 from ..program import Method, Program
 
 #: Bump when the artifact layout changes incompatibly (invalidates disk
 #: entries from older versions without needing a cache wipe).
 ARTIFACT_SCHEMA_VERSION = 1
+
+#: Envelope kind tag for persisted JIT artifacts.
+ARTIFACT_KIND = "jit-artifact"
 
 
 def method_digest(method: Method) -> str:
@@ -86,19 +103,31 @@ class JITArtifactCache:
     """Shared artifact store: in-memory map plus optional disk layer.
 
     Thread-unsafe by design (one per process); *processes* coordinate via
-    the disk layer, whose writes are atomic renames, so concurrent sweep
-    workers can share one directory — a torn or concurrent write is at
-    worst a miss, never a corrupt hit.
+    the disk layer's envelope (atomic renames + checksums), so concurrent
+    sweep workers can share one directory — a torn or concurrent write is
+    at worst a miss, never a corrupt hit.
     """
 
-    def __init__(self, cache_dir: str | Path | None = None):
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        *,
+        fs: FileSystem = REAL_FS,
+        report: DegradationReport | None = None,
+    ):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.fs = fs
+        self.report = report
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._memory: dict[str, object] = {}
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.quarantined = 0
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
 
     def get(self, key: str):
         """Return the cached artifact for *key*, or ``None``."""
@@ -107,12 +136,7 @@ class JITArtifactCache:
             self.hits += 1
             return artifact
         if self.cache_dir is not None:
-            path = self.cache_dir / f"{key}.pkl"
-            try:
-                with open(path, "rb") as fh:
-                    artifact = pickle.load(fh)
-            except (OSError, pickle.PickleError, EOFError, AttributeError):
-                artifact = None
+            artifact = self._disk_get(key)
             if artifact is not None:
                 self._memory[key] = artifact
                 self.hits += 1
@@ -121,26 +145,54 @@ class JITArtifactCache:
         self.misses += 1
         return None
 
+    def _disk_get(self, key: str):
+        path = self._path(key)
+        try:
+            blob = self.fs.read_bytes(path)
+        except OSError:
+            return None
+        try:
+            return pickle.loads(decode_envelope(blob, ARTIFACT_KIND))
+        except (
+            EnvelopeError,
+            pickle.PickleError,
+            EOFError,
+            AttributeError,
+            ValueError,
+        ) as exc:
+            reason = getattr(exc, "reason", type(exc).__name__)
+            quarantine_file(
+                path, reason, str(exc),
+                component="jit-cache", fs=self.fs, report=self.report,
+            )
+            if self.report is not None:
+                self.report.record(
+                    "jit-cache", "cache-miss", reason, path=str(path)
+                )
+            self.quarantined += 1
+            return None
+
     def put(self, key: str, artifact) -> None:
         self._memory[key] = artifact
         if self.cache_dir is None:
             return
-        path = self.cache_dir / f"{key}.pkl"
+        path = self._path(key)
         if path.exists():
             return
-        # Atomic publish: write to a temp file in the same directory, then
-        # rename over the final name. Readers either see a complete entry
-        # or none at all.
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        blob = encode_envelope(
+            pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL),
+            ARTIFACT_KIND,
+        )
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self.fs.write_bytes_atomic(path, blob)
+        except OSError as exc:
+            # Persistence is an optimization; losing it costs recompiles,
+            # never correctness.
+            if self.report is not None:
+                self.report.record(
+                    "jit-cache", "store-failed", type(exc).__name__,
+                    detail=str(exc), path=str(path),
+                )
 
     def stats(self) -> dict[str, int]:
         return {
@@ -148,4 +200,5 @@ class JITArtifactCache:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "entries": len(self._memory),
+            "quarantined": self.quarantined,
         }

@@ -1,0 +1,263 @@
+"""Tests for the crash-safe envelope and the fault-injection filesystem.
+
+The envelope's promise (docs/robustness.md): any truncation and any
+single bit flip — header or payload — is detected at decode time with a
+machine-readable reason; atomic writes leave either the complete new
+artifact or nothing, never a partial file and never a stray temp file.
+"""
+
+import os
+
+import pytest
+
+from repro.resilience.envelope import (
+    ENVELOPE_VERSION,
+    MAGIC,
+    REAL_FS,
+    EnvelopeError,
+    decode_envelope,
+    encode_envelope,
+    read_envelope,
+    read_json_envelope,
+    read_pickle_envelope,
+    write_envelope,
+    write_json_envelope,
+    write_pickle_envelope,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultyFS,
+    StaleLockError,
+    WorkerFaultPlan,
+)
+
+PAYLOAD = b'{"answer": 42, "text": "hello"}'
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        blob = encode_envelope(PAYLOAD, "demo")
+        assert decode_envelope(blob, "demo") == PAYLOAD
+        # Kind check is optional on decode.
+        assert decode_envelope(blob) == PAYLOAD
+
+    def test_header_shape(self):
+        blob = encode_envelope(PAYLOAD, "demo")
+        header = blob.split(b"\n", 1)[0].decode("ascii")
+        magic, version, kind, length, digest = header.split(" ")
+        assert magic == MAGIC
+        assert version == str(ENVELOPE_VERSION)
+        assert kind == "demo"
+        assert int(length) == len(PAYLOAD)
+        assert len(digest) == 64
+
+    def test_empty_payload_round_trips(self):
+        assert decode_envelope(encode_envelope(b"", "empty"), "empty") == b""
+
+    def test_kind_with_whitespace_rejected(self):
+        with pytest.raises(ValueError):
+            encode_envelope(PAYLOAD, "two words")
+        with pytest.raises(ValueError):
+            encode_envelope(PAYLOAD, "")
+
+    def test_kind_mismatch(self):
+        blob = encode_envelope(PAYLOAD, "demo")
+        with pytest.raises(EnvelopeError) as err:
+            decode_envelope(blob, "other")
+        assert err.value.reason == "kind-mismatch"
+
+    def test_bad_magic(self):
+        with pytest.raises(EnvelopeError) as err:
+            decode_envelope(b"NOTMAGIC 1 demo 0 abc\n")
+        assert err.value.reason == "bad-magic"
+
+    def test_legacy_plain_json_is_bad_magic(self):
+        # What load_state_file's legacy fallback keys on.
+        with pytest.raises(EnvelopeError) as err:
+            decode_envelope(b'{"format": 1}\n')
+        assert err.value.reason == "bad-magic"
+
+    def test_bad_version(self):
+        blob = encode_envelope(PAYLOAD, "demo").replace(
+            b"REPROENV 1 ", b"REPROENV 99 ", 1
+        )
+        with pytest.raises(EnvelopeError) as err:
+            decode_envelope(blob)
+        assert err.value.reason == "bad-version"
+
+    def test_missing_newline_is_truncated_header(self):
+        with pytest.raises(EnvelopeError) as err:
+            decode_envelope(b"REPROENV 1 demo")
+        assert err.value.reason == "truncated-header"
+
+    def test_extra_payload_is_length_mismatch(self):
+        blob = encode_envelope(PAYLOAD, "demo") + b"trailing garbage"
+        with pytest.raises(EnvelopeError) as err:
+            decode_envelope(blob)
+        assert err.value.reason == "length-mismatch"
+
+    def test_every_truncation_detected(self):
+        blob = encode_envelope(PAYLOAD, "demo")
+        for cut in range(len(blob)):
+            with pytest.raises(EnvelopeError):
+                decode_envelope(blob[:cut], "demo")
+
+    def test_every_single_bit_flip_detected(self):
+        blob = encode_envelope(PAYLOAD, "demo")
+        for index in range(len(blob)):
+            for bit in range(8):
+                mutated = bytearray(blob)
+                mutated[index] ^= 1 << bit
+                with pytest.raises(EnvelopeError):
+                    decode_envelope(bytes(mutated), "demo")
+
+
+class TestFileHelpers:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        write_envelope(path, PAYLOAD, kind="demo")
+        assert read_envelope(path, expected_kind="demo") == PAYLOAD
+
+    def test_json_and_pickle_round_trip(self, tmp_path):
+        obj = {"rows": [1, 2.5, None], "name": "x"}
+        write_json_envelope(tmp_path / "a.json", obj, kind="j")
+        assert read_json_envelope(tmp_path / "a.json", kind="j") == obj
+        write_pickle_envelope(tmp_path / "a.pkl", obj, kind="p")
+        assert read_pickle_envelope(tmp_path / "a.pkl", kind="p") == obj
+
+    def test_no_stray_temp_files(self, tmp_path):
+        write_envelope(tmp_path / "artifact.bin", PAYLOAD, kind="demo")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.bin"]
+
+    def test_atomic_write_replaces_previous(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        write_envelope(path, b"old", kind="demo")
+        write_envelope(path, b"new", kind="demo")
+        assert read_envelope(path, expected_kind="demo") == b"new"
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "artifact.bin"
+        write_envelope(path, PAYLOAD, kind="demo")
+        assert read_envelope(path, expected_kind="demo") == PAYLOAD
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_envelope(tmp_path / "nope.bin", expected_kind="demo")
+
+
+ALWAYS_TORN = FaultPlan(seed=3, torn_write=1.0)
+ALWAYS_FLIP_W = FaultPlan(seed=3, bit_flip_write=1.0)
+ALWAYS_ENOSPC = FaultPlan(seed=3, io_error_write=1.0)
+ALWAYS_LOCK = FaultPlan(seed=3, stale_lock=1.0)
+ALWAYS_EIO = FaultPlan(seed=3, io_error_read=1.0)
+ALWAYS_FLIP_R = FaultPlan(seed=3, bit_flip_read=1.0)
+
+
+class TestFaultyFS:
+    def test_clean_plan_is_transparent(self, tmp_path):
+        fs = FaultyFS(FaultPlan(seed=0))
+        path = tmp_path / "a.bin"
+        fs.write_bytes_atomic(path, PAYLOAD)
+        assert fs.read_bytes(path) == PAYLOAD
+        assert fs.fault_log == []
+
+    def test_torn_write_detected_by_envelope(self, tmp_path):
+        fs = FaultyFS(ALWAYS_TORN)
+        path = tmp_path / "a.bin"
+        fs.write_bytes_atomic(path, encode_envelope(PAYLOAD, "demo"))
+        assert fs.corrupting_faults_for(path)
+        with pytest.raises(EnvelopeError):
+            decode_envelope(REAL_FS.read_bytes(path), "demo")
+
+    def test_bit_flip_write_detected_by_envelope(self, tmp_path):
+        fs = FaultyFS(ALWAYS_FLIP_W)
+        path = tmp_path / "a.bin"
+        fs.write_bytes_atomic(path, encode_envelope(PAYLOAD, "demo"))
+        assert [f.kind for f in fs.faults_for(path)] == ["bit-flip"]
+        with pytest.raises(EnvelopeError):
+            decode_envelope(REAL_FS.read_bytes(path), "demo")
+
+    def test_enospc_raises_and_writes_nothing(self, tmp_path):
+        fs = FaultyFS(ALWAYS_ENOSPC)
+        path = tmp_path / "a.bin"
+        with pytest.raises(OSError):
+            fs.write_bytes_atomic(path, PAYLOAD)
+        assert not path.exists()
+        assert [f.kind for f in fs.faults_for(path)] == ["enospc"]
+
+    def test_stale_lock_is_oserror(self, tmp_path):
+        fs = FaultyFS(ALWAYS_LOCK)
+        with pytest.raises(StaleLockError):
+            fs.write_bytes_atomic(tmp_path / "a.bin", PAYLOAD)
+        # Callers catch plain OSError.
+        assert issubclass(StaleLockError, OSError)
+
+    def test_eio_read(self, tmp_path):
+        path = tmp_path / "a.bin"
+        path.write_bytes(PAYLOAD)
+        with pytest.raises(OSError):
+            FaultyFS(ALWAYS_EIO).read_bytes(path)
+
+    def test_bit_flip_read_leaves_disk_intact(self, tmp_path):
+        path = tmp_path / "a.bin"
+        REAL_FS.write_bytes_atomic(path, PAYLOAD)
+        fs = FaultyFS(ALWAYS_FLIP_R)
+        assert fs.read_bytes(path) != PAYLOAD
+        assert path.read_bytes() == PAYLOAD  # corruption was in-flight only
+
+    def test_torn_append_lands_prefix(self, tmp_path):
+        fs = FaultyFS(FaultPlan(seed=5, torn_write=1.0))
+        path = tmp_path / "log.jsonl"
+        fs.append_text(path, "0123456789\n")
+        text = path.read_text() if path.exists() else ""
+        assert "0123456789\n".startswith(text)
+        assert text != "0123456789\n"
+
+    def test_same_seed_same_faults(self, tmp_path):
+        plan = FaultPlan.chaos_default(7)
+        logs = []
+        for attempt in range(2):
+            fs = FaultyFS(plan)
+            root = tmp_path / str(attempt)
+            for i in range(30):
+                path = root / f"f{i}.bin"
+                try:
+                    fs.write_bytes_atomic(path, PAYLOAD)
+                    fs.read_bytes(path)
+                except OSError:
+                    pass
+            logs.append([(f.op, f.kind) for f in fs.fault_log])
+        assert logs[0] == logs[1]
+        assert logs[0]  # chaos rates actually fire within 30 ops
+
+    def test_metadata_ops_stay_truthful(self, tmp_path):
+        # Quarantine relies on exists/move/unlink never being faulted.
+        fs = FaultyFS(FaultPlan.chaos_default(1))
+        src = tmp_path / "src.bin"
+        src.write_bytes(PAYLOAD)
+        for _ in range(20):
+            assert fs.exists(src)
+        fs.move(src, tmp_path / "dst.bin")
+        assert not src.exists() and (tmp_path / "dst.bin").exists()
+        fs.unlink(tmp_path / "dst.bin")
+        assert not (tmp_path / "dst.bin").exists()
+
+
+class TestWorkerFaultPlan:
+    def test_deterministic(self):
+        plan = WorkerFaultPlan(seed=4, raise_rate=0.5, exit_rate=0.2)
+        draws = [plan.fault_for(i) for i in range(50)]
+        assert draws == [plan.fault_for(i) for i in range(50)]
+        assert any(d == "raise" for d in draws)
+        assert any(d == "exit" for d in draws)
+        assert any(d is None for d in draws)
+
+    def test_retries_run_clean(self):
+        plan = WorkerFaultPlan(seed=4, raise_rate=1.0)
+        assert plan.fault_for(3, attempt=0) == "raise"
+        assert plan.fault_for(3, attempt=1) is None
+
+    def test_forced_overrides_random(self):
+        plan = WorkerFaultPlan(seed=4, forced=((2, "hang"),))
+        assert plan.fault_for(2) == "hang"
+        assert plan.fault_for(1) is None

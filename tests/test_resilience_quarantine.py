@@ -1,0 +1,101 @@
+"""Tests for quarantine semantics and degradation accounting."""
+
+import json
+
+import pytest
+
+from repro.resilience.degradation import DegradationReport
+from repro.resilience.quarantine import (
+    QUARANTINE_DIR,
+    quarantine_dir,
+    quarantine_file,
+)
+
+
+@pytest.fixture
+def corrupt(tmp_path):
+    path = tmp_path / "state.json"
+    path.write_bytes(b"\x00 definitely not an envelope")
+    return path
+
+
+class TestQuarantineFile:
+    def test_moves_file_aside(self, corrupt, tmp_path):
+        record = quarantine_file(corrupt, "checksum-mismatch", "bit rot")
+        assert not corrupt.exists()
+        dest = quarantine_dir(corrupt) / "state.json"
+        assert dest.exists()
+        assert record.quarantined == str(dest)
+        assert record.original == str(corrupt)
+        assert quarantine_dir(corrupt) == tmp_path / QUARANTINE_DIR
+
+    def test_reason_sidecar_is_machine_readable(self, corrupt):
+        quarantine_file(corrupt, "truncated", "payload short")
+        sidecar = quarantine_dir(corrupt) / "state.json.reason.json"
+        data = json.loads(sidecar.read_text())
+        assert data["reason"] == "truncated"
+        assert data["detail"] == "payload short"
+        assert data["original"] == str(corrupt)
+        assert data["quarantined"].endswith("state.json")
+
+    def test_collisions_get_counter_suffix(self, tmp_path):
+        names = []
+        for _ in range(3):
+            path = tmp_path / "entry.pkl"
+            path.write_bytes(b"junk")
+            record = quarantine_file(path, "bad-magic")
+            names.append(record.quarantined.rsplit("/", 1)[-1])
+        assert names == ["entry.pkl", "entry.pkl.1", "entry.pkl.2"]
+        # Each quarantined copy is preserved, none overwritten.
+        qdir = tmp_path / QUARANTINE_DIR
+        assert {n for n in names} <= {p.name for p in qdir.iterdir()}
+
+    def test_records_degradation(self, corrupt):
+        report = DegradationReport()
+        quarantine_file(
+            corrupt, "checksum-mismatch", component="state", report=report
+        )
+        assert report.count(component="state", action="quarantine") == 1
+        event = report.events[0]
+        assert event.reason == "checksum-mismatch"
+        assert event.path == str(corrupt)
+
+    def test_missing_file_never_raises(self, tmp_path):
+        report = DegradationReport()
+        record = quarantine_file(
+            tmp_path / "vanished.bin", "eio", report=report
+        )
+        # The move failed; the record says so and the caller proceeds.
+        assert record.quarantined is None
+        assert report.count(action="quarantine") == 1
+
+
+class TestDegradationReport:
+    def test_counts_and_filters(self):
+        report = DegradationReport()
+        report.record("state", "cold-start", "missing")
+        report.record("jit-cache", "cache-miss", "checksum-mismatch")
+        report.record("jit-cache", "store-failed", "OSError")
+        assert len(report) == 3
+        assert report.count() == 3
+        assert report.count(component="jit-cache") == 2
+        assert report.count(action="cache-miss") == 1
+        assert report.count(component="state", action="cache-miss") == 0
+
+    def test_always_truthy(self):
+        # `if report:` must not silently skip recording on empty reports.
+        assert bool(DegradationReport())
+
+    def test_describe_summarizes(self):
+        report = DegradationReport()
+        assert "no degradation" in report.describe()
+        report.record("state", "cold-start", "missing")
+        report.record("state", "cold-start", "missing")
+        text = report.describe()
+        assert "state" in text and "cold-start" in text and "2" in text
+
+    def test_extend_merges(self):
+        a, b = DegradationReport(), DegradationReport()
+        b.record("sweep", "retry", "exception")
+        a.extend(b)
+        assert a.count(component="sweep") == 1
