@@ -27,7 +27,10 @@ disables the cross-run JIT artifact cache). ``fuzz`` adds
 (write minimized reproducers there; exit status 1 when any divergence is
 found), and ``--engines`` (cross-check the fast engine against the
 reference interpreter instead of the pass matrix). Bare ``bench`` runs
-the wall-clock VM benchmark suite and writes ``BENCH_vm.json``; it takes
+the wall-clock VM benchmark suite — interpreter workloads, a sweep cell,
+fuzz throughput, and the learning layer (training rows/s, fast-vs-
+reference model-construction speedup with identical-tree checks, and
+flattened predict-all latency) — and writes ``BENCH_vm.json``; it takes
 ``--quick``, ``--out PATH``, ``--baseline PATH``, and
 ``--max-regression FRACTION``. ``chaos [BENCH]`` runs seeded
 fault-injection campaigns over the crash-safe persistence stack

@@ -13,10 +13,14 @@ interpreter? It times three things:
    artifact cache, asserting the virtual-cycle outcomes are identical.
 3. **Fuzz iterations** — differential fuzz throughput, since the fuzz
    harness is the other big wall-clock consumer in CI.
+4. **The learning layer** (:mod:`repro.bench.learnbench`) — offline model
+   construction throughput, the fast/reference training speedup (trees
+   checked identical), and flattened predict-all latency.
 
 Results are emitted as a schema-checked ``BENCH_vm.json``. CI's regression
-gate compares the fast/reference **speedup ratio** against a checked-in
-baseline (``benchmarks/BENCH_baseline.json``) rather than absolute
+gate compares the fast/reference **speedup ratios** (VM workloads and
+learning geomean) against a checked-in baseline
+(``benchmarks/BENCH_baseline.json``) rather than absolute
 instructions/second, which would vary with runner hardware.
 """
 
@@ -30,7 +34,7 @@ import time
 from ..lang import compile_source
 from ..vm import Interpreter
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: Workload sources: small MiniLang kernels exercising the three hot shapes
 #: the fast engine targets (fused arithmetic loops, array traffic, calls).
@@ -236,6 +240,8 @@ def geomean(values: list[float]) -> float:
 
 def bench_report(quick: bool = False) -> dict:
     """Run the full suite and assemble the ``BENCH_vm.json`` payload."""
+    from .learnbench import bench_learning
+
     workloads = bench_workloads(quick=quick)
     speedups = [row["speedup"] for row in workloads]
     return {
@@ -254,6 +260,7 @@ def bench_report(quick: bool = False) -> dict:
         },
         "sweep_cell": bench_sweep_cell(quick=quick),
         "fuzz": bench_fuzz(quick=quick),
+        "learning": bench_learning(quick=quick),
     }
 
 
@@ -305,6 +312,33 @@ def validate_bench_report(report: dict) -> None:
         raise ValueError("sweep_cell: cache must not change results")
     need(report, "fuzz", dict, "report")
     need(report["fuzz"], "ok", bool, "fuzz")
+    need(report, "learning", dict, "report")
+    learning = report["learning"]
+    need(learning, "training", dict, "learning")
+    for key in ("methods", "runs", "training_rows"):
+        need(learning["training"], key, int, "learning.training")
+        if learning["training"][key] <= 0:
+            raise ValueError(f"learning.training: {key!r} must be positive")
+    for key in ("wall_s", "rows_per_s"):
+        need(learning["training"], key, (int, float), "learning.training")
+        if learning["training"][key] <= 0:
+            raise ValueError(f"learning.training: {key!r} must be positive")
+    need(learning, "speedup", dict, "learning")
+    for key in ("geomean", "min", "max"):
+        need(learning["speedup"], key, (int, float), "learning.speedup")
+        if learning["speedup"][key] <= 0:
+            raise ValueError(f"learning.speedup: {key!r} must be positive")
+    need(learning["speedup"], "identical_trees", bool, "learning.speedup")
+    if learning["speedup"]["identical_trees"] is not True:
+        raise ValueError(
+            "learning.speedup: engines must produce identical trees"
+        )
+    need(learning, "predict", dict, "learning")
+    for key in ("wall_s", "per_call_us"):
+        need(learning["predict"], key, (int, float), "learning.predict")
+        if learning["predict"][key] <= 0:
+            raise ValueError(f"learning.predict: {key!r} must be positive")
+    need(learning["predict"], "trees", int, "learning.predict")
 
 
 def compare_to_baseline(
@@ -338,6 +372,15 @@ def compare_to_baseline(
                 f"{row['name']} (level {row['level']}): speedup "
                 f"{row['speedup']:.2f}x vs baseline {base['speedup']:.2f}x"
             )
+    base_learning = baseline.get("learning")
+    if base_learning is not None:
+        base_geo = base_learning["speedup"]["geomean"]
+        new_geo = report["learning"]["speedup"]["geomean"]
+        if new_geo < base_geo * floor:
+            failures.append(
+                f"learning speedup geomean regressed: {new_geo:.2f}x vs "
+                f"baseline {base_geo:.2f}x (floor {base_geo * floor:.2f}x)"
+            )
     return failures
 
 
@@ -368,6 +411,9 @@ def format_report(report: dict) -> str:
         f"fuzz: {fuzz['iterations']} iteration(s) in {fuzz['wall_s']:.2f}s "
         f"({fuzz['iterations_per_s']:.2f}/s)"
     )
+    from .learnbench import format_learning
+
+    lines.extend(format_learning(report["learning"]))
     return "\n".join(lines)
 
 

@@ -84,12 +84,21 @@ class EvolvableVM:
         gc_model: GCCostModel = GCCostModel(),
         default_gc_policy: str = DEFAULT_GC_POLICY,
         cache_translations: bool = False,
+        learning_engine: str = "auto",
+        refit_jobs: int = 1,
     ):
         self.app = app
         self.config = config
         self.jit = jit if jit is not None else JITCompiler(app.program, config)
         self.cost_benefit = CostBenefitModel(self.jit, config.sample_interval)
-        self.models = ModelBuilder(tree_params, min_rows=min_rows)
+        #: Training-engine knob for the learning layer ("auto"/"fast"/
+        #: "reference", mirroring Interpreter(engine=)); refit_jobs > 1
+        #: fans the end-of-run model refits across worker processes.
+        self.learning_engine = learning_engine
+        self.refit_jobs = refit_jobs
+        self.models = ModelBuilder(
+            tree_params, min_rows=min_rows, engine=learning_engine
+        )
         self.confidence = ConfidenceTracker(gamma=gamma, threshold=threshold)
         self.predictor = StrategyPredictor(self.models, self.confidence, overhead)
         self.translator = app.make_translator()
@@ -103,6 +112,7 @@ class EvolvableVM:
                 gc_model=gc_model,
                 default_policy=default_gc_policy,
                 min_rows=min_rows,
+                engine=learning_engine,
             )
             if select_gc
             else None
@@ -212,9 +222,11 @@ class EvolvableVM:
             ideal = self.cost_benefit.ideal_strategy(profile)
             accuracy = prediction_accuracy(scored, ideal, profile)
             self.confidence.update(accuracy)
-            # Offline stage: extend and rebuild the models.
+            # Offline stage: extend and rebuild the models. This is the
+            # only place model construction happens — the run-start
+            # prediction above reads the flattened forest compiled here.
             self.models.observe_run(fvector, ideal)
-            self.models.refit_all()
+            self.models.refit_all(jobs=self.refit_jobs)
             outcome.predicted = scored
             outcome.ideal = ideal
             outcome.accuracy = accuracy

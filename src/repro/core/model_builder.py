@@ -4,53 +4,198 @@ One application owns one :class:`ModelBuilder`, which owns one
 :class:`~repro.learning.incremental.IncrementalClassifier` per Java method.
 After each run the builder observes (input feature vector → the method's
 posterior ideal level); before a run it assembles a
-:class:`~repro.aos.strategy.LevelStrategy` by querying every method model
-with the new input's features.
+:class:`~repro.aos.strategy.LevelStrategy` by routing the new input's
+features through every method's tree.
+
+Performance shape (the paper's premise is that both sides stay cheap):
+
+- **Offline construction** (:meth:`refit_all`, run end): every per-method
+  dataset holds the *same* feature matrix — only labels differ — so one
+  :class:`~repro.learning.matrix.MatrixCache` is shared across all
+  classifiers and each distinct matrix is presorted once per pass, not
+  once per method. Refits optionally fan out across processes through
+  :func:`~repro.experiments.parallel.map_parallel` with a deterministic
+  by-method merge. After fitting, the trees are compiled into a
+  :class:`~repro.learning.flat.FlatForest`.
+- **Prediction** (:meth:`predict` / :meth:`predict_all`, run start): one
+  pass of the flattened forest — the input vector is projected onto the
+  shared column universe once and walked through every tree as flat
+  arrays. Prediction never trains: stale models answer from their last
+  fitted tree (``refit_all`` is the explicit, end-of-run training point).
 """
 
 from __future__ import annotations
 
 from ..aos.strategy import LevelStrategy
+from ..learning.flat import FlatForest, compile_forest
 from ..learning.incremental import IncrementalClassifier
-from ..learning.tree import TreeParams
+from ..learning.matrix import MatrixCache, TrainingMatrix, matrix_key
+from ..learning.tree import ENGINES, ClassificationTree, TreeParams
 from ..xicl.features import FeatureVector
+
+
+def _refit_group(item: tuple) -> list:
+    """Worker for parallel offline construction: fit one matrix cohort.
+
+    *item* is ``(columns, kinds, rows_x, engine, entries)`` where entries
+    are ``(method, labels, params)`` — every method in the group shares
+    the same feature matrix, which is presorted exactly once here.
+    Returns ``[(method, root_node), ...]`` in entry order.
+    """
+    from ..learning.fasttree import build_tree
+    from ..learning.dataset import Dataset, Row
+
+    columns, kinds, rows_x, engine, entries = item
+    out = []
+    if engine == "reference":
+        for method, labels, params in entries:
+            ds = Dataset()
+            ds._columns = list(columns)
+            ds._kinds = dict(zip(columns, kinds))
+            ds._rows = [
+                Row(values, label) for values, label in zip(rows_x, labels)
+            ]
+            tree = ClassificationTree(params, engine="reference").fit(ds)
+            out.append((method, tree.root))
+    else:
+        matrix = TrainingMatrix(columns, kinds, rows_x)
+        for method, labels, params in entries:
+            out.append((method, build_tree(matrix, labels, params)))
+    return out
 
 
 class ModelBuilder:
     """Builds and queries the per-method predictive models."""
 
-    def __init__(self, tree_params: TreeParams = TreeParams(), min_rows: int = 2):
+    def __init__(
+        self,
+        tree_params: TreeParams = TreeParams(),
+        min_rows: int = 2,
+        engine: str = "auto",
+    ):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be 'auto', 'fast', or 'reference', got {engine!r}"
+            )
         self.tree_params = tree_params
         self.min_rows = min_rows
+        self.engine = engine
         self._models: dict[str, IncrementalClassifier] = {}
+        self._matrix_cache = MatrixCache()
+        self._forest: FlatForest | None = None
 
     # -- learning -------------------------------------------------------------
     def observe_run(self, fvector: FeatureVector, ideal: LevelStrategy) -> None:
-        """Record one finished run: its input features and ideal strategy."""
+        """Record one finished run: its input features and ideal strategy.
+
+        O(methods) bookkeeping only — no training, and the compiled
+        forest is left in place so predictions between observe and refit
+        answer from the last fitted trees.
+        """
         for method, level in ideal.levels.items():
             model = self._models.get(method)
             if model is None:
-                model = IncrementalClassifier(self.tree_params, self.min_rows)
+                model = IncrementalClassifier(
+                    self.tree_params,
+                    self.min_rows,
+                    engine=self.engine,
+                    matrix_cache=self._matrix_cache,
+                )
                 self._models[method] = model
             model.observe(fvector, level)
 
-    def refit_all(self) -> None:
-        """Offline model construction: rebuild every method's tree."""
-        for model in self._models.values():
-            model.refit()
+    def refit_all(self, jobs: int = 1) -> None:
+        """Offline model construction: rebuild every method's tree.
+
+        With ``jobs > 1`` the per-method fits fan out through
+        :func:`~repro.experiments.parallel.map_parallel`, grouped by
+        shared feature matrix so each worker presorts its cohort's matrix
+        once; results merge deterministically by method (bit-identical to
+        the serial path, which a test asserts). Either way the fitted
+        trees are recompiled into the flattened prediction forest.
+        """
+        if jobs > 1 and len(self._models) > 1:
+            self._refit_parallel(jobs)
+        else:
+            for model in self._models.values():
+                model.refit()
+        self._compile_forest()
+
+    def _refit_parallel(self, jobs: int) -> None:
+        from ..experiments.parallel import map_parallel
+
+        groups: dict[tuple, list] = {}
+        skipped: list[IncrementalClassifier] = []
+        for method in sorted(self._models):
+            model = self._models[method]
+            if len(model.dataset) < model.min_rows:
+                skipped.append(model)
+                continue
+            try:
+                key = matrix_key(model.dataset)
+            except TypeError:  # unhashable feature value: fit in-process
+                model.refit()
+                continue
+            labels = model.dataset.labels()
+            groups.setdefault(key, []).append((method, labels, model.params))
+        items = [
+            (columns, kinds, rows_x, self.engine, entries)
+            for (columns, kinds, rows_x), entries in groups.items()
+        ]
+        results, _ = map_parallel(_refit_group, items, jobs)
+        for fitted in results:
+            for method, root in fitted:
+                model = self._models[method]
+                tree = ClassificationTree(model.params, engine=model.engine)
+                tree.root = root
+                tree._dataset = model.dataset
+                tree._dataset_columns = model.dataset.columns
+                model.adopt_tree(tree)
+                model.fit_count += 1
+        for model in skipped:
+            # Mirror serial refit(): too little history keeps the old tree.
+            model._stale = False
+
+    def _compile_forest(self) -> None:
+        self._forest = compile_forest(
+            {
+                method: model.tree
+                for method, model in self._models.items()
+                if model.tree is not None and model.tree.root is not None
+            }
+        )
 
     # -- prediction -------------------------------------------------------------
+    @property
+    def forest(self) -> FlatForest:
+        """The flattened prediction forest over all fitted method trees.
+
+        Compiled eagerly by :meth:`refit_all`; compiling here (first
+        query of a builder that never refitted, e.g. right after state
+        restore skipped) only flattens already-fitted trees — it never
+        trains.
+        """
+        if self._forest is None:
+            self._compile_forest()
+        return self._forest
+
+    def predict_all(self, fvector: FeatureVector) -> dict[str, object]:
+        """Raw per-method predicted labels, one forest pass, no training."""
+        return self.forest.predict_all(fvector)
+
     def predict(self, fvector: FeatureVector) -> LevelStrategy:
         """Predicted per-method levels for the input *fvector*.
 
-        Methods whose models lack history are omitted (no advice).
+        Methods whose models lack a fitted tree are omitted (no advice).
+        Runs on the startup hot path: a single flattened-forest pass from
+        the last explicit :meth:`refit_all` — never a refit.
         """
-        levels: dict[str, int] = {}
-        for method, model in self._models.items():
-            level = model.predict(fvector)
-            if level is not None:
-                levels[method] = int(level)
-        return LevelStrategy(levels)
+        return LevelStrategy(
+            {
+                method: int(label)
+                for method, label in self.predict_all(fvector).items()
+            }
+        )
 
     # -- introspection ------------------------------------------------------
     @property
@@ -62,6 +207,11 @@ class ModelBuilder:
 
     def model_for(self, method: str) -> IncrementalClassifier | None:
         return self._models.get(method)
+
+    def presort_stats(self) -> dict:
+        """Shared-presort cache stats (hits = per-method fits that reused
+        another method's presorted matrix)."""
+        return self._matrix_cache.stats()
 
     def used_features(self) -> tuple[str, ...]:
         """Union of features any method model actually splits on."""

@@ -38,7 +38,13 @@ class OverheadModel:
 
 
 class StrategyPredictor:
-    """Couples the model builder with the confidence gate."""
+    """Couples the model builder with the confidence gate.
+
+    Sits on the run-start hot path: when the gate is open, the per-method
+    levels come from one pass of the builder's flattened prediction
+    forest (:meth:`ModelBuilder.predict`) — never from model
+    construction, which happens explicitly at run end.
+    """
 
     def __init__(
         self,

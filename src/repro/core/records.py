@@ -140,7 +140,10 @@ def load_state(vm: EvolvableVM, state: dict) -> None:
     vm.run_count = run_count
     for vector, strategy in observations:
         vm.models.observe_run(vector, strategy)
-    vm.models.refit_all()
+    # One offline-construction pass rebuilds every method tree (shared
+    # presort across methods) and compiles the flattened prediction
+    # forest, so the first run after restore predicts without training.
+    vm.models.refit_all(jobs=vm.refit_jobs)
 
 
 def save_state(

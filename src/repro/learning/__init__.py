@@ -1,19 +1,34 @@
 """Learning substrate: classification trees, cross-validation, incremental
-model maintenance. All implemented from scratch (no sklearn)."""
+model maintenance. All implemented from scratch (no sklearn).
+
+Two training engines live here, mirroring the VM's interpreter pair:
+``tree.py`` keeps the executable reference builder; ``matrix.py`` +
+``fasttree.py`` implement the shared-presort sweep-line trainer that is
+bit-identical to it; ``flat.py`` compiles fitted trees into flat arrays
+for the run-start prediction hot path.
+"""
 
 from .crossval import cross_validated_accuracy, kfold_indices
 from .dataset import Dataset, Row
+from .flat import FlatForest, FlatTree, compile_forest
 from .incremental import IncrementalClassifier
-from .tree import ClassificationTree, Node, Split, TreeParams, entropy
+from .matrix import MatrixCache, TrainingMatrix
+from .tree import ENGINES, ClassificationTree, Node, Split, TreeParams, entropy
 
 __all__ = [
     "ClassificationTree",
     "Dataset",
+    "ENGINES",
+    "FlatForest",
+    "FlatTree",
     "IncrementalClassifier",
+    "MatrixCache",
     "Node",
     "Row",
     "Split",
+    "TrainingMatrix",
     "TreeParams",
+    "compile_forest",
     "cross_validated_accuracy",
     "entropy",
     "kfold_indices",

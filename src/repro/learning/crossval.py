@@ -32,16 +32,27 @@ def cross_validated_accuracy(
     params: TreeParams = TreeParams(),
     k: int = 5,
     seed: int = 0,
+    engine: str = "auto",
 ) -> float:
     """Mean held-out accuracy of trees fit on k−1 folds.
 
     Falls back to leave-one-out when the dataset is smaller than *k*.
     Returns 0.0 for datasets too small to validate at all (a single row),
     keeping early-history confidence conservative.
+
+    On the fast engine every fold fit reuses **one** shared presorted
+    :class:`~repro.learning.matrix.TrainingMatrix` of the full dataset
+    (fold trees are bit-identical to fitting on a per-fold subset, so
+    scores match the reference engine exactly).
     """
     n = len(dataset)
     if n < 2:
         return 0.0
+    matrix = None
+    if engine != "reference":
+        from .matrix import TrainingMatrix
+
+        matrix = TrainingMatrix.from_dataset(dataset)
     folds = kfold_indices(n, k, seed=seed)
     correct = 0
     counted = 0
@@ -52,12 +63,13 @@ def cross_validated_accuracy(
         train_idx = [i for i in range(n) if i not in held]
         if not train_idx:
             continue
-        train = dataset.subset(train_idx)
-        tree = ClassificationTree(params).fit(train)
+        tree = ClassificationTree(params, engine=engine).fit_indices(
+            dataset, train_idx, matrix=matrix
+        )
         for i in fold:
             row = dataset.rows[i]
             # Project the row onto the training column order (identical
-            # columns; subset shares them).
+            # columns; fit_indices shares them).
             if tree.predict_values(row.values) == row.label:
                 correct += 1
             counted += 1

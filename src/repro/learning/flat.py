@@ -1,0 +1,144 @@
+"""Flattened trees: array-form prediction for the run-start hot path.
+
+A fitted :class:`~repro.learning.tree.ClassificationTree` predicts by
+chasing ``Node`` objects — fine offline, but the evolvable VM queries
+*every* method's tree once at the start of every production run, where
+attribute traffic and per-tree feature-vector projection add up. This
+module compiles fitted trees into flat parallel arrays (feature index,
+threshold, child offsets, missing-value direction) and batches the
+per-run query:
+
+- :class:`FlatTree` — one tree as arrays; ``predict_values`` walks
+  integer indices only and is exactly equivalent to
+  ``ClassificationTree.predict_values`` (same splits, same missing-value
+  routing to the larger child).
+- :class:`FlatForest` — every method's flat tree over one shared column
+  universe. ``predict_all`` projects the input feature vector **once**
+  and routes it through all trees in a single pass.
+
+Compilation happens off the critical path (at ``refit`` time); the
+startup path only reads arrays.
+"""
+
+from __future__ import annotations
+
+from ..xicl.features import FeatureKind, FeatureVector
+
+#: Sentinel feature index marking a leaf slot.
+_LEAF = -1
+
+
+class FlatTree:
+    """One fitted tree compiled to parallel arrays (preorder node ids)."""
+
+    __slots__ = ("feature", "numeric", "threshold", "left", "right",
+                 "missing_left", "label", "columns")
+
+    def __init__(self, root, columns: tuple[str, ...]):
+        self.columns = columns
+        self.feature: list[int] = []
+        self.numeric: list[bool] = []
+        self.threshold: list = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.missing_left: list[bool] = []
+        self.label: list = []
+        self._compile(root)
+
+    def _compile(self, node) -> int:
+        slot = len(self.feature)
+        if node.split is None:
+            self.feature.append(_LEAF)
+            self.numeric.append(False)
+            self.threshold.append(None)
+            self.left.append(_LEAF)
+            self.right.append(_LEAF)
+            self.missing_left.append(False)
+            self.label.append(node.label)
+            return slot
+        self.feature.append(node.split.column_index)
+        self.numeric.append(node.split.kind is FeatureKind.NUMERIC)
+        self.threshold.append(node.split.threshold)
+        self.left.append(0)   # patched below
+        self.right.append(0)
+        self.missing_left.append(node.left.size >= node.right.size)
+        self.label.append(node.label)
+        self.left[slot] = self._compile(node.left)
+        self.right[slot] = self._compile(node.right)
+        return slot
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    def predict_values(self, values) -> object:
+        """Predict from values aligned to this tree's training columns."""
+        feature = self.feature
+        i = 0
+        while feature[i] != _LEAF:
+            value = values[feature[i]]
+            if value is None:
+                go_left = self.missing_left[i]
+            elif self.numeric[i]:
+                go_left = value <= self.threshold[i]
+            else:
+                go_left = value == self.threshold[i]
+            i = self.left[i] if go_left else self.right[i]
+        return self.label[i]
+
+
+class FlatForest:
+    """All method trees flattened over one shared column projection."""
+
+    __slots__ = ("columns", "names", "trees", "_remaps")
+
+    def __init__(self, trees: dict[str, FlatTree]):
+        columns: list[str] = []
+        positions: dict[str, int] = {}
+        for tree in trees.values():
+            for name in tree.columns:
+                if name not in positions:
+                    positions[name] = len(columns)
+                    columns.append(name)
+        self.columns = tuple(columns)
+        self.names = tuple(trees)
+        self.trees = tuple(trees.values())
+        # Rewrite each tree's feature indices into the shared universe so
+        # prediction projects the input vector exactly once.
+        self._remaps = tuple(
+            tuple(positions[name] for name in tree.columns)
+            for tree in self.trees
+        )
+        for tree, remap in zip(self.trees, self._remaps):
+            tree.feature = [
+                remap[j] if j != _LEAF else _LEAF for j in tree.feature
+            ]
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def project(self, vector: FeatureVector) -> tuple:
+        """Align *vector* to the shared column universe (one pass)."""
+        return tuple(vector.get(name) for name in self.columns)
+
+    def predict_all(self, vector: FeatureVector) -> dict[str, object]:
+        """Route one feature vector through every tree in a single pass."""
+        values = self.project(vector)
+        return {
+            name: tree.predict_values(values)
+            for name, tree in zip(self.names, self.trees)
+        }
+
+
+def compile_forest(trees: dict[str, "object"]) -> FlatForest:
+    """Compile fitted :class:`ClassificationTree`\\ s into a forest.
+
+    *trees* maps method name → fitted tree; unfitted entries must be
+    filtered out by the caller. Insertion order is preserved.
+    """
+    flat: dict[str, FlatTree] = {}
+    for name, tree in trees.items():
+        if tree.root is None:
+            raise ValueError(f"tree for {name!r} is not fitted")
+        flat[name] = FlatTree(tree.root, tree.fitted_columns)
+    return FlatForest(flat)

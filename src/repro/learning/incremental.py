@@ -3,8 +3,14 @@
 The paper separates learning into *online lightweight data collection*
 (append the run's feature vector and observed label) and *offline model
 construction* (rebuild the classification tree after the run ends). This
-wrapper implements that split: :meth:`observe` is O(1) bookkeeping;
-:meth:`refit` rebuilds the tree from the accumulated history.
+wrapper implements that split strictly: :meth:`observe` is O(1)
+bookkeeping, :meth:`refit` rebuilds the tree from the accumulated
+history, and :meth:`predict` **never trains** — it serves the last
+fitted tree (possibly stale) or declines. Prediction sits on the
+run-*start* hot path; paying training cost there would invert the
+paper's whole cost model, so an implicit refit-on-predict is not merely
+avoided but impossible by construction
+(``tests/test_learning_crossval.py`` pins this with a regression test).
 """
 
 from __future__ import annotations
@@ -12,18 +18,37 @@ from __future__ import annotations
 from ..xicl.features import FeatureVector
 from .crossval import cross_validated_accuracy
 from .dataset import Dataset
-from .tree import ClassificationTree, TreeParams
+from .matrix import MatrixCache
+from .tree import ENGINES, ClassificationTree, TreeParams
 
 
 class IncrementalClassifier:
     """A classification tree that grows with the run history."""
 
-    def __init__(self, params: TreeParams = TreeParams(), min_rows: int = 2):
+    def __init__(
+        self,
+        params: TreeParams = TreeParams(),
+        min_rows: int = 2,
+        engine: str = "auto",
+        matrix_cache: MatrixCache | None = None,
+    ):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be 'auto', 'fast', or 'reference', got {engine!r}"
+            )
         self.params = params
         self.min_rows = min_rows
+        self.engine = engine
         self.dataset = Dataset()
+        #: Shared presort cache: a ModelBuilder passes one cache to all of
+        #: its per-method classifiers so identical feature matrices are
+        #: presorted once per refit pass, not once per method.
+        self.matrix_cache = matrix_cache
         self._tree: ClassificationTree | None = None
         self._stale = True
+        #: Number of tree fits performed (regression guard: prediction
+        #: must never bump this).
+        self.fit_count = 0
 
     # -- online stage ---------------------------------------------------------
     def observe(self, vector: FeatureVector, label: object) -> None:
@@ -37,38 +62,64 @@ class IncrementalClassifier:
 
     # -- offline stage --------------------------------------------------------
     def refit(self) -> None:
-        """Rebuild the tree from all accumulated observations."""
+        """Rebuild the tree from all accumulated observations.
+
+        The only place training happens. With fewer than ``min_rows``
+        observations the previous tree (if any) is kept.
+        """
         if len(self.dataset) >= self.min_rows:
-            self._tree = ClassificationTree(self.params).fit(self.dataset)
+            matrix = (
+                self.matrix_cache.get(self.dataset)
+                if self.matrix_cache is not None and self.engine != "reference"
+                else None
+            )
+            self._tree = ClassificationTree(self.params, engine=self.engine).fit(
+                self.dataset, matrix=matrix
+            )
+            self.fit_count += 1
+        self._stale = False
+
+    def adopt_tree(self, tree: ClassificationTree) -> None:
+        """Install a tree fitted elsewhere (the parallel offline path)."""
+        self._tree = tree
         self._stale = False
 
     @property
     def is_fitted(self) -> bool:
         return self._tree is not None
 
-    def _ensure_fresh(self) -> None:
-        if self._stale:
-            self.refit()
+    @property
+    def stale(self) -> bool:
+        """True when observations arrived after the last :meth:`refit`."""
+        return self._stale
+
+    @property
+    def tree(self) -> ClassificationTree | None:
+        """The last fitted tree (stale or fresh), or None."""
+        return self._tree
 
     def predict(self, vector: FeatureVector) -> object | None:
-        """Predicted label, or None when the model has too little history."""
-        self._ensure_fresh()
+        """Predicted label from the **last fitted** tree, or None.
+
+        Never trains: a stale model predicts from its previous tree, an
+        unfitted model declines. Callers refit explicitly at run end.
+        """
         if self._tree is None:
             return None
         return self._tree.predict(vector)
 
     def used_features(self) -> tuple[str, ...]:
-        self._ensure_fresh()
         if self._tree is None:
             return ()
         return self._tree.used_features()
 
     def cv_accuracy(self, k: int = 5, seed: int = 0) -> float:
         """Cross-validated accuracy over the accumulated history."""
-        return cross_validated_accuracy(self.dataset, self.params, k=k, seed=seed)
+        return cross_validated_accuracy(
+            self.dataset, self.params, k=k, seed=seed, engine=self.engine
+        )
 
     def render(self) -> str:
-        self._ensure_fresh()
         if self._tree is None:
             return "<insufficient history>"
         return self._tree.render()

@@ -22,12 +22,18 @@ from .dataset import Dataset, Row
 
 
 def entropy(counts: dict[object, int]) -> float:
-    """Shannon entropy (bits) of a label distribution."""
+    """Shannon entropy (bits) of a label distribution.
+
+    Counts are summed in a canonical (sorted) order so two engines that
+    agree on the count *multiset* — but accumulated it in different
+    orders — produce bitwise-identical floats. The fast trainer's
+    bit-identity guarantee rests on this.
+    """
     total = sum(counts.values())
     if total == 0:
         return 0.0
     result = 0.0
-    for count in counts.values():
+    for count in sorted(counts.values()):
         if count:
             p = count / total
             result -= p * math.log2(p)
@@ -83,22 +89,92 @@ class TreeParams:
     min_gain: float = 1e-9
 
 
-class ClassificationTree:
-    """A fitted classification tree."""
+#: Valid values for the training-engine knob (mirrors the interpreter's).
+ENGINES = ("auto", "fast", "reference")
 
-    def __init__(self, params: TreeParams = TreeParams()):
+
+class ClassificationTree:
+    """A fitted classification tree.
+
+    Two training engines produce bit-identical trees (same splits, same
+    thresholds, same tie-breaks, same float gains):
+
+    - ``"reference"`` — the original per-threshold rescan below, kept
+      verbatim as the executable specification;
+    - ``"fast"`` — the sweep-line builder over a shared presorted
+      :class:`~repro.learning.matrix.TrainingMatrix`
+      (:mod:`repro.learning.fasttree`);
+    - ``"auto"`` (default) — the fast builder.
+
+    ``tests/test_learning_equivalence.py`` holds the engines to
+    bit-identity the same way the VM's engine-equivalence suite does.
+    """
+
+    def __init__(self, params: TreeParams = TreeParams(), engine: str = "auto"):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be 'auto', 'fast', or 'reference', got {engine!r}"
+            )
         self.params = params
+        self.engine = engine
         self.root: Node | None = None
         self._dataset_columns: tuple[str, ...] = ()
         self._dataset: Dataset | None = None
 
+    @property
+    def fitted_columns(self) -> tuple[str, ...]:
+        """The column order the tree's split indices refer to."""
+        return self._dataset_columns
+
     # -- fitting -------------------------------------------------------------
-    def fit(self, dataset: Dataset) -> "ClassificationTree":
+    def fit(self, dataset: Dataset, matrix=None) -> "ClassificationTree":
+        """Fit on all of *dataset*.
+
+        *matrix* optionally supplies a presorted
+        :class:`~repro.learning.matrix.TrainingMatrix` of the dataset's
+        features (the shared-presort path); it is only consulted by the
+        fast engine and must describe exactly *dataset*'s rows.
+        """
         if len(dataset) == 0:
             raise ValueError("cannot fit a tree on an empty dataset")
         self._dataset = dataset
         self._dataset_columns = dataset.columns
-        self.root = self._grow(list(dataset.rows), dataset, depth=0)
+        if self.engine == "reference":
+            self.root = self._grow(list(dataset.rows), dataset, depth=0)
+        else:
+            from .fasttree import build_tree
+            from .matrix import TrainingMatrix
+
+            if matrix is None:
+                matrix = TrainingMatrix.from_dataset(dataset)
+            self.root = build_tree(matrix, dataset.labels(), self.params)
+        return self
+
+    def fit_indices(
+        self, dataset: Dataset, indices: list[int], matrix=None
+    ) -> "ClassificationTree":
+        """Fit on a row subset of *dataset* (cross-validation folds).
+
+        Equivalent to ``fit(dataset.subset(indices))`` but — on the fast
+        engine — reuses one shared presorted *matrix* of the full dataset
+        across every fold instead of re-sorting per fold.
+        """
+        if not indices:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        self._dataset = dataset
+        self._dataset_columns = dataset.columns
+        if self.engine == "reference":
+            rows = [dataset.rows[i] for i in indices]
+            self.root = self._grow(rows, dataset, depth=0)
+        else:
+            from .fasttree import build_tree
+            from .matrix import TrainingMatrix
+
+            if matrix is None:
+                matrix = TrainingMatrix.from_dataset(dataset)
+            self.root = build_tree(
+                matrix, dataset.labels(), self.params, indices=indices
+            )
         return self
 
     def _grow(self, rows: list[Row], dataset: Dataset, depth: int) -> Node:
@@ -235,22 +311,22 @@ class ClassificationTree:
         if self.root is None:
             raise ValueError("tree is not fitted")
 
-        def subtree_errors(node: Node, reaching: list[Row]) -> int:
-            return sum(
-                1
-                for row in reaching
-                if self._predict_from(node, row.values) != row.label
-            )
-
         def leaf_errors(node: Node, reaching: list[Row]) -> int:
             return sum(1 for row in reaching if row.label != node.label)
 
         removed = 0
 
-        def visit(node: Node, reaching: list[Row]) -> None:
+        def visit(node: Node, reaching: list[Row]) -> int:
+            """Prune below *node*; return its post-pruning error count.
+
+            Each validation row is routed once per tree level (it reaches
+            every node on exactly one root-to-leaf path), so the subtree's
+            errors are the sum of the children's — no re-descent from the
+            subtree root per node.
+            """
             nonlocal removed
             if node.is_leaf:
-                return
+                return leaf_errors(node, reaching)
             left_rows: list[Row] = []
             right_rows: list[Row] = []
             for row in reaching:
@@ -258,24 +334,18 @@ class ClassificationTree:
                 if side is None:
                     side = node.left.size >= node.right.size
                 (left_rows if side else right_rows).append(row)
-            visit(node.left, left_rows)
-            visit(node.right, right_rows)
-            if leaf_errors(node, reaching) <= subtree_errors(node, reaching):
+            subtree = visit(node.left, left_rows) + visit(node.right, right_rows)
+            as_leaf = leaf_errors(node, reaching)
+            if as_leaf <= subtree:
                 removed += self._count_nodes(node) - 1
                 node.split = None
                 node.left = None
                 node.right = None
+                return as_leaf
+            return subtree
 
         visit(self.root, list(rows))
         return removed
-
-    def _predict_from(self, node: Node, values: tuple) -> object:
-        while not node.is_leaf:
-            side = node.split.goes_left(values[node.split.column_index])
-            if side is None:
-                side = node.left.size >= node.right.size
-            node = node.left if side else node.right
-        return node.label
 
     @staticmethod
     def _count_nodes(node: Node | None) -> int:

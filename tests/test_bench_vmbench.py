@@ -19,7 +19,7 @@ from repro.bench.vmbench import (
 )
 
 
-def synthetic_report(speedup: float = 4.0) -> dict:
+def synthetic_report(speedup: float = 4.0, learn_speedup: float = 5.0) -> dict:
     row = {
         "name": "arith_loop",
         "level": None,
@@ -38,6 +38,30 @@ def synthetic_report(speedup: float = 4.0) -> dict:
         "speedup": {"geomean": speedup, "min": speedup, "max": speedup},
         "sweep_cell": {"identical_cycles": True},
         "fuzz": {"ok": True},
+        "learning": {
+            "training": {
+                "methods": 40,
+                "runs": 60,
+                "training_rows": 2400,
+                "wall_s": 0.2,
+                "rows_per_s": 12000.0,
+                "presort": {"entries": 1, "hits": 39, "misses": 1},
+            },
+            "speedup": {
+                "methods_timed": 4,
+                "per_method": [],
+                "geomean": learn_speedup,
+                "min": learn_speedup,
+                "max": learn_speedup,
+                "identical_trees": True,
+            },
+            "predict": {
+                "queries": 200,
+                "trees": 40,
+                "wall_s": 0.01,
+                "per_call_us": 50.0,
+            },
+        },
     }
 
 
@@ -54,6 +78,10 @@ def test_valid_report_passes():
         lambda r: r["workloads"][0].pop("fast_ips"),
         lambda r: r.update(workloads=[]),
         lambda r: r["sweep_cell"].update(identical_cycles=False),
+        lambda r: r.pop("learning"),
+        lambda r: r["learning"]["speedup"].update(identical_trees=False),
+        lambda r: r["learning"]["training"].update(rows_per_s=0),
+        lambda r: r["learning"]["predict"].pop("per_call_us"),
     ],
     ids=[
         "missing-workloads",
@@ -62,6 +90,10 @@ def test_valid_report_passes():
         "missing-field",
         "empty-workloads",
         "cache-changed-results",
+        "missing-learning",
+        "learning-trees-diverged",
+        "learning-zero-throughput",
+        "learning-missing-latency",
     ],
 )
 def test_invalid_reports_rejected(mutate):
@@ -86,14 +118,35 @@ def test_baseline_regression_detected():
     assert any("geomean" in failure for failure in failures)
 
 
+def test_learning_regression_detected():
+    report = synthetic_report(learn_speedup=2.0)
+    baseline = synthetic_report(learn_speedup=5.0)
+    failures = compare_to_baseline(report, baseline, max_regression=0.20)
+    assert failures
+    assert all("learning" in failure for failure in failures)
+
+
+def test_learning_gate_tolerates_v1_baseline():
+    # A pre-learning (schema 1) baseline simply has no learning gate.
+    report = synthetic_report(learn_speedup=2.0)
+    baseline = synthetic_report()
+    del baseline["learning"]
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
+
+
 def test_checked_in_baseline_is_valid():
     from pathlib import Path
 
     path = Path(__file__).parent.parent / "benchmarks" / "BENCH_baseline.json"
     baseline = json.loads(path.read_text())
     validate_bench_report(baseline)
-    # The tentpole acceptance bar, recorded in the baseline itself.
+    # The tentpole acceptance bars, recorded in the baseline itself.
     assert baseline["speedup"]["geomean"] >= 3.0
+    # Quick mode trains on small datasets where the sweep's advantage is
+    # smallest; the full Table-I-scale workload clears 5x.
+    assert baseline["learning"]["speedup"]["geomean"] >= 2.0
+    assert baseline["learning"]["speedup"]["identical_trees"] is True
+    assert baseline["learning"]["predict"]["per_call_us"] < 1000.0
 
 
 def test_workload_timing_roundtrip(tmp_path):

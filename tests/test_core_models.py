@@ -15,7 +15,11 @@ def vec(**features):
 
 
 def teach(builder, size, level_small, level_big, n=12, methods=("kernel",)):
-    """Teach: small inputs → level_small, big inputs → level_big."""
+    """Teach: small inputs → level_small, big inputs → level_big.
+
+    Ends with the explicit offline-construction pass — prediction never
+    trains, so an un-refit builder predicts nothing.
+    """
     for i in range(n):
         small = i % 2 == 0
         fv = vec(size=10 if small else 1000)
@@ -23,6 +27,7 @@ def teach(builder, size, level_small, level_big, n=12, methods=("kernel",)):
             {m: (level_small if small else level_big) for m in methods}
         )
         builder.observe_run(fv, ideal)
+    builder.refit_all()
 
 
 class TestModelBuilder:
@@ -44,6 +49,7 @@ class TestModelBuilder:
     def test_insufficient_history_omitted(self):
         builder = ModelBuilder(min_rows=5)
         builder.observe_run(vec(size=10), LevelStrategy({"m": 0}))
+        builder.refit_all()
         assert len(builder.predict(vec(size=10))) == 0
 
     def test_used_and_raw_features(self):
@@ -53,6 +59,7 @@ class TestModelBuilder:
             builder.observe_run(
                 fv, LevelStrategy({"m": -1 if i % 2 else 2})
             )
+        builder.refit_all()
         assert builder.raw_feature_count() == 2
         assert builder.used_features() == ("size",)
 
@@ -66,6 +73,72 @@ class TestModelBuilder:
         teach(builder, 10, -1, 2)
         assert builder.model_for("kernel") is not None
         assert builder.model_for("missing") is None
+
+    def test_predict_never_trains(self):
+        """Regression: the startup path must not pay training cost —
+        predicting on a stale builder serves the last fitted trees."""
+        builder = ModelBuilder()
+        teach(builder, 10, -1, 2, methods=("a", "b"))
+        fits_before = {
+            m: builder.model_for(m).fit_count for m in builder.method_names
+        }
+        # New observations make every model stale; prediction must still
+        # answer from the old trees without a single fit.
+        builder.observe_run(vec(size=10), LevelStrategy({"a": 0, "b": 0}))
+        assert all(builder.model_for(m).stale for m in builder.method_names)
+        strategy = builder.predict(vec(size=1000))
+        assert strategy.level_for("a") == 2
+        assert {
+            m: builder.model_for(m).fit_count for m in builder.method_names
+        } == fits_before
+
+    def test_unrefit_builder_predicts_nothing(self):
+        builder = ModelBuilder()
+        for i in range(12):
+            builder.observe_run(
+                vec(size=10 if i % 2 else 1000),
+                LevelStrategy({"m": -1 if i % 2 else 2}),
+            )
+        # No explicit refit_all: no trees, no advice, no training.
+        assert len(builder.predict(vec(size=10))) == 0
+        assert builder.model_for("m").fit_count == 0
+
+    def test_predict_all_matches_per_model_predict(self):
+        builder = ModelBuilder()
+        teach(builder, 10, -1, 2, methods=("a", "b", "c"))
+        for size in (10, 1000, 400):
+            flat = builder.predict_all(vec(size=size))
+            for method in builder.method_names:
+                assert flat[method] == builder.model_for(method).predict(
+                    vec(size=size)
+                )
+
+    def test_shared_presort_across_methods(self):
+        builder = ModelBuilder()
+        teach(builder, 10, -1, 2, methods=tuple("m%d" % i for i in range(6)))
+        stats = builder.presort_stats()
+        # Six methods share one feature matrix: one presort, five hits.
+        assert stats["hits"] >= 5
+
+    def test_parallel_refit_identical_to_serial(self):
+        serial = ModelBuilder()
+        parallel = ModelBuilder()
+        methods = ("alpha", "beta", "gamma")
+        for i in range(14):
+            fv = vec(size=10 if i % 2 else 1000, extra=i % 3)
+            ideal = LevelStrategy(
+                {m: (i + k) % 3 for k, m in enumerate(methods)}
+            )
+            serial.observe_run(fv, ideal)
+            parallel.observe_run(fv, ideal)
+        serial.refit_all(jobs=1)
+        parallel.refit_all(jobs=3)
+        for m in methods:
+            assert (
+                serial.model_for(m).render() == parallel.model_for(m).render()
+            )
+        probe = vec(size=400, extra=1)
+        assert serial.predict(probe).levels == parallel.predict(probe).levels
 
 
 class TestStrategyPredictor:

@@ -74,6 +74,7 @@ class TestIncrementalClassifier:
     def test_no_prediction_before_min_rows(self):
         model = IncrementalClassifier(min_rows=3)
         model.observe(vec(x=1), "a")
+        model.refit()
         assert model.predict(vec(x=1)) is None
         assert model.render() == "<insufficient history>"
 
@@ -81,6 +82,7 @@ class TestIncrementalClassifier:
         model = IncrementalClassifier()
         for i in range(10):
             model.observe(vec(x=i), "low" if i < 5 else "high")
+        model.refit()
         assert model.predict(vec(x=0)) == "low"
         assert model.predict(vec(x=9)) == "high"
 
@@ -88,10 +90,12 @@ class TestIncrementalClassifier:
         model = IncrementalClassifier()
         for i in range(10):
             model.observe(vec(x=i), "low")
+        model.refit()
         assert model.predict(vec(x=100)) == "low"
         # New regime: all subsequent high x values flip the label.
         for i in range(100, 140, 4):
             model.observe(vec(x=i), "high")
+        model.refit()
         assert model.predict(vec(x=120)) == "high"
 
     def test_observation_count(self):
@@ -108,3 +112,46 @@ class TestIncrementalClassifier:
         for i in range(20):
             model.observe(vec(x=i), "a" if i < 10 else "b")
         assert model.cv_accuracy() > 0.8
+
+    def test_predict_never_fits(self):
+        """Regression: prediction is the startup hot path — it must never
+        pay training cost, not even when the model is stale or unfitted."""
+        model = IncrementalClassifier()
+        for i in range(10):
+            model.observe(vec(x=i), "low" if i < 5 else "high")
+        # Unfitted + stale: predict declines rather than training.
+        assert model.predict(vec(x=0)) is None
+        assert model.fit_count == 0
+        model.refit()
+        assert model.fit_count == 1
+        # Stale again: predict serves the last fitted tree, still no fit.
+        model.observe(vec(x=100), "high")
+        assert model.stale
+        assert model.predict(vec(x=0)) == "low"
+        assert model.used_features() == ("x",)
+        assert "x <=" in model.render()
+        assert model.fit_count == 1
+
+    def test_refit_below_min_rows_keeps_previous_tree(self):
+        model = IncrementalClassifier(min_rows=2)
+        model.observe(vec(x=1), "a")
+        model.observe(vec(x=9), "b")
+        model.refit()
+        assert model.is_fitted
+        tree_before = model.tree
+        model.dataset._rows.clear()  # simulate history reset
+        model.refit()
+        assert model.tree is tree_before
+
+    def test_engine_knob_validated(self):
+        with pytest.raises(ValueError):
+            IncrementalClassifier(engine="turbo")
+
+    def test_cv_accuracy_engine_equivalence(self):
+        ref = IncrementalClassifier(engine="reference")
+        fast = IncrementalClassifier(engine="fast")
+        for i in range(25):
+            label = "a" if (i % 7) < 4 else "b"
+            ref.observe(vec(x=i % 7, y=i % 3), label)
+            fast.observe(vec(x=i % 7, y=i % 3), label)
+        assert ref.cv_accuracy() == fast.cv_accuracy()

@@ -1,0 +1,267 @@
+"""Unit tests for the presorted matrix, its cache, and flattened trees."""
+
+from random import Random
+
+import pytest
+
+from repro.learning import (
+    ClassificationTree,
+    Dataset,
+    FlatTree,
+    MatrixCache,
+    TrainingMatrix,
+    TreeParams,
+    compile_forest,
+)
+from repro.learning.matrix import matrix_key
+from repro.xicl import FeatureKind, FeatureVector
+
+
+def vec(items):
+    v = FeatureVector()
+    for name, value in items:
+        v.append_value(name, value)
+    return v
+
+
+def kv(**features):
+    return vec(list(features.items()))
+
+
+def mixed_dataset():
+    ds = Dataset()
+    ds.add(kv(x=5, c="red"), "a")
+    ds.add(kv(x=1, c="blue"), "b")
+    ds.add(kv(c="red"), "a")          # x missing
+    ds.add(kv(x=3), "b")              # c missing
+    ds.add(kv(x=1, c="green"), "a")   # duplicate x value
+    return ds
+
+
+class TestTrainingMatrix:
+    def test_numeric_order_sorted_stable_and_skips_missing(self):
+        matrix = TrainingMatrix.from_dataset(mixed_dataset())
+        j = matrix.columns.index("x")
+        order = matrix.numeric_order[j]
+        # Rows 0,1,3,4 have x; sorted by value with the tie (rows 1 and 4,
+        # both x=1) kept in row order.
+        assert order == (1, 4, 3, 0)
+        values = [matrix.values[i][j] for i in order]
+        assert values == sorted(values)
+
+    def test_category_order_repr_sorted_distinct(self):
+        matrix = TrainingMatrix.from_dataset(mixed_dataset())
+        j = matrix.columns.index("c")
+        assert matrix.numeric_order[j] is None
+        assert matrix.category_order[j] == tuple(
+            sorted({"red", "blue", "green"}, key=repr)
+        )
+
+    def test_kinds_follow_dataset(self):
+        matrix = TrainingMatrix.from_dataset(mixed_dataset())
+        kinds = dict(zip(matrix.columns, matrix.kinds))
+        assert kinds["x"] is FeatureKind.NUMERIC
+        assert kinds["c"] is FeatureKind.CATEGORICAL
+
+    def test_n_rows(self):
+        assert TrainingMatrix.from_dataset(mixed_dataset()).n_rows == 5
+
+
+class TestMatrixCache:
+    def test_content_sharing_across_distinct_datasets(self):
+        cache = MatrixCache()
+        a, b = mixed_dataset(), mixed_dataset()
+        assert cache.get(a) is cache.get(b)
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_label_changes_do_not_split_the_cache(self):
+        # Content key covers features only: same X, different y → shared.
+        cache = MatrixCache()
+        a = Dataset()
+        b = Dataset()
+        for i in range(6):
+            a.add(kv(x=i), "p")
+            b.add(kv(x=i), "q" if i % 2 else "p")
+        assert cache.get(a) is cache.get(b)
+
+    def test_different_features_miss(self):
+        cache = MatrixCache()
+        a = mixed_dataset()
+        b = mixed_dataset()
+        b.add(kv(x=99), "z")
+        assert cache.get(a) is not cache.get(b)
+        assert cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = MatrixCache(capacity=2)
+        datasets = []
+        for base in range(3):
+            ds = Dataset()
+            ds.add(kv(x=base), "a")
+            ds.add(kv(x=base + 10), "b")
+            datasets.append(ds)
+        first = cache.get(datasets[0])
+        cache.get(datasets[1])
+        cache.get(datasets[2])  # evicts datasets[0]'s entry
+        assert len(cache) == 2
+        assert cache.get(datasets[0]) is not first
+        assert cache.misses == 4
+
+    def test_recent_use_protects_from_eviction(self):
+        cache = MatrixCache(capacity=2)
+        datasets = []
+        for base in range(3):
+            ds = Dataset()
+            ds.add(kv(x=base), "a")
+            ds.add(kv(x=base + 10), "b")
+            datasets.append(ds)
+        first = cache.get(datasets[0])
+        cache.get(datasets[1])
+        assert cache.get(datasets[0]) is first  # refresh
+        cache.get(datasets[2])  # evicts datasets[1], not datasets[0]
+        assert cache.get(datasets[0]) is first
+
+    def test_unkeyable_dataset_falls_back_uncached(self, monkeypatch):
+        # Feature values the content key cannot hash must not break
+        # refit — the presort simply is not shared.
+        import repro.learning.matrix as matrix_mod
+
+        cache = MatrixCache()
+
+        def boom(dataset):
+            raise TypeError("unhashable feature value")
+
+        monkeypatch.setattr(matrix_mod, "matrix_key", boom)
+        ds = mixed_dataset()
+        matrix = cache.get(ds)
+        assert isinstance(matrix, TrainingMatrix)
+        assert cache.get(ds) is not matrix  # never cached
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            MatrixCache(capacity=0)
+
+    def test_clear(self):
+        cache = MatrixCache()
+        cache.get(mixed_dataset())
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_matrix_key_excludes_labels(self):
+        a, b = mixed_dataset(), mixed_dataset()
+        b._rows[0] = type(b._rows[0])(b._rows[0].values, "different-label")
+        assert matrix_key(a) == matrix_key(b)
+
+
+DEEP = TreeParams(max_depth=40, min_samples_split=2, min_samples_leaf=1)
+
+
+def trained_tree(seed=3, n=80):
+    rng = Random(seed)
+    ds = Dataset()
+    for _ in range(n):
+        items = []
+        if rng.random() > 0.1:
+            items.append(("x", rng.randint(0, 9)))
+        if rng.random() > 0.1:
+            items.append(("c", rng.choice(["r", "g", "b"])))
+        label = "hi" if sum(v for k, v in items if k == "x") > 4 else "lo"
+        ds.add(vec(items), label)
+    return ClassificationTree(DEEP).fit(ds), ds
+
+
+class TestFlatTree:
+    def test_matches_node_walk_on_training_rows(self):
+        tree, ds = trained_tree()
+        flat = FlatTree(tree.root, tree.fitted_columns)
+        for row in ds.rows:
+            assert flat.predict_values(row.values) == tree.predict_values(
+                row.values
+            )
+
+    def test_matches_node_walk_on_random_queries(self):
+        tree, _ = trained_tree()
+        flat = FlatTree(tree.root, tree.fitted_columns)
+        rng = Random(99)
+        for _ in range(200):
+            values = (
+                rng.randint(-3, 12) if rng.random() > 0.3 else None,
+                rng.choice(["r", "g", "b", "unseen"])
+                if rng.random() > 0.3
+                else None,
+            )
+            aligned = tuple(
+                values[("x", "c").index(c)] if c in ("x", "c") else None
+                for c in tree.fitted_columns
+            )
+            assert flat.predict_values(aligned) == tree.predict_values(aligned)
+
+    def test_node_count_matches_tree(self):
+        tree, _ = trained_tree()
+        flat = FlatTree(tree.root, tree.fitted_columns)
+
+        def count(node):
+            if node is None:
+                return 0
+            return 1 + count(node.left) + count(node.right)
+
+        assert flat.n_nodes == count(tree.root)
+
+    def test_single_leaf_tree(self):
+        ds = Dataset()
+        for i in range(5):
+            ds.add(kv(x=i), "only")
+        tree = ClassificationTree(DEEP).fit(ds)
+        flat = FlatTree(tree.root, tree.fitted_columns)
+        assert flat.n_nodes == 1
+        assert flat.predict_values((None,)) == "only"
+
+
+class TestFlatForest:
+    def make_forest(self):
+        trees = {}
+        for seed, name in ((3, "alpha"), (11, "beta"), (17, "gamma")):
+            trees[name], _ = trained_tree(seed=seed)
+        return trees, compile_forest(trees)
+
+    def test_predict_all_matches_per_tree_predict(self):
+        trees, forest = self.make_forest()
+        rng = Random(5)
+        for _ in range(50):
+            items = []
+            if rng.random() > 0.3:
+                items.append(("x", rng.randint(-2, 11)))
+            if rng.random() > 0.3:
+                items.append(("c", rng.choice(["r", "g", "b", "zz"])))
+            query = vec(items)
+            flat = forest.predict_all(query)
+            assert set(flat) == set(trees)
+            for name, tree in trees.items():
+                assert flat[name] == tree.predict(query)
+
+    def test_shared_column_universe(self):
+        trees, forest = self.make_forest()
+        assert set(forest.columns) == {
+            c for t in trees.values() for c in t.fitted_columns
+        }
+        assert len(forest) == 3
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(ValueError):
+            compile_forest({"m": ClassificationTree(DEEP)})
+
+    def test_disjoint_feature_sets(self):
+        # Trees over different columns still share one projection.
+        a = Dataset()
+        b = Dataset()
+        for i in range(10):
+            a.add(kv(p=i), "lo" if i < 5 else "hi")
+            b.add(kv(q=i), "even" if i % 2 == 0 else "odd")
+        trees = {
+            "pa": ClassificationTree(DEEP).fit(a),
+            "qb": ClassificationTree(DEEP).fit(b),
+        }
+        forest = compile_forest(trees)
+        out = forest.predict_all(kv(p=2, q=3))
+        assert out == {"pa": "lo", "qb": "odd"}

@@ -18,6 +18,7 @@ def trained_builder():
     for i in range(14):
         fv = vec(size=10 if i % 2 else 900, noise=i % 3, fixed=7)
         builder.observe_run(fv, LevelStrategy({"kernel": -1 if i % 2 else 2}))
+    builder.refit_all()
     return builder
 
 
