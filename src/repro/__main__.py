@@ -10,6 +10,8 @@ Commands map one-to-one onto the experiment harness:
     python -m repro sensitivity           # §V-B.3
     python -m repro gc-study              # §VI extension (GC selection)
     python -m repro server-study          # §V extension (request-specific)
+    python -m repro serve                 # multi-tenant fleet server (TCP)
+    python -m repro serve --study         # fleet serving study (driving scenario)
     python -m repro bench                 # VM wall-clock benchmark suite
     python -m repro bench NAME [RUNS]     # one benchmark, 3 scenarios
     python -m repro sweep [NAME ...]      # parallel sweep w/ cache+telemetry
@@ -36,8 +38,15 @@ flattened predict-all latency) — and writes ``BENCH_vm.json``; it takes
 fault-injection campaigns over the crash-safe persistence stack
 (``--iterations N`` campaigns, ``--seed N``, ``--runs N`` VM runs per
 reference; exit status 1 when any resilience invariant is violated).
-See ``docs/experiments.md``, ``docs/performance.md``,
-``docs/testing.md``, and ``docs/robustness.md``.
+``serve`` boots the long-lived multi-tenant fleet server on a JSON-lines
+TCP socket (``--host``/``--port``, ``--registry-dir PATH`` crash-safe
+model registry, ``--queue-bound N`` admission control, ``--refit-interval
+N`` hot-swap cadence, ``--tenants N``); with ``--study`` it instead runs
+the fleet serving study — ``--requests N`` concurrent mixed-tenant
+requests checked bit-identical to serial replay, exit status 1 on any
+serving invariant violation. See ``docs/experiments.md``,
+``docs/performance.md``, ``docs/testing.md``, ``docs/robustness.md``,
+and ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "sensitivity",
             "gc-study",
             "server-study",
+            "serve",
             "bench",
             "sweep",
             "fuzz",
@@ -157,6 +167,49 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="bench: allowed fractional speedup regression vs the "
         "baseline (default 0.20)",
+    )
+    serve = parser.add_argument_group("serve")
+    serve.add_argument(
+        "--study",
+        action="store_true",
+        help="serve: run the fleet serving study instead of the TCP server",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="serve --study: mixed-tenant requests to drive (default 1000)",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=4,
+        help="serve: resident tenant applications (default 4)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="serve: TCP bind host"
+    )
+    serve.add_argument(
+        "--port", type=int, default=7907, help="serve: TCP port (default 7907)"
+    )
+    serve.add_argument(
+        "--registry-dir",
+        metavar="PATH",
+        default=".repro_registry",
+        help="serve: crash-safe model registry directory "
+        "(default .repro_registry)",
+    )
+    serve.add_argument(
+        "--queue-bound",
+        type=int,
+        default=128,
+        help="serve: per-tenant admission-control queue bound (default 128)",
+    )
+    serve.add_argument(
+        "--refit-interval",
+        type=int,
+        default=25,
+        help="serve: runs between hot model swaps per tenant (default 25)",
     )
     return parser
 
@@ -368,7 +421,66 @@ def main(argv: list[str] | None = None) -> int:
         from .experiments import server_study
 
         server_study.main(seed=options.seed, requests=options.runs or 120)
+    elif command == "serve":
+        return _cmd_serve(options)
     return 0
+
+
+def _cmd_serve(options) -> int:
+    if options.study:
+        from .experiments import server_study
+
+        return server_study.fleet_main(
+            seed=options.seed,
+            requests=options.requests,
+            tenants=options.tenants,
+        )
+
+    import asyncio
+
+    from .experiments.server_study import build_tenant_apps
+    from .serving import FleetServer, ModelRegistry, build_fleet, serve_tcp
+
+    registry = ModelRegistry(options.registry_dir)
+    tenants = build_fleet(
+        build_tenant_apps(options.tenants),
+        registry=registry,
+        refit_interval=options.refit_interval,
+    )
+    telemetry = _make_telemetry(options)
+    server = FleetServer(
+        tenants,
+        registry,
+        queue_bound=options.queue_bound,
+        telemetry=telemetry,
+    )
+
+    async def _run() -> int:
+        await server.start()
+        server.surface_startup()
+        tcp = await serve_tcp(server, options.host, options.port)
+        print(
+            f"repro serve: {len(tenants)} tenant(s) on "
+            f"{options.host}:{options.port} "
+            f"(registry {options.registry_dir!r}); Ctrl-C to stop"
+        )
+        try:
+            async with tcp:
+                await tcp.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            pass
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("repro serve: interrupted, models persisted")
+        return 0
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
 
 if __name__ == "__main__":

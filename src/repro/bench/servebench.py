@@ -1,0 +1,70 @@
+"""Wall-clock bench section for the serving layer (``docs/serving.md``).
+
+Wraps the fleet-serving study
+(:func:`~repro.experiments.server_study.run_fleet_study`) into the
+``serving`` section of ``BENCH_vm.json``: sustained concurrent
+mixed-tenant traffic with request latency percentiles (p50/p95/p99),
+throughput, hot-swap and shed counts, and the soundness invariant that
+per-tenant results are bit-identical to serial replay.
+
+Latency percentiles and req/s are host-dependent and therefore only
+*reported*; the regression gate tracks ``overhead_ratio`` — concurrent
+serving wall over serial replay wall for the same stream, measured on
+the same runner — which is machine-independent the same way the
+fast/reference engine speedups are.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def bench_serving(quick: bool = False) -> dict:
+    """Run the fleet study at bench scale and emit the serving section."""
+    from ..experiments.server_study import run_fleet_study
+
+    requests = 240 if quick else 1200
+    tenants = 3 if quick else 4
+    start = time.perf_counter()
+    result = run_fleet_study(
+        seed=0, requests=requests, tenants=tenants, refit_interval=20
+    )
+    wall = time.perf_counter() - start
+    if not result.identical_to_serial:  # pragma: no cover
+        raise AssertionError(
+            "serving diverged from serial replay: "
+            + "; ".join(result.mismatches[:3])
+        )
+    return {
+        "requests": result.requests,
+        "tenants": result.tenants,
+        "wall_s": result.wall_s,
+        "serial_wall_s": result.serial_wall_s,
+        "total_wall_s": wall,
+        "rps": result.rps,
+        "latency_ms": {
+            "p50": result.latency_ms["p50"],
+            "p95": result.latency_ms["p95"],
+            "p99": result.latency_ms["p99"],
+            "mean": result.latency_ms["mean"],
+        },
+        "overhead_ratio": result.overhead_ratio,
+        "swaps": result.swaps,
+        "sheds": result.sheds,
+        "batches": result.batches,
+        "identical_to_serial": result.identical_to_serial,
+    }
+
+
+def format_serving(section: dict) -> list[str]:
+    """Human-readable lines for the CLI report."""
+    latency = section["latency_ms"]
+    return [
+        f"serving: {section['requests']} request(s), "
+        f"{section['tenants']} tenant(s), {section['rps']:.0f} req/s",
+        f"serving latency ms: p50 {latency['p50']:.2f}, "
+        f"p95 {latency['p95']:.2f}, p99 {latency['p99']:.2f} "
+        f"(overhead ratio {section['overhead_ratio']:.2f} vs serial)",
+        f"serving events: {section['swaps']} swap(s), "
+        f"{section['sheds']} shed(s), {section['batches']} batch(es)",
+    ]

@@ -16,6 +16,10 @@ interpreter? It times three things:
 4. **The learning layer** (:mod:`repro.bench.learnbench`) — offline model
    construction throughput, the fast/reference training speedup (trees
    checked identical), and flattened predict-all latency.
+5. **The serving layer** (:mod:`repro.bench.servebench`) — sustained
+   concurrent mixed-tenant traffic through the fleet server: request
+   latency percentiles (p50/p95/p99), throughput, hot swaps, sheds, and
+   the bit-identical-to-serial invariant.
 
 Results are emitted as a schema-checked ``BENCH_vm.json``. CI's regression
 gate compares the fast/reference **speedup ratios** (VM workloads and
@@ -34,7 +38,7 @@ import time
 from ..lang import compile_source
 from ..vm import Interpreter
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Workload sources: small MiniLang kernels exercising the three hot shapes
 #: the fast engine targets (fused arithmetic loops, array traffic, calls).
@@ -241,6 +245,7 @@ def geomean(values: list[float]) -> float:
 def bench_report(quick: bool = False) -> dict:
     """Run the full suite and assemble the ``BENCH_vm.json`` payload."""
     from .learnbench import bench_learning
+    from .servebench import bench_serving
 
     workloads = bench_workloads(quick=quick)
     speedups = [row["speedup"] for row in workloads]
@@ -261,6 +266,7 @@ def bench_report(quick: bool = False) -> dict:
         "sweep_cell": bench_sweep_cell(quick=quick),
         "fuzz": bench_fuzz(quick=quick),
         "learning": bench_learning(quick=quick),
+        "serving": bench_serving(quick=quick),
     }
 
 
@@ -339,6 +345,27 @@ def validate_bench_report(report: dict) -> None:
         if learning["predict"][key] <= 0:
             raise ValueError(f"learning.predict: {key!r} must be positive")
     need(learning["predict"], "trees", int, "learning.predict")
+    need(report, "serving", dict, "report")
+    serving = report["serving"]
+    for key in ("requests", "tenants", "swaps", "sheds", "batches"):
+        need(serving, key, int, "serving")
+    if serving["requests"] <= 0:
+        raise ValueError("serving: 'requests' must be positive")
+    for key in ("wall_s", "serial_wall_s", "rps", "overhead_ratio"):
+        need(serving, key, (int, float), "serving")
+        if serving[key] <= 0:
+            raise ValueError(f"serving: {key!r} must be positive")
+    need(serving, "latency_ms", dict, "serving")
+    for key in ("p50", "p95", "p99", "mean"):
+        need(serving["latency_ms"], key, (int, float), "serving.latency_ms")
+        if serving["latency_ms"][key] < 0:
+            raise ValueError(f"serving.latency_ms: {key!r} must be >= 0")
+    need(serving, "identical_to_serial", bool, "serving")
+    if serving["identical_to_serial"] is not True:
+        raise ValueError(
+            "serving: per-tenant results must be bit-identical to serial "
+            "replay"
+        )
 
 
 def compare_to_baseline(
@@ -381,6 +408,20 @@ def compare_to_baseline(
                 f"learning speedup geomean regressed: {new_geo:.2f}x vs "
                 f"baseline {base_geo:.2f}x (floor {base_geo * floor:.2f}x)"
             )
+    # Serving gate: concurrent-over-serial wall ratio for the same stream
+    # (lower is better; both sides measured on this runner, so the ratio
+    # is machine-independent). Baselines recorded before schema v3 have
+    # no serving section and are tolerated — the gate simply skips.
+    base_serving = baseline.get("serving")
+    if base_serving is not None and "serving" in report:
+        base_ratio = base_serving["overhead_ratio"]
+        new_ratio = report["serving"]["overhead_ratio"]
+        if new_ratio > base_ratio * (1.0 + max_regression):
+            failures.append(
+                f"serving overhead ratio regressed: {new_ratio:.2f} vs "
+                f"baseline {base_ratio:.2f} "
+                f"(ceiling {base_ratio * (1.0 + max_regression):.2f})"
+            )
     return failures
 
 
@@ -412,8 +453,11 @@ def format_report(report: dict) -> str:
         f"({fuzz['iterations_per_s']:.2f}/s)"
     )
     from .learnbench import format_learning
+    from .servebench import format_serving
 
     lines.extend(format_learning(report["learning"]))
+    if "serving" in report:
+        lines.extend(format_serving(report["serving"]))
     return "\n".join(lines)
 
 

@@ -86,6 +86,7 @@ class EvolvableVM:
         cache_translations: bool = False,
         learning_engine: str = "auto",
         refit_jobs: int = 1,
+        defer_refits: bool = False,
     ):
         self.app = app
         self.config = config
@@ -125,6 +126,12 @@ class EvolvableVM:
         #: paper's per-run protocol always translates.
         self.cache_translations = cache_translations
         self._translation_cache: dict[str, FeatureVector] = {}
+        #: Serving mode (see ``docs/serving.md``): when True, :meth:`run`
+        #: still observes every finished run but skips the end-of-run
+        #: ``refit_all`` — model construction happens only at an explicit
+        #: swap point (:class:`~repro.serving.tenant.Tenant.swap`), so
+        #: predictions answer from the last deployed model generation.
+        self.defer_refits = defer_refits
 
     # -- the Figure 7 loop ----------------------------------------------------
     def run(
@@ -222,11 +229,12 @@ class EvolvableVM:
             ideal = self.cost_benefit.ideal_strategy(profile)
             accuracy = prediction_accuracy(scored, ideal, profile)
             self.confidence.update(accuracy)
-            # Offline stage: extend and rebuild the models. This is the
-            # only place model construction happens — the run-start
+            # Offline stage: extend and (unless deferred to an explicit
+            # serving-layer swap) rebuild the models — the run-start
             # prediction above reads the flattened forest compiled here.
             self.models.observe_run(fvector, ideal)
-            self.models.refit_all(jobs=self.refit_jobs)
+            if not self.defer_refits:
+                self.models.refit_all(jobs=self.refit_jobs)
             outcome.predicted = scored
             outcome.ideal = ideal
             outcome.accuracy = accuracy

@@ -339,7 +339,16 @@ def map_parallel(worker, items: list, jobs: int) -> tuple[list, bool]:
     Returns ``(results, parallel)`` with results in item order. Falls back
     to in-process execution when the platform forbids multiprocessing
     (sandboxes without semaphore support), so callers always get results.
-    The fuzz harness reuses this entry point for its iteration chunks.
+
+    This is the *plain* fan-out primitive: there are no retries, no
+    per-item timeouts, and no fault isolation — an exception in *worker*
+    propagates to the caller, for every backend. Sweeps needing retry /
+    dead-worker recovery / deadline semantics go through
+    :func:`run_sweep`'s resilient cell executor instead (behaviour
+    documented in ``docs/robustness.md``). Direct callers today are the
+    fuzz harness (iteration chunks) and
+    :meth:`~repro.core.model_builder.ModelBuilder.refit_all`, which the
+    serving layer uses for offline refits between hot model swaps.
     """
     if not items:
         return [], False
@@ -809,7 +818,15 @@ def run_experiment_parallel(
     jit_cache_dir: str | None = None,
 ) -> ExperimentResult:
     """One benchmark through the parallel engine (the runner's ``jobs=N``
-    path); results are identical to :func:`~.runner.run_experiment`."""
+    path); results are identical to :func:`~.runner.run_experiment`.
+
+    Delegates to :func:`run_sweep` and therefore inherits its fault
+    tolerance at the default settings: a raising cell is retried once
+    with backoff, cells lost to dead workers are re-executed serially,
+    and there is no cell deadline unless a caller opts in via
+    ``run_sweep(..., cell_timeout=...)``. See ``docs/robustness.md`` for
+    the recovery ladder and how degradations are reported.
+    """
     report = run_sweep(
         [bench],
         jobs=jobs,

@@ -6,8 +6,10 @@ and cheap to re-run:
 1. **Telemetry** — every executed run emits one structured JSONL event
    (benchmark, scenario, run index, input id, RNG seed, wall time, methods
    compiled per level, predictor confidence, prediction hit/miss, …).
-   Cache hits and cell completions emit their own event kinds. The schema
-   is versioned and documented in ``docs/experiments.md``;
+   Cache hits and cell completions emit their own event kinds, and the
+   serving layer (``docs/serving.md``) adds ``serve_*`` kinds for fleet
+   boot, answered requests, sheds, hot swaps, and startup degradations.
+   The schema is versioned and documented in ``docs/experiments.md``;
    :func:`validate_event` enforces it (tests validate every line the
    engine writes).
 
@@ -145,6 +147,19 @@ def cell_failed_event(
     }
 
 
+def serve_event(kind: str, **fields) -> dict:
+    """A serving-layer event (see ``docs/serving.md``).
+
+    Kinds: ``serve_start`` (fleet boot summary), ``serve_request`` (one
+    answered request), ``serve_shed`` (admission control refused a
+    request), ``serve_swap`` (hot model swap), ``serve_degradation``
+    (one registry :class:`DegradationEvent` mirrored at startup).
+    """
+    event = {"event": kind, "v": TELEMETRY_SCHEMA_VERSION}
+    event.update(fields)
+    return event
+
+
 #: Required fields per event kind, with the types a valid value may take.
 #: ``type(None)`` marks a field as nullable.
 _RUN_FIELDS: dict[str, tuple[type, ...]] = {
@@ -189,6 +204,53 @@ _CELL_FAILED_FIELDS: dict[str, tuple[type, ...]] = {
     "attempts": (int,),
 }
 
+#: Serving-layer event schemas (``docs/serving.md``).
+_SERVE_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
+    "serve_start": {
+        "event": (str,),
+        "v": (int,),
+        "tenants": (int,),
+        "restored": (int,),
+        "cold_started": (int,),
+        "quarantined": (int,),
+        "degraded": (bool,),
+    },
+    "serve_request": {
+        "event": (str,),
+        "v": (int,),
+        "app": (str,),
+        "op": (str,),
+        "status": (int,),
+        "wall_ms": (int, float, type(None)),
+        "batched": (int,),
+    },
+    "serve_shed": {
+        "event": (str,),
+        "v": (int,),
+        "app": (str,),
+        "op": (str,),
+        "queue_depth": (int,),
+        "queue_bound": (int,),
+    },
+    "serve_swap": {
+        "event": (str,),
+        "v": (int,),
+        "app": (str,),
+        "generation": (int,),
+        "runs": (int,),
+        "wall_s": (int, float, type(None)),
+    },
+    "serve_degradation": {
+        "event": (str,),
+        "v": (int,),
+        "component": (str,),
+        "action": (str,),
+        "reason": (str,),
+        "detail": (str,),
+        "path": (str, type(None)),
+    },
+}
+
 
 def validate_event(event: dict) -> list[str]:
     """Schema check for one telemetry event; returns a list of problems
@@ -201,6 +263,8 @@ def validate_event(event: dict) -> list[str]:
         fields = _CELL_FIELDS
     elif kind == "cell_failed":
         fields = _CELL_FAILED_FIELDS
+    elif kind in _SERVE_FIELDS:
+        fields = _SERVE_FIELDS[kind]
     else:
         return [f"unknown event kind {kind!r}"]
     for name, types in fields.items():

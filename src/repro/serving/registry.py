@@ -1,0 +1,144 @@
+"""The per-application model registry behind the serving fleet.
+
+Each tenant's learned state (per-method training data + confidence) is
+persisted through the crash-safe resilience envelope — the same
+``vm-state`` artifacts :mod:`repro.core.records` writes for batch runs —
+one file per application under one registry root:
+
+    <registry>/<app>.state
+
+Loading is quarantine-aware and never fatal: a missing, torn, or
+corrupted state file cold-starts that tenant with empty records (the
+paper's low-confidence path) while the file is moved to ``.quarantine/``
+with a machine-readable reason sidecar. Every such decision lands in the
+registry's :class:`~repro.resilience.degradation.DegradationReport`, and
+:meth:`ModelRegistry.startup_summary` condenses it so the server can
+refuse to boot *silently* degraded — ``repro serve`` prints the summary
+on stderr and emits it as a ``serve_degradation`` telemetry event.
+
+The registry also tracks the **model generation** per tenant: a counter
+bumped by every hot swap (offline ``refit_all`` + atomic forest-pointer
+flip). Responses carry the generation that served them, so operators can
+correlate behavior changes with swaps.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..core.evolvable import EvolvableVM
+from ..core.records import load_state_file, save_state
+from ..resilience.degradation import DegradationReport
+from ..resilience.envelope import REAL_FS, FileSystem
+
+#: Filename suffix for per-tenant state artifacts.
+STATE_SUFFIX = ".state"
+
+
+def _safe_name(app_name: str) -> str:
+    """Filesystem-safe rendering of a tenant name (collision-tolerant:
+    tenants are validated unique upstream by the fleet)."""
+    return re.sub(r"[^A-Za-z0-9._-]", "_", app_name)
+
+
+class ModelRegistry:
+    """Crash-safe persistence + generation tracking for a tenant fleet."""
+
+    def __init__(
+        self,
+        root: str | Path | None,
+        *,
+        fs: FileSystem = REAL_FS,
+        report: DegradationReport | None = None,
+    ):
+        #: ``None`` root = ephemeral registry (nothing persists; every
+        #: tenant cold-starts and saves are no-ops). Used by tests and
+        #: by studies that must not touch the working directory.
+        self.root = Path(root) if root is not None else None
+        self.fs = fs
+        self.report = report if report is not None else DegradationReport()
+        self.generations: dict[str, int] = {}
+        self.restored: list[str] = []
+        self.cold_started: list[str] = []
+
+    def state_path(self, app_name: str) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / f"{_safe_name(app_name)}{STATE_SUFFIX}"
+
+    # -- startup ------------------------------------------------------------
+    def load_into(self, vm: EvolvableVM) -> bool:
+        """Restore *vm* from its tenant's state file (never raises).
+
+        Returns ``True`` when state was fully restored; any failure
+        cold-starts the tenant, quarantines the artifact, and records
+        the decision in :attr:`report`.
+        """
+        name = vm.app.name
+        self.generations.setdefault(name, 0)
+        path = self.state_path(name)
+        if path is None:
+            self.cold_started.append(name)
+            return False
+        restored = load_state_file(
+            vm, str(path), fs=self.fs, report=self.report
+        )
+        (self.restored if restored else self.cold_started).append(name)
+        return restored
+
+    # -- swap + persistence --------------------------------------------------
+    def note_swap(self, app_name: str) -> int:
+        """Bump and return the tenant's model generation."""
+        self.generations[app_name] = self.generations.get(app_name, 0) + 1
+        return self.generations[app_name]
+
+    def save(self, vm: EvolvableVM) -> bool:
+        """Persist *vm*'s learned state; I/O failures degrade (recorded),
+        they never take the serving loop down."""
+        path = self.state_path(vm.app.name)
+        if path is None:
+            return False
+        return save_state(vm, str(path), fs=self.fs, report=self.report)
+
+    # -- observability -------------------------------------------------------
+    def startup_summary(self) -> dict:
+        """Machine-readable account of how the registry came up.
+
+        ``degraded`` is True whenever any tenant failed to restore for a
+        reason other than a simply-missing file (quarantine, I/O error) —
+        the condition ``repro serve`` must surface, never swallow.
+        """
+        quarantines = self.report.count(action="quarantine")
+        return {
+            "registry": str(self.root) if self.root is not None else None,
+            "tenants": sorted(self.generations),
+            "restored": sorted(self.restored),
+            "cold_started": sorted(self.cold_started),
+            "quarantined": quarantines,
+            "degradations": len(self.report),
+            "degraded": quarantines > 0
+            or any(
+                event.action == "cold-start" and event.reason != "missing"
+                for event in self.report.events
+            ),
+        }
+
+    def describe_startup(self) -> str:
+        """Human-readable startup summary (the stderr surface)."""
+        summary = self.startup_summary()
+        lines = [
+            f"model registry: {summary['registry'] or '(ephemeral)'} — "
+            f"{len(summary['restored'])} tenant(s) restored, "
+            f"{len(summary['cold_started'])} cold-started, "
+            f"{summary['quarantined']} quarantined"
+        ]
+        if summary["degraded"]:
+            lines.append(
+                "WARNING: registry degraded on startup "
+                f"({self.report.describe()}); affected tenants boot with "
+                "empty records (reactive optimizer, low confidence)"
+            )
+            for event in self.report.events:
+                lines.append(f"  - {event.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""Resident serving tenants: one warm evolvable VM per application.
+
+A :class:`Tenant` wraps one application in **serving mode**: the
+:class:`~repro.core.evolvable.EvolvableVM` stays resident across the
+whole request stream (one JIT code cache, one translator cache, one
+learner), but — unlike the batch Figure-7 loop — the end-of-run
+``refit_all`` is *deferred* (``EvolvableVM(defer_refits=True)``). Runs
+still observe their posterior ideal strategies and update confidence;
+model construction happens only at an explicit **swap** point:
+
+    swap = offline ``refit_all`` (optionally fanned across processes via
+    ``map_parallel``) + one atomic flip of the compiled
+    :class:`~repro.learning.flat.FlatForest` pointer + a registry
+    generation bump + a crash-safe state save.
+
+The flip is a single attribute assignment of a fully-built immutable
+forest, so a prediction in flight reads either the old generation or the
+new one, never a half-swapped model (a test hammers this from threads).
+
+Tenants share two caches fleet-wide:
+
+- the **JIT artifact cache** (:mod:`repro.vm.opt.artifact_cache`): every
+  tenant's compiler publishes into one store, so a method shape compiled
+  for one tenant warms every other tenant with the same program;
+- the **prediction result cache** (the telemetry-layer
+  :class:`~repro.experiments.telemetry.ResultCache`): ``predict``
+  responses are memoized keyed by *(tenant, model fingerprint, cmdline)*.
+  The fingerprint is content-addressed (a digest of the serialized
+  training state at the last swap), so entries survive restarts and can
+  never serve a stale model's answer — a new generation simply misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..core.application import Application
+from ..core.evolvable import EvolvableVM, RunOutcome
+from ..core.records import state_to_dict
+from ..experiments.telemetry import CacheKey, ResultCache
+from ..vm.config import DEFAULT_CONFIG, VMConfig
+from ..vm.opt.artifact_cache import JITArtifactCache
+from ..vm.opt.jit import JITCompiler
+from .registry import ModelRegistry
+
+
+def run_payload(outcome: RunOutcome, generation: int) -> dict:
+    """The deterministic slice of one run's outcome (the response body).
+
+    Everything here is a pure function of the tenant's request history,
+    so the concurrency suite can compare it bit-for-bit against a serial
+    replay; wall-clock metadata is attached separately by the server.
+    """
+    return {
+        "result": outcome.result,
+        "total_cycles": outcome.total_cycles,
+        "overhead_cycles": outcome.overhead_cycles,
+        "applied_prediction": bool(outcome.applied_prediction),
+        "predicted": (
+            {m: int(lvl) for m, lvl in outcome.predicted.levels.items()}
+            if outcome.predicted is not None
+            else None
+        ),
+        "accuracy": outcome.accuracy,
+        "confidence": outcome.confidence_after,
+        "generation": generation,
+    }
+
+
+class Tenant:
+    """One application resident in the fleet."""
+
+    def __init__(
+        self,
+        app: Application,
+        *,
+        registry: ModelRegistry,
+        config: VMConfig = DEFAULT_CONFIG,
+        artifact_cache: JITArtifactCache | None = None,
+        predict_cache: ResultCache | None = None,
+        refit_interval: int | None = 25,
+        refit_jobs: int = 1,
+        **vm_kwargs,
+    ):
+        self.app = app
+        self.name = app.name
+        self.registry = registry
+        self.predict_cache = predict_cache
+        self.refit_interval = refit_interval
+        jit = JITCompiler(app.program, config, artifact_cache=artifact_cache)
+        self.vm = EvolvableVM(
+            app,
+            config=config,
+            jit=jit,
+            cache_translations=True,
+            defer_refits=True,
+            refit_jobs=refit_jobs,
+            **vm_kwargs,
+        )
+        restored = registry.load_into(self.vm)
+        self._fingerprint = self._model_fingerprint() if restored else "cold"
+        #: Runs observed since the last swap (drives auto-swap policy).
+        self.runs_since_swap = 0
+        self.runs_total = 0
+        self.predicts_total = 0
+        self.swaps_total = 0
+        self.predict_cache_hits = 0
+
+    @property
+    def generation(self) -> int:
+        return self.registry.generations.get(self.name, 0)
+
+    def _model_fingerprint(self) -> str:
+        """Content digest of the deployed model's training state."""
+        payload = json.dumps(
+            state_to_dict(self.vm), sort_keys=True
+        ).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:24]
+
+    # -- ops (always called from the tenant's single serialized worker) -----
+    def run(self, cmdline: str, seed: int | None = None) -> dict:
+        """Execute once, learn (observation only — no refit), and report."""
+        rng_seed = seed if seed is not None else self.runs_total
+        outcome = self.vm.run(cmdline, rng_seed=rng_seed)
+        self.runs_since_swap += 1
+        self.runs_total += 1
+        return run_payload(outcome, self.generation)
+
+    def predict(self, cmdline: str) -> dict:
+        """Strategy prediction only: one flattened-forest pass
+        (:meth:`~repro.core.model_builder.ModelBuilder.predict_all`), no
+        execution, no training. Memoized in the shared result cache."""
+        self.predicts_total += 1
+        cached = self._predict_cached(cmdline)
+        if cached is not None:
+            self.predict_cache_hits += 1
+            levels = cached
+        elif self.vm.translator is None:
+            levels = {}  # no XICL spec: nothing to featurize or predict
+        else:
+            tokens = self.app.split_cmdline(cmdline)
+            fvector = self.vm.translator.build_fvector(tokens)
+            levels = {
+                method: int(label)
+                for method, label in self.vm.models.predict_all(
+                    fvector
+                ).items()
+            }
+            self._predict_store(cmdline, levels)
+        return {
+            "levels": levels,
+            "methods_modeled": len(self.vm.models),
+            "confidence": self.vm.confidence.value,
+            "confident": self.vm.confidence.confident,
+            "generation": self.generation,
+        }
+
+    def predict_batch(self, cmdlines: list[str]) -> list[dict]:
+        """One executor hop answering a whole batch of predict requests."""
+        return [self.predict(cmdline) for cmdline in cmdlines]
+
+    def swap(self) -> dict:
+        """Offline refit + atomic generation flip + crash-safe save."""
+        self.vm.models.refit_all(jobs=self.vm.refit_jobs)
+        generation = self.registry.note_swap(self.name)
+        self._fingerprint = self._model_fingerprint()
+        saved = self.registry.save(self.vm)
+        runs = self.runs_since_swap
+        self.runs_since_swap = 0
+        self.swaps_total += 1
+        return {
+            "generation": generation,
+            "runs_refit": runs,
+            "observations": sum(
+                len(self.vm.models.model_for(m).dataset)
+                for m in self.vm.models.method_names
+            ),
+            "persisted": saved,
+        }
+
+    def due_for_swap(self) -> bool:
+        return (
+            self.refit_interval is not None
+            and self.runs_since_swap >= self.refit_interval
+        )
+
+    # -- shared predict-result cache ----------------------------------------
+    def _predict_key(self, cmdline: str) -> CacheKey:
+        digest = hashlib.sha256(
+            f"{self._fingerprint}|{cmdline}".encode("utf-8")
+        ).hexdigest()[:24]
+        return CacheKey(
+            benchmark=self.name,
+            scenario="predict",
+            start=0,
+            stop=0,
+            seed=0,
+            digest=digest,
+        )
+
+    def _predict_cached(self, cmdline: str) -> dict | None:
+        if self.predict_cache is None:
+            return None
+        return self.predict_cache.get(self._predict_key(cmdline))
+
+    def _predict_store(self, cmdline: str, levels: dict) -> None:
+        if self.predict_cache is not None:
+            self.predict_cache.put(self._predict_key(cmdline), levels)
+
+    def stats(self) -> dict:
+        return {
+            "app": self.name,
+            "generation": self.generation,
+            "runs": self.runs_total,
+            "predicts": self.predicts_total,
+            "swaps": self.swaps_total,
+            "runs_since_swap": self.runs_since_swap,
+            "confidence": self.vm.confidence.value,
+            "methods_modeled": len(self.vm.models),
+            "predict_cache_hits": self.predict_cache_hits,
+        }
+
+
+def build_fleet(
+    apps: list[Application],
+    *,
+    registry: ModelRegistry,
+    config: VMConfig = DEFAULT_CONFIG,
+    jit_cache_dir: str | None = None,
+    predict_cache_dir: str | None = None,
+    refit_interval: int | None = 25,
+    refit_jobs: int = 1,
+) -> list[Tenant]:
+    """Assemble resident tenants over one shared pair of caches.
+
+    The JIT artifact cache and the predict result cache are each a single
+    instance handed to every tenant; passing ``None`` directories keeps
+    them memory-only / disabled respectively.
+    """
+    names = [app.name for app in apps]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in fleet: {names}")
+    artifact_cache = JITArtifactCache(jit_cache_dir)
+    predict_cache = (
+        ResultCache(predict_cache_dir, report=registry.report)
+        if predict_cache_dir is not None
+        else None
+    )
+    return [
+        Tenant(
+            app,
+            registry=registry,
+            config=config,
+            artifact_cache=artifact_cache,
+            predict_cache=predict_cache,
+            refit_interval=refit_interval,
+            refit_jobs=refit_jobs,
+        )
+        for app in apps
+    ]

@@ -19,7 +19,11 @@ from repro.bench.vmbench import (
 )
 
 
-def synthetic_report(speedup: float = 4.0, learn_speedup: float = 5.0) -> dict:
+def synthetic_report(
+    speedup: float = 4.0,
+    learn_speedup: float = 5.0,
+    overhead_ratio: float = 1.3,
+) -> dict:
     row = {
         "name": "arith_loop",
         "level": None,
@@ -62,6 +66,22 @@ def synthetic_report(speedup: float = 4.0, learn_speedup: float = 5.0) -> dict:
                 "per_call_us": 50.0,
             },
         },
+        "serving": {
+            "requests": 240,
+            "tenants": 3,
+            "wall_s": 0.2,
+            "serial_wall_s": 0.2 / overhead_ratio,
+            "total_wall_s": 0.5,
+            "rps": 1200.0,
+            "latency_ms": {
+                "p50": 5.0, "p95": 20.0, "p99": 30.0, "mean": 8.0,
+            },
+            "overhead_ratio": overhead_ratio,
+            "swaps": 9,
+            "sheds": 36,
+            "batches": 5,
+            "identical_to_serial": True,
+        },
     }
 
 
@@ -82,6 +102,10 @@ def test_valid_report_passes():
         lambda r: r["learning"]["speedup"].update(identical_trees=False),
         lambda r: r["learning"]["training"].update(rows_per_s=0),
         lambda r: r["learning"]["predict"].pop("per_call_us"),
+        lambda r: r.pop("serving"),
+        lambda r: r["serving"].update(identical_to_serial=False),
+        lambda r: r["serving"]["latency_ms"].pop("p99"),
+        lambda r: r["serving"].update(rps=0),
     ],
     ids=[
         "missing-workloads",
@@ -94,6 +118,10 @@ def test_valid_report_passes():
         "learning-trees-diverged",
         "learning-zero-throughput",
         "learning-missing-latency",
+        "missing-serving",
+        "serving-diverged-from-serial",
+        "serving-missing-percentile",
+        "serving-zero-throughput",
     ],
 )
 def test_invalid_reports_rejected(mutate):
@@ -134,6 +162,30 @@ def test_learning_gate_tolerates_v1_baseline():
     assert compare_to_baseline(report, baseline, max_regression=0.20) == []
 
 
+def test_serving_regression_detected():
+    # Overhead ratio is "cost of concurrency": higher is worse.
+    report = synthetic_report(overhead_ratio=2.0)
+    baseline = synthetic_report(overhead_ratio=1.3)
+    failures = compare_to_baseline(report, baseline, max_regression=0.20)
+    assert failures
+    assert all("serving" in failure for failure in failures)
+
+
+def test_serving_within_tolerance():
+    report = synthetic_report(overhead_ratio=1.5)
+    baseline = synthetic_report(overhead_ratio=1.3)
+    # 1.5 <= 1.3 * 1.2 → fine.
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
+
+
+def test_serving_gate_tolerates_v2_baseline():
+    # A pre-serving (schema 2) baseline simply has no serving gate.
+    report = synthetic_report(overhead_ratio=5.0)
+    baseline = synthetic_report()
+    del baseline["serving"]
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
+
+
 def test_checked_in_baseline_is_valid():
     from pathlib import Path
 
@@ -147,6 +199,9 @@ def test_checked_in_baseline_is_valid():
     assert baseline["learning"]["speedup"]["geomean"] >= 2.0
     assert baseline["learning"]["speedup"]["identical_trees"] is True
     assert baseline["learning"]["predict"]["per_call_us"] < 1000.0
+    assert baseline["serving"]["identical_to_serial"] is True
+    assert baseline["serving"]["swaps"] > 0
+    assert baseline["serving"]["sheds"] > 0
 
 
 def test_workload_timing_roundtrip(tmp_path):

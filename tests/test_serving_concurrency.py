@@ -1,0 +1,178 @@
+"""Concurrency soundness for the serving fleet (docs/serving.md).
+
+Three contracts, each the reason the ISSUE's serving layer is trustworthy:
+
+1. **Bit-identity** — N tenants served concurrently produce, per tenant,
+   exactly the outcome stream a serial replay of the same requests
+   produces. Concurrency may only change wall-clock, never results.
+2. **Atomic hot swap** — predictions racing a ``refit_all`` always see a
+   complete model generation: either wholly-old or wholly-new, never a
+   half-swapped forest.
+3. **Backpressure** — the bounded per-tenant queue admits exactly its
+   bound under flood; everything else is shed with a machine-readable
+   429 and counted, and accepted work still completes correctly.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.experiments.server_study import (
+    build_tenant_apps,
+    generate_fleet_requests,
+    run_fleet_study,
+)
+from repro.serving import FleetServer, ModelRegistry, Tenant, build_fleet
+
+pytestmark = pytest.mark.serve
+
+TRAIN = ["-m 1 -n 50", "-m 2 -n 1200", "-m 1 -n 1200", "-m 2 -n 50",
+         "-m 1 -n 50", "-m 2 -n 1200"]
+
+
+class TestBitIdentity:
+    def test_concurrent_fleet_matches_serial_replay(self):
+        result = run_fleet_study(
+            seed=0, requests=120, tenants=3, refit_interval=10
+        )
+        assert result.identical_to_serial, result.mismatches[:5]
+        assert result.swaps > 0          # hot swaps happened under load
+        assert result.sheds > 0          # the overload burst shed traffic
+        assert result.batches >= 1       # predict batching engaged
+        assert result.burst_accepted + result.sheds == result.burst_submitted
+
+    def test_request_stream_is_deterministic(self):
+        first = generate_fleet_requests(7, 60, 3)
+        second = generate_fleet_requests(7, 60, 3)
+        assert first == second
+        assert generate_fleet_requests(8, 60, 3) != first
+        names = {app.name for app in build_tenant_apps(3)}
+        assert {request["app"] for request in first} <= names
+
+
+class TestHotSwapUnderLoad:
+    def test_predictions_never_see_half_swapped_model(self, toy_app):
+        registry = ModelRegistry(None)
+        tenant = Tenant(toy_app, registry=registry, refit_interval=None)
+        for i, cmd in enumerate(TRAIN):
+            tenant.run(cmd, seed=i)
+        tenant.swap()
+        tokens = toy_app.split_cmdline(TRAIN[1])
+        fvector = tenant.vm.translator.build_fvector(tokens)
+
+        def snapshot():
+            return tuple(sorted(
+                (m, int(lbl))
+                for m, lbl in tenant.vm.models.predict_all(fvector).items()
+            ))
+
+        generations = {snapshot()}
+        observed = []
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                observed.append(snapshot())
+
+        readers = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        try:
+            seed = len(TRAIN)
+            for _ in range(6):  # six swaps while readers race the flip
+                for cmd in TRAIN:
+                    tenant.run(cmd, seed=seed)
+                    seed += 1
+                tenant.swap()
+                generations.add(snapshot())
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+
+        assert len(observed) > 50  # readers really raced the swaps
+        torn = [s for s in observed if s not in generations]
+        assert torn == []  # every read = one complete generation
+
+
+class TestBackpressure:
+    def test_queue_bound_respected_and_sheds_counted(self, toy_app):
+        bound, flood = 2, 10
+
+        async def scenario():
+            registry = ModelRegistry(None)
+            server = FleetServer(
+                build_fleet([toy_app], registry=registry,
+                            refit_interval=None),
+                registry,
+                queue_bound=bound,
+            )
+            await server.start()
+            # Flood without yielding: workers cannot drain mid-burst, so
+            # admission is exactly the queue bound, deterministically.
+            futures = [
+                server.submit_nowait({
+                    "op": "run", "app": "toy",
+                    "cmdline": TRAIN[i % len(TRAIN)], "seed": i,
+                })
+                for i in range(flood)
+            ]
+            responses = await asyncio.gather(*futures)
+            await server.stop(persist=False)
+            return server, responses
+
+        server, responses = asyncio.run(scenario())
+        statuses = [response["status"] for response in responses]
+        assert statuses.count(200) == bound
+        assert statuses.count(429) == flood - bound
+        # Sheds are immediate and machine-readable.
+        shed = next(r for r in responses if r["status"] == 429)
+        assert shed["queue_bound"] == bound
+        assert shed["queue_depth"] == bound
+        assert server.stats.shed == flood - bound
+        assert server.stats.accepted == bound
+        assert server.stats.served == bound
+        # Accepted work completed normally despite the overload.
+        for response in responses:
+            if response["status"] == 200:
+                assert "result" in response
+
+    def test_sheds_never_touch_tenant_state(self, toy_app):
+        """A serial replay of only the *accepted* requests matches —
+        shedding is invisible to the learner."""
+        bound = 2
+
+        async def scenario():
+            registry = ModelRegistry(None)
+            server = FleetServer(
+                build_fleet([toy_app], registry=registry,
+                            refit_interval=None),
+                registry,
+                queue_bound=bound,
+            )
+            await server.start()
+            futures = [
+                server.submit_nowait({
+                    "op": "run", "app": "toy",
+                    "cmdline": TRAIN[i % len(TRAIN)], "seed": i,
+                })
+                for i in range(6)
+            ]
+            responses = await asyncio.gather(*futures)
+            await server.stop(persist=False)
+            return responses
+
+        responses = asyncio.run(scenario())
+        accepted = [
+            (i, response) for i, response in enumerate(responses)
+            if response["status"] == 200
+        ]
+        # Serial twin runs just the accepted prefix.
+        twin = Tenant(toy_app, registry=ModelRegistry(None),
+                      refit_interval=None)
+        for i, response in accepted:
+            expected = twin.run(TRAIN[i % len(TRAIN)], seed=i)
+            got = {k: v for k, v in response.items()
+                   if k in expected}
+            assert got == expected
