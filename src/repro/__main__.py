@@ -27,8 +27,9 @@ cache; ``sweep`` caches by default; ``--no-jit-cache`` additionally
 disables the cross-run JIT artifact cache). ``fuzz`` adds
 ``--iterations N``, ``--time-budget SECONDS``, ``--corpus-dir PATH``
 (write minimized reproducers there; exit status 1 when any divergence is
-found), and ``--engines`` (cross-check the fast engine against the
-reference interpreter instead of the pass matrix). Bare ``bench`` runs
+found), and ``--engines`` (cross-check the fast and closure-compiled
+engines against the reference interpreter instead of the pass matrix).
+Bare ``bench`` runs
 the wall-clock VM benchmark suite — interpreter workloads, a sweep cell,
 fuzz throughput, and the learning layer (training rows/s, fast-vs-
 reference model-construction speedup with identical-tree checks, and
@@ -133,9 +134,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engines",
         action="store_true",
-        help="fuzz: compare the fast engine against the reference "
-        "interpreter (clocks, samples, compile events) instead of the "
-        "pass matrix",
+        help="fuzz: compare the fast and closure-compiled engines "
+        "against the reference interpreter (clocks, samples, compile "
+        "events) instead of the pass matrix",
     )
     parser.add_argument(
         "--no-jit-cache",

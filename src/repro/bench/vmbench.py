@@ -6,8 +6,10 @@ the fast-path engine (:mod:`repro.vm.fastpath`) save over the reference
 interpreter? It times three things:
 
 1. **Interpreter throughput** — three workloads (arithmetic loop, array
-   sweep, call-heavy) on both engines at baseline and at opt level 2,
-   reporting instructions/second and the fast/reference speedup.
+   sweep, call-heavy) on all three engines (reference loop, fast path,
+   closure-compiled tier) at baseline and at opt level 2, reporting
+   instructions/second plus the fast/reference and compiled/reference
+   speedups.
 2. **A Table I sweep cell** — one benchmark's scenario cell through
    :func:`repro.experiments.parallel.execute_cell`, cold vs. warm JIT
    artifact cache, asserting the virtual-cycle outcomes are identical.
@@ -22,10 +24,12 @@ interpreter? It times three things:
    the bit-identical-to-serial invariant.
 
 Results are emitted as a schema-checked ``BENCH_vm.json``. CI's regression
-gate compares the fast/reference **speedup ratios** (VM workloads and
-learning geomean) against a checked-in baseline
+gate compares the engine/reference **speedup ratios** (VM workloads,
+compiled-tier geomean, and learning geomean) against a checked-in baseline
 (``benchmarks/BENCH_baseline.json``) rather than absolute
-instructions/second, which would vary with runner hardware.
+instructions/second, which would vary with runner hardware. Baselines
+recorded before a section existed (e.g. schema v3 has no compiled-tier
+numbers) are tolerated — the corresponding gate simply skips.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ import time
 from ..lang import compile_source
 from ..vm import Interpreter
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: Workload sources: small MiniLang kernels exercising the three hot shapes
 #: the fast engine targets (fused arithmetic loops, array traffic, calls).
@@ -104,7 +108,7 @@ def _time_run(program, n: int, engine: str, level: int | None) -> tuple[float, i
 
 
 def bench_workloads(quick: bool = False, repeats: int = 3) -> list[dict]:
-    """Time every workload on both engines; best-of-*repeats* per engine."""
+    """Time every workload on all three engines; best-of-*repeats* each."""
     rows: list[dict] = []
     for name, source in WORKLOADS.items():
         program = compile_source(source)
@@ -113,7 +117,7 @@ def bench_workloads(quick: bool = False, repeats: int = 3) -> list[dict]:
             best: dict[str, float] = {}
             instructions = 0
             results: dict[str, object] = {}
-            for engine in ("reference", "fast"):
+            for engine in ("reference", "fast", "compiled"):
                 walls = []
                 for _ in range(repeats):
                     wall, instructions, result = _time_run(
@@ -122,13 +126,16 @@ def bench_workloads(quick: bool = False, repeats: int = 3) -> list[dict]:
                     walls.append(wall)
                     results[engine] = result
                 best[engine] = min(walls)
-            if results["reference"] != results["fast"]:  # pragma: no cover
-                raise AssertionError(
-                    f"engine divergence in workload {name!r}: "
-                    f"{results['reference']!r} != {results['fast']!r}"
-                )
+            for engine in ("fast", "compiled"):
+                if results["reference"] != results[engine]:  # pragma: no cover
+                    raise AssertionError(
+                        f"engine divergence in workload {name!r}: "
+                        f"{results['reference']!r} != {results[engine]!r} "
+                        f"({engine})"
+                    )
             ref_ips = instructions / best["reference"]
             fast_ips = instructions / best["fast"]
+            compiled_ips = instructions / best["compiled"]
             rows.append(
                 {
                     "name": name,
@@ -136,9 +143,12 @@ def bench_workloads(quick: bool = False, repeats: int = 3) -> list[dict]:
                     "instructions": instructions,
                     "reference_wall_s": best["reference"],
                     "fast_wall_s": best["fast"],
+                    "compiled_wall_s": best["compiled"],
                     "reference_ips": ref_ips,
                     "fast_ips": fast_ips,
+                    "compiled_ips": compiled_ips,
                     "speedup": fast_ips / ref_ips,
+                    "speedup_compiled": compiled_ips / ref_ips,
                 }
             )
     return rows
@@ -249,6 +259,7 @@ def bench_report(quick: bool = False) -> dict:
 
     workloads = bench_workloads(quick=quick)
     speedups = [row["speedup"] for row in workloads]
+    compiled_speedups = [row["speedup_compiled"] for row in workloads]
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "quick": quick,
@@ -262,6 +273,11 @@ def bench_report(quick: bool = False) -> dict:
             "geomean": geomean(speedups),
             "min": min(speedups),
             "max": max(speedups),
+        },
+        "speedup_compiled": {
+            "geomean": geomean(compiled_speedups),
+            "min": min(compiled_speedups),
+            "max": max(compiled_speedups),
         },
         "sweep_cell": bench_sweep_cell(quick=quick),
         "fuzz": bench_fuzz(quick=quick),
@@ -302,9 +318,12 @@ def validate_bench_report(report: dict) -> None:
         for key in (
             "reference_wall_s",
             "fast_wall_s",
+            "compiled_wall_s",
             "reference_ips",
             "fast_ips",
+            "compiled_ips",
             "speedup",
+            "speedup_compiled",
         ):
             need(row, key, (int, float), where)
             if row[key] <= 0:
@@ -312,6 +331,11 @@ def validate_bench_report(report: dict) -> None:
     need(report, "speedup", dict, "report")
     for key in ("geomean", "min", "max"):
         need(report["speedup"], key, (int, float), "speedup")
+    need(report, "speedup_compiled", dict, "report")
+    for key in ("geomean", "min", "max"):
+        need(report["speedup_compiled"], key, (int, float), "speedup_compiled")
+        if report["speedup_compiled"][key] <= 0:
+            raise ValueError(f"speedup_compiled: {key!r} must be positive")
     need(report, "sweep_cell", dict, "report")
     need(report["sweep_cell"], "identical_cycles", bool, "sweep_cell")
     if report["sweep_cell"]["identical_cycles"] is not True:
@@ -399,6 +423,18 @@ def compare_to_baseline(
                 f"{row['name']} (level {row['level']}): speedup "
                 f"{row['speedup']:.2f}x vs baseline {base['speedup']:.2f}x"
             )
+    # Compiled-tier gate: geomean of compiled/reference speedups. Baselines
+    # recorded before schema v4 have no compiled numbers and are tolerated
+    # — the gate simply skips.
+    base_compiled = baseline.get("speedup_compiled")
+    if base_compiled is not None and "speedup_compiled" in report:
+        base_geo = base_compiled["geomean"]
+        new_geo = report["speedup_compiled"]["geomean"]
+        if new_geo < base_geo * floor:
+            failures.append(
+                f"compiled speedup geomean regressed: {new_geo:.2f}x vs "
+                f"baseline {base_geo:.2f}x (floor {base_geo * floor:.2f}x)"
+            )
     base_learning = baseline.get("learning")
     if base_learning is not None:
         base_geo = base_learning["speedup"]["geomean"]
@@ -427,18 +463,27 @@ def compare_to_baseline(
 
 def format_report(report: dict) -> str:
     """Human-readable summary for the CLI."""
-    lines = ["workload        level  ref Mips  fast Mips  speedup"]
+    lines = [
+        "workload        level  ref Mips  fast Mips  comp Mips  "
+        "fast    compiled"
+    ]
     for row in report["workloads"]:
         level = "base" if row["level"] is None else str(row["level"])
         lines.append(
             f"{row['name']:<15} {level:>5}  "
             f"{row['reference_ips'] / 1e6:>8.2f}  {row['fast_ips'] / 1e6:>9.2f}  "
-            f"{row['speedup']:>6.2f}x"
+            f"{row['compiled_ips'] / 1e6:>9.2f}  "
+            f"{row['speedup']:>5.2f}x  {row['speedup_compiled']:>7.2f}x"
         )
     sp = report["speedup"]
     lines.append(
-        f"speedup: geomean {sp['geomean']:.2f}x, "
+        f"speedup (fast): geomean {sp['geomean']:.2f}x, "
         f"min {sp['min']:.2f}x, max {sp['max']:.2f}x"
+    )
+    spc = report["speedup_compiled"]
+    lines.append(
+        f"speedup (compiled): geomean {spc['geomean']:.2f}x, "
+        f"min {spc['min']:.2f}x, max {spc['max']:.2f}x"
     )
     cell = report["sweep_cell"]
     lines.append(

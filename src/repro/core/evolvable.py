@@ -87,9 +87,16 @@ class EvolvableVM:
         learning_engine: str = "auto",
         refit_jobs: int = 1,
         defer_refits: bool = False,
+        engine: str = "auto",
     ):
         self.app = app
         self.config = config
+        #: Execution-engine knob, forwarded to every Interpreter this VM
+        #: constructs ("auto"/"compiled"/"fast"/"reference"). Note the
+        #: adaptive controller attaches sampler listeners, so "auto" runs
+        #: resolve to the fast engine; the closure-compiled tier serves
+        #: listener-free replay/serving paths.
+        self.engine = engine
         self.jit = jit if jit is not None else JITCompiler(app.program, config)
         self.cost_benefit = CostBenefitModel(self.jit, config.sample_interval)
         #: Training-engine knob for the learning layer ("auto"/"fast"/
@@ -193,6 +200,7 @@ class EvolvableVM:
             ),
             gc_policy=gc_policy,
             gc_model=self.gc_model,
+            engine=self.engine,
         )
         exclude = (
             frozenset(predicted.levels) if predicted is not None else frozenset()
@@ -262,6 +270,7 @@ def run_default(
     config: VMConfig = DEFAULT_CONFIG,
     jit: JITCompiler | None = None,
     rng_seed: int = 0,
+    engine: str = "auto",
 ) -> RunOutcome:
     """One run under the default (reactive) adaptive optimization scheme."""
     tokens = app.split_cmdline(cmdline)
@@ -272,7 +281,9 @@ def run_default(
         if translator is not None
         else FeatureVector()
     )
-    interp = Interpreter(app.program, config=config, rng_seed=rng_seed, jit=jit)
+    interp = Interpreter(
+        app.program, config=config, rng_seed=rng_seed, jit=jit, engine=engine
+    )
     AdaptiveController(interp)
     profile = interp.run(app.entry_args(tokens, fvector))
     return RunOutcome(
@@ -298,9 +309,11 @@ class RepVM:
         app: Application,
         config: VMConfig = DEFAULT_CONFIG,
         jit: JITCompiler | None = None,
+        engine: str = "auto",
     ):
         self.app = app
         self.config = config
+        self.engine = engine
         self.jit = jit if jit is not None else JITCompiler(app.program, config)
         self.repository = ProfileRepository(self.jit, config.sample_interval)
         self.outcomes: list[RunOutcome] = []
@@ -321,7 +334,11 @@ class RepVM:
             else self.repository.strategy()
         )
         interp = Interpreter(
-            self.app.program, config=self.config, rng_seed=rng_seed, jit=self.jit
+            self.app.program,
+            config=self.config,
+            rng_seed=rng_seed,
+            jit=self.jit,
+            engine=self.engine,
         )
         PairPlanController(interp, strategy)
         AdaptiveController(interp, exclude=frozenset(strategy.plans))

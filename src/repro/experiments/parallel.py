@@ -98,6 +98,11 @@ class CellSpec:
     #: to compile from scratch per cell. Deliberately NOT part of the cell
     #: cache key: artifact reuse only changes wall-clock, never results.
     jit_cache_dir: str | None = None
+    #: Execution-engine knob forwarded to the scenario drivers
+    #: ("auto"/"compiled"/"fast"/"reference"). Like ``jit_cache_dir`` it is
+    #: NOT part of the cell cache key: every engine is bit-identical in
+    #: virtual-cycle results, so the choice only changes wall-clock.
+    engine: str = "auto"
 
     def cache_key(self) -> CacheKey:
         digest = config_digest(
@@ -138,6 +143,7 @@ def plan_cells(
     tree_params: TreeParams | None = None,
     sequence: list[int] | None = None,
     jit_cache_dir: str | None = None,
+    engine: str = "auto",
 ) -> list[CellSpec]:
     """Split one benchmark's experiment into independent cell specs."""
     if grain not in ("benchmark", "cell"):
@@ -160,6 +166,7 @@ def plan_cells(
             threshold=threshold,
             tree_params=tree_params,
             jit_cache_dir=jit_cache_dir,
+            engine=engine,
         )
 
     if grain == "benchmark":
@@ -213,7 +220,9 @@ def execute_cell(spec: CellSpec) -> dict:
         artifact_cache=_artifact_cache_for(spec.jit_cache_dir),
     )
 
-    evolve_kwargs: dict = {"config": spec.config, "jit": jit}
+    evolve_kwargs: dict = {
+        "config": spec.config, "jit": jit, "engine": spec.engine,
+    }
     if spec.gamma is not None:
         evolve_kwargs["gamma"] = spec.gamma
     if spec.threshold is not None:
@@ -221,7 +230,11 @@ def execute_cell(spec: CellSpec) -> dict:
     if spec.tree_params is not None:
         evolve_kwargs["tree_params"] = spec.tree_params
     evolve_vm = EvolvableVM(app, **evolve_kwargs) if "evolve" in spec.scenarios else None
-    rep_vm = RepVM(app, config=spec.config, jit=jit) if "rep" in spec.scenarios else None
+    rep_vm = (
+        RepVM(app, config=spec.config, jit=jit, engine=spec.engine)
+        if "rep" in spec.scenarios
+        else None
+    )
 
     outcomes: dict[str, list] = {scenario: [] for scenario in spec.scenarios}
     events: list[dict] = []
@@ -236,7 +249,8 @@ def execute_cell(spec: CellSpec) -> dict:
             run_clock = time.perf_counter()
             if scenario == "default":
                 outcome = run_default(
-                    app, cmdline, config=spec.config, jit=jit, rng_seed=run_index
+                    app, cmdline, config=spec.config, jit=jit,
+                    rng_seed=run_index, engine=spec.engine,
                 )
             elif scenario == "rep":
                 outcome = rep_vm.run(cmdline, rng_seed=run_index)
@@ -656,6 +670,7 @@ def run_sweep(
     telemetry: TelemetryLog | None = None,
     cache: ResultCache | None = None,
     jit_cache_dir: str | None = None,
+    engine: str = "auto",
     retries: int = 1,
     cell_timeout: float | None = None,
     backoff_s: float = 0.05,
@@ -696,6 +711,7 @@ def run_sweep(
             threshold=threshold,
             tree_params=tree_params,
             jit_cache_dir=jit_cache_dir,
+            engine=engine,
         )
         plans.append((bench, cells))
         all_cells.extend(cells)
@@ -816,6 +832,7 @@ def run_experiment_parallel(
     telemetry: TelemetryLog | None = None,
     cache: ResultCache | None = None,
     jit_cache_dir: str | None = None,
+    engine: str = "auto",
 ) -> ExperimentResult:
     """One benchmark through the parallel engine (the runner's ``jobs=N``
     path); results are identical to :func:`~.runner.run_experiment`.
@@ -841,5 +858,6 @@ def run_experiment_parallel(
         telemetry=telemetry,
         cache=cache,
         jit_cache_dir=jit_cache_dir,
+        engine=engine,
     )
     return report.results[0]

@@ -231,12 +231,15 @@ def build_fleet(
     predict_cache_dir: str | None = None,
     refit_interval: int | None = 25,
     refit_jobs: int = 1,
+    engine: str = "auto",
 ) -> list[Tenant]:
     """Assemble resident tenants over one shared pair of caches.
 
     The JIT artifact cache and the predict result cache are each a single
     instance handed to every tenant; passing ``None`` directories keeps
-    them memory-only / disabled respectively.
+    them memory-only / disabled respectively. *engine* selects each
+    resident VM's execution engine
+    (see :class:`~repro.vm.interpreter.Interpreter`).
     """
     names = [app.name for app in apps]
     if len(set(names)) != len(names):
@@ -256,6 +259,7 @@ def build_fleet(
             predict_cache=predict_cache,
             refit_interval=refit_interval,
             refit_jobs=refit_jobs,
+            engine=engine,
         )
         for app in apps
     ]

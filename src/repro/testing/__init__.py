@@ -18,6 +18,7 @@ Pieces, in data-flow order:
 from .corpus import CorpusEntry, load_corpus, replay_corpus, save_reproducer
 from .differential import (
     ENGINE_LEVELS,
+    ENGINE_SET,
     FUZZ_CONFIG,
     PASS_REGISTRY,
     REFERENCE,
@@ -47,6 +48,7 @@ __all__ = [
     "DifferentialReport",
     "Divergence",
     "ENGINE_LEVELS",
+    "ENGINE_SET",
     "EngineDivergence",
     "EngineObservation",
     "EngineReport",

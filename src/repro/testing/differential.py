@@ -69,15 +69,17 @@ class Variant:
 
     ``level`` None means the plain interpreter (all methods baseline);
     ``tier_passes`` overrides the pass pipelines (single-pass variants).
-    ``engine`` selects the dispatch engine (``auto`` resolves to the
-    fast path; the reference variant pins the original loop, so the
-    ordinary matrix also cross-checks the two engines' semantics).
+    ``engine`` selects the dispatch engine. The ordinary matrix pins
+    ``fast`` (so pass/level divergence hunting doesn't pay closure
+    codegen for every variant of every program); cross-engine semantics
+    — including the compiled tier — are checked by the dedicated
+    engine-equivalence mode (:func:`compare_engines`, ``--engines``).
     """
 
     name: str
     level: int | None = None
     tier_passes: dict[int, tuple] | None = None
-    engine: str = "auto"
+    engine: str = "fast"
 
 
 def default_variants() -> tuple[Variant, ...]:
@@ -224,12 +226,16 @@ def run_differential(
 
 
 # ---------------------------------------------------------------------------
-# Engine-equivalence mode: reference loop vs. fast-path engine
+# Engine-equivalence mode: reference loop vs. fast vs. compiled tiers
 # ---------------------------------------------------------------------------
 
 #: Levels the engine comparison forces via the first-invocation hook
 #: (None = everything stays at baseline).
 ENGINE_LEVELS: tuple[int | None, ...] = (None, 0, 1, 2)
+
+#: Engines compared by default; the first entry is the oracle the others
+#: are diffed against.
+ENGINE_SET: tuple[str, ...] = ("reference", "fast", "compiled")
 
 
 @dataclass(frozen=True)
@@ -264,26 +270,35 @@ class EngineObservation:
 
 @dataclass(frozen=True)
 class EngineDivergence:
-    """One field where the fast engine disagreed with the reference."""
+    """One field where an engine disagreed with the oracle.
+
+    ``engine`` records which engine pair disagreed (oracle vs. this
+    engine) — minimized fuzz findings carry it through their labels, so
+    a reproducer names the culprit tier directly.
+    """
 
     level: int | None
     field: str
     reference: str
     observed: str
+    engine: str = "fast"
 
     def describe(self) -> str:
         label = "base" if self.level is None else f"L{self.level}"
         return (
-            f"engines@{label}: {self.field} expected {self.reference}, "
-            f"got {self.observed}"
+            f"engines@{label} [reference vs {self.engine}]: {self.field} "
+            f"expected {self.reference}, got {self.observed}"
         )
 
 
 @dataclass
 class EngineReport:
-    """Engine-equivalence matrix of one program across opt levels."""
+    """Engine-equivalence matrix of one program across opt levels.
 
-    observations: dict[object, tuple[EngineObservation, EngineObservation]] = field(
+    ``observations[level]`` maps engine name → what it observed.
+    """
+
+    observations: dict[object, dict[str, EngineObservation]] = field(
         default_factory=dict
     )
     divergences: list[EngineDivergence] = field(default_factory=list)
@@ -356,34 +371,44 @@ def compare_engines(
     levels: tuple[int | None, ...] = ENGINE_LEVELS,
     config: VMConfig = FUZZ_CONFIG,
     rng_seed: int = 0,
+    engines: tuple[str, ...] = ENGINE_SET,
 ) -> EngineReport:
-    """Run the reference and fast engines side by side at every level.
+    """Run every engine in *engines* side by side at every level.
 
-    Appends one :class:`EngineDivergence` per mismatching field — the
-    acceptance oracle for the fast-path engine (zero divergences over the
-    corpus and the fuzz stream).
+    ``engines[0]`` is the oracle (normally the reference loop); each of
+    the others is diffed against it field by field, appending one
+    :class:`EngineDivergence` per mismatch — the acceptance oracle for
+    the fast and compiled tiers (zero divergences over the corpus and
+    the fuzz stream).
     """
     report = EngineReport()
+    oracle_engine = engines[0]
     for level in levels:
-        ref = execute_engine(program, args, "reference", level, config, rng_seed)
-        fast = execute_engine(program, args, "fast", level, config, rng_seed)
-        report.observations[level] = (ref, fast)
-        if ref.kind == "ok" and fast.kind == "ok":
-            fields = [f.name for f in ref.__dataclass_fields__.values()]
-        else:
-            fields = list(_ENGINE_FAULT_FIELDS)
-        for name in fields:
-            a = getattr(ref, name)
-            b = getattr(fast, name)
-            if a != b:
-                report.divergences.append(
-                    EngineDivergence(
-                        level=level,
-                        field=name,
-                        reference=repr(a),
-                        observed=repr(b),
+        ref = execute_engine(
+            program, args, oracle_engine, level, config, rng_seed
+        )
+        observed = {oracle_engine: ref}
+        report.observations[level] = observed
+        for engine in engines[1:]:
+            obs = execute_engine(program, args, engine, level, config, rng_seed)
+            observed[engine] = obs
+            if ref.kind == "ok" and obs.kind == "ok":
+                fields = [f.name for f in ref.__dataclass_fields__.values()]
+            else:
+                fields = list(_ENGINE_FAULT_FIELDS)
+            for name in fields:
+                a = getattr(ref, name)
+                b = getattr(obs, name)
+                if a != b:
+                    report.divergences.append(
+                        EngineDivergence(
+                            level=level,
+                            field=name,
+                            reference=repr(a),
+                            observed=repr(b),
+                            engine=engine,
+                        )
                     )
-                )
     return report
 
 
@@ -418,10 +443,13 @@ def module_engine_diverges(
     args: tuple,
     config: VMConfig = FUZZ_CONFIG,
     rng_seed: int = 0,
+    engines: tuple[str, ...] = ENGINE_SET,
 ) -> bool:
     """Minimization predicate for engine-equivalence findings."""
     try:
         program = compile_module(module)
     except (LangError, VerificationError):
         return False
-    return not compare_engines(program, args, config=config, rng_seed=rng_seed).ok
+    return not compare_engines(
+        program, args, config=config, rng_seed=rng_seed, engines=engines
+    ).ok

@@ -102,15 +102,16 @@ def _fuzz_chunk(spec: tuple) -> tuple[int, int, list[tuple[int, tuple[str, ...]]
         case = generate(seed, index)
         program = compile_source(case.source, name=f"fuzz_s{seed}_i{index}")
         if engine_check:
-            # Engine mode: reference loop vs fast path at every level,
-            # strict comparison (clocks, samples, compile events).
+            # Engine mode: reference loop vs fast vs compiled tiers at
+            # every level, strict comparison (clocks, samples, compile
+            # events). Labels carry which engine pair disagreed.
             engine_report = compare_engines(program, case.args, config=config)
             checked += 1
             if engine_report.divergences:
                 labels = tuple(
                     dict.fromkeys(
                         f"{'base' if d.level is None else f'L{d.level}'}"
-                        f":{d.field}"
+                        f":{d.engine}:{d.field}"
                         for d in engine_report.divergences
                     )
                 )
@@ -144,8 +145,9 @@ def run_fuzz(
     ``variants`` narrows the matrix for the minimization predicate and
     the stored sidecar; workers always check the full default matrix.
     ``engine_check`` switches the oracle from the pass matrix to the
-    reference-vs-fast engine comparison (strict: clocks, samples, and
-    compile events must match bit-for-bit at every opt level).
+    three-way reference-vs-fast-vs-compiled engine comparison (strict:
+    clocks, samples, and compile events must match bit-for-bit at every
+    opt level; finding labels record which engine pair disagreed).
     """
     clock = time.perf_counter()
     deadline = time.time() + time_budget if time_budget is not None else None

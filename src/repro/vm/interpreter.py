@@ -18,6 +18,7 @@ from __future__ import annotations
 from random import Random
 from typing import Callable
 
+from .closures import _Bailout, resolve_compiled, run_compiled
 from .config import BASELINE_LEVEL, DEFAULT_CONFIG, VMConfig
 from .fastpath import FastFrame, run_fast
 from .errors import (
@@ -89,9 +90,10 @@ class Interpreter:
         gc_model: GCCostModel = GCCostModel(),
         engine: str = "auto",
     ):
-        if engine not in ("auto", "fast", "reference"):
+        if engine not in ("auto", "compiled", "fast", "reference"):
             raise ValueError(
-                f"engine must be 'auto', 'fast', or 'reference', got {engine!r}"
+                "engine must be 'auto', 'compiled', 'fast', or 'reference', "
+                f"got {engine!r}"
             )
         self.program = program
         self.engine = engine
@@ -101,6 +103,11 @@ class Interpreter:
         self.intrinsic_ctx = IntrinsicContext(
             rng=Random(rng_seed), heap=Heap(gc_policy, gc_model)
         )
+        # Kept for the compiled tier's bailout-and-replay path, which
+        # reconstructs an identical run on the fast engine.
+        self._rng_seed = rng_seed
+        self._gc_policy = gc_policy
+        self._gc_model = gc_model
         self.clock = 0.0
         self.profile = RunProfile()
         self._states: dict[str, _MethodState] = {}
@@ -196,15 +203,26 @@ class Interpreter:
             )
         self._apply_recompiles()
         state.invocations += 1
-        # "auto" resolves to the fast engine; "reference" keeps the original
-        # per-instruction loop (used as the oracle by the differential
-        # harness and the benchmark suite). Both are bit-identical in
-        # virtual-cycle semantics — see repro.vm.fastpath.
-        use_fast = self.engine != "reference"
-        frame_cls = FastFrame if use_fast else _Frame
-        self._frames.append(frame_cls(state.compiled, list(args)))
+        # Engine ladder: "auto" prefers compiled → fast; "compiled" pins the
+        # top tier but still routes unsupported runs down (silent fallback
+        # is part of its contract); "fast"/"reference" pin their loops
+        # ("reference" is the oracle for the differential harness and the
+        # benchmark suite). All tiers are bit-identical in virtual-cycle
+        # semantics — see repro.vm.fastpath and repro.vm.closures.
+        entry_fn = None
+        if self.engine in ("auto", "compiled"):
+            entry_fn = resolve_compiled(self, entry_name)
         try:
-            result = run_fast(self) if use_fast else self._loop()
+            if entry_fn is not None:
+                try:
+                    result = run_compiled(self, state, tuple(args))
+                except _Bailout:
+                    result = self._replay_on_fast(args, entry_name)
+            else:
+                use_fast = self.engine != "reference"
+                frame_cls = FastFrame if use_fast else _Frame
+                self._frames.append(frame_cls(state.compiled, list(args)))
+                result = run_fast(self) if use_fast else self._loop()
         except ExecutionError:
             raise
         except (TypeError, ValueError, IndexError, ZeroDivisionError, KeyError) as exc:
@@ -217,6 +235,39 @@ class Interpreter:
         self._finished = True
         self._finalize(result)
         return self.profile
+
+    def _replay_on_fast(self, args: tuple, entry_name: str):
+        """Re-run from scratch on the fast engine after a compiled bailout.
+
+        The compiled tier bails *wholesale*: partial clock, accounts,
+        output, and heap effects of the abandoned attempt are discarded
+        with this interpreter's state and replaced by the inner run's —
+        adopted even when the inner run raises, because callers read
+        ``output``/profile after ExecutionErrors. The shared ``jit``
+        means the replay's compile memo is warm, charging identical
+        virtual compile cycles. First-invocation hooks are re-invoked
+        (all in-repo hooks are pure functions of the method name).
+        """
+        inner = Interpreter(
+            self.program,
+            config=self.config,
+            rng_seed=self._rng_seed,
+            jit=self.jit,
+            first_invocation_hook=self._first_invocation_hook,
+            gc_policy=self._gc_policy,
+            gc_model=self._gc_model,
+            engine="fast",
+        )
+        try:
+            inner.run(args, entry=entry_name)
+        finally:
+            self.clock = inner.clock
+            self.profile = inner.profile
+            self.sampler = inner.sampler
+            self.intrinsic_ctx = inner.intrinsic_ctx
+            self._states = inner._states
+            self._frames = inner._frames
+        return inner.result
 
     def _finalize(self, result) -> None:
         prof = self.profile

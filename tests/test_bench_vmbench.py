@@ -23,6 +23,7 @@ def synthetic_report(
     speedup: float = 4.0,
     learn_speedup: float = 5.0,
     overhead_ratio: float = 1.3,
+    compiled_speedup: float = 12.0,
 ) -> dict:
     row = {
         "name": "arith_loop",
@@ -30,9 +31,12 @@ def synthetic_report(
         "instructions": 1000,
         "reference_wall_s": 1.0,
         "fast_wall_s": 1.0 / speedup,
+        "compiled_wall_s": 1.0 / compiled_speedup,
         "reference_ips": 1000.0,
         "fast_ips": 1000.0 * speedup,
+        "compiled_ips": 1000.0 * compiled_speedup,
         "speedup": speedup,
+        "speedup_compiled": compiled_speedup,
     }
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -40,6 +44,11 @@ def synthetic_report(
         "host": {"python": "3", "implementation": "x", "machine": "y"},
         "workloads": [row],
         "speedup": {"geomean": speedup, "min": speedup, "max": speedup},
+        "speedup_compiled": {
+            "geomean": compiled_speedup,
+            "min": compiled_speedup,
+            "max": compiled_speedup,
+        },
         "sweep_cell": {"identical_cycles": True},
         "fuzz": {"ok": True},
         "learning": {
@@ -96,6 +105,9 @@ def test_valid_report_passes():
         lambda r: r.update(schema_version=99),
         lambda r: r["workloads"][0].update(speedup=0),
         lambda r: r["workloads"][0].pop("fast_ips"),
+        lambda r: r["workloads"][0].pop("compiled_ips"),
+        lambda r: r.pop("speedup_compiled"),
+        lambda r: r["speedup_compiled"].update(geomean=0),
         lambda r: r.update(workloads=[]),
         lambda r: r["sweep_cell"].update(identical_cycles=False),
         lambda r: r.pop("learning"),
@@ -112,6 +124,9 @@ def test_valid_report_passes():
         "bad-version",
         "nonpositive-speedup",
         "missing-field",
+        "missing-compiled-ips",
+        "missing-compiled-speedup",
+        "zero-compiled-geomean",
         "empty-workloads",
         "cache-changed-results",
         "missing-learning",
@@ -144,6 +159,29 @@ def test_baseline_regression_detected():
     failures = compare_to_baseline(report, baseline, max_regression=0.20)
     assert failures
     assert any("geomean" in failure for failure in failures)
+
+
+def test_compiled_regression_detected():
+    report = synthetic_report(compiled_speedup=6.0)
+    baseline = synthetic_report(compiled_speedup=12.0)
+    failures = compare_to_baseline(report, baseline, max_regression=0.20)
+    assert failures
+    assert any("compiled" in failure for failure in failures)
+
+
+def test_compiled_within_tolerance():
+    report = synthetic_report(compiled_speedup=10.0)
+    baseline = synthetic_report(compiled_speedup=12.0)
+    # 10.0 >= 12.0 * 0.8 → fine.
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
+
+
+def test_compiled_gate_tolerates_v3_baseline():
+    # A pre-compiled-tier (schema 3) baseline simply has no compiled gate.
+    report = synthetic_report(compiled_speedup=1.0)
+    baseline = synthetic_report()
+    del baseline["speedup_compiled"]
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
 
 
 def test_learning_regression_detected():
@@ -194,6 +232,8 @@ def test_checked_in_baseline_is_valid():
     validate_bench_report(baseline)
     # The tentpole acceptance bars, recorded in the baseline itself.
     assert baseline["speedup"]["geomean"] >= 3.0
+    # Closure-compiled tier: at least 10x over the reference loop.
+    assert baseline["speedup_compiled"]["geomean"] >= 10.0
     # Quick mode trains on small datasets where the sweep's advantage is
     # smallest; the full Table-I-scale workload clears 5x.
     assert baseline["learning"]["speedup"]["geomean"] >= 2.0
@@ -208,6 +248,7 @@ def test_workload_timing_roundtrip(tmp_path):
     # One tiny real measurement exercises the writer end to end.
     rows = bench_workloads(quick=True, repeats=1)
     assert all(row["speedup"] > 0 for row in rows)
+    assert all(row["speedup_compiled"] > 0 for row in rows)
     report = synthetic_report()
     out = tmp_path / "BENCH_vm.json"
     write_report(report, out)

@@ -1,12 +1,14 @@
-"""Equivalence suite: fast-path engine vs. the reference interpreter.
+"""Equivalence suite: fast-path and compiled engines vs. the reference.
 
-The fast engine (:mod:`repro.vm.fastpath`) promises *bit-identical*
-virtual-cycle semantics: same results, output, heap effects, final
-clocks, per-method cycle/work accounts, sample counts, and compile-event
-sequences as the reference loop, at every optimization level. These tests
-hold it to that over the regression corpus, a seeded fuzz stream,
-adaptive (listener-attached) runs, and the resource-limit edges where
-batching could plausibly leak.
+The fast engine (:mod:`repro.vm.fastpath`) and the closure-compiled tier
+(:mod:`repro.vm.closures`) both promise *bit-identical* virtual-cycle
+semantics: same results, output, heap effects, final clocks, per-method
+cycle/work accounts, sample counts, and compile-event sequences as the
+reference loop, at every optimization level. These tests hold them to
+that over the regression corpus, seeded fuzz streams, adaptive
+(listener-attached) runs, and the resource-limit edges where batching —
+per-superinstruction in the fast engine, per-basic-block in the compiled
+tier — could plausibly leak.
 """
 
 from pathlib import Path
@@ -180,6 +182,204 @@ def test_runtime_fault_identical():
         """
     )
     assert_engines_agree(program, (3,))
+
+
+# ---------------------------------------------------------------------------
+# Compiled-tier corpus: shapes that stress the structurizer and the
+# bail-and-replay machinery specifically
+# ---------------------------------------------------------------------------
+
+DEEP_NEST_SRC = """
+fn main(n) {
+  var total = 0;
+  var i = 0;
+  while (i < n) {
+    var j = 0;
+    while (j < 4) {
+      var k = 0;
+      while (k < 3) {
+        if (k == 1) {
+          total = total + inner(i + j, k);
+        } else {
+          total = total - 1;
+        }
+        k = k + 1;
+      }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return total;
+}
+fn inner(a, b) {
+  var s = 0;
+  var m = 0;
+  while (m < b + 2) {
+    s = s + a % 7;
+    m = m + 1;
+  }
+  return s;
+}
+"""
+
+COMPILED_FUZZ_SEED = 20_260_808
+
+
+def test_compiled_deep_nesting_identical():
+    program = compile_source(DEEP_NEST_SRC)
+    assert_engines_agree(program, (9,))
+
+
+@pytest.mark.parametrize("fuel", [5, 37, 200, 777, 3000])
+def test_compiled_fuel_exhaustion_mid_loop(fuel):
+    # Budget-critical runs must bail out of the compiled tier and replay
+    # on the fast engine; the fault surfaces after exactly the same
+    # instruction with the same partial output either way.
+    program = compile_source(DEEP_NEST_SRC)
+    config = VMConfig(max_instructions=fuel)
+    assert_engines_agree(program, (9,), config=config)
+
+
+def test_compiled_sampler_attached_falls_back_identically():
+    # Adaptive runs attach sample listeners; the compiled tier must
+    # refuse them (a listener can observably act between any two
+    # instructions) and the run must land on the fast path, bit-identical
+    # to the reference.
+    program = compile_source(HOT_SRC)
+    ref = _adaptive_run(program, (600,), "reference")
+    compiled = _adaptive_run(program, (600,), "compiled")
+    assert ref == compiled
+
+
+def test_resolve_compiled_refuses_listeners_and_extreme_depth():
+    from repro.vm.closures import MAX_COMPILED_DEPTH, resolve_compiled
+
+    program = compile_source(HOT_SRC)
+    interp = Interpreter(program, engine="compiled")
+    assert resolve_compiled(interp, "main") is not None
+    AdaptiveController(interp)
+    assert resolve_compiled(interp, "main") is None
+
+    deep = Interpreter(
+        program,
+        config=VMConfig(max_call_depth=MAX_COMPILED_DEPTH + 1),
+        engine="compiled",
+    )
+    assert resolve_compiled(deep, "main") is None
+    # The run itself still executes (on the fast engine) and agrees.
+    assert_engines_agree(
+        program, (50,),
+        config=VMConfig(max_call_depth=MAX_COMPILED_DEPTH + 1),
+        levels=(None,),
+    )
+
+
+@pytest.mark.parametrize("depth", [5, 64, 1499])
+def test_compiled_stack_overflow_edges(depth):
+    # Recursion that dies mid-flight at various depths, including just
+    # under the compiled tier's own ceiling.
+    program = compile_source(
+        """
+        fn main(n) { return down(n); }
+        fn down(k) { return down(k + 1) + 1; }
+        """
+    )
+    config = VMConfig(max_call_depth=depth)
+    assert_engines_agree(program, (0,), config=config, levels=(None, 2))
+
+
+def test_compiled_runtime_fault_edges():
+    # Overflow/fault edges inside loops: division, modulo, out-of-bounds
+    # indexing, negative allocation — each must fault identically.
+    for src, args in [
+        (
+            """
+            fn main(n) {
+              var i = 0;
+              var s = 1;
+              while (i < 40) { s = s * 2; i = i + 1; }
+              return s % (n - 7);
+            }
+            """,
+            (7,),
+        ),
+        (
+            """
+            fn main(n) {
+              var a = array(4);
+              var i = 0;
+              while (i < 10) { a[i] = i; i = i + 1; }
+              return a[0];
+            }
+            """,
+            (0,),
+        ),
+        (
+            """
+            fn main(n) {
+              var a = array(n);
+              return a[0];
+            }
+            """,
+            (-3,),
+        ),
+    ]:
+        program = compile_source(src)
+        assert_engines_agree(program, args)
+
+
+@pytest.mark.parametrize("index", range(FUZZ_ITERATIONS))
+def test_fresh_fuzz_programs_identical_across_engines(index):
+    # A second, compiled-era fuzz stream (fresh seed) over all three
+    # engines: results, output, heap, and cycles must match bit-for-bit.
+    case = generate(COMPILED_FUZZ_SEED, index)
+    program = compile_source(case.source, name=f"ceq_{index}")
+    assert_engines_agree(program, case.args, levels=(None, 2))
+
+
+def test_ensure_closure_memoizes_and_pickles_clean():
+    import pickle
+
+    from repro.vm import DEFAULT_CONFIG, JITCompiler
+    from repro.vm.closures import ensure_closure
+
+    program = compile_source(HOT_SRC)
+    jit = JITCompiler(program, DEFAULT_CONFIG)
+    compiled = jit.compile("main", 2)
+    first = ensure_closure(compiled, program)
+    assert ensure_closure(compiled, program) is first
+    assert isinstance(compiled.__dict__["_closure_src"], str)
+    # The hot-swap staleness guarantee: artifacts round-tripping through
+    # the shared JIT artifact cache must never resurrect a generated
+    # function object — only source (separately cached) survives.
+    clone = pickle.loads(pickle.dumps(compiled))
+    assert "_closure" not in clone.__dict__
+    assert "_closure_src" not in clone.__dict__
+    assert "_closure_unsupported" not in clone.__dict__
+    assert clone.code == compiled.code
+
+
+def test_closure_source_cached_in_artifact_cache(tmp_path):
+    from repro.vm import DEFAULT_CONFIG, JITCompiler
+    from repro.vm.closures import closure_source_key, ensure_closure
+    from repro.vm.opt.artifact_cache import JITArtifactCache
+
+    program = compile_source(HOT_SRC)
+    cache = JITArtifactCache(str(tmp_path))
+    jit = JITCompiler(program, DEFAULT_CONFIG, artifact_cache=cache)
+    compiled = jit.compile("main", 0)
+    ensure_closure(compiled, program, cache)
+    src = compiled.__dict__["_closure_src"]
+    key = closure_source_key(
+        compiled, program.method("main").num_params
+    )
+    assert cache.get(key) == src
+    # A fresh artifact (fresh memo) reuses the cached source verbatim.
+    jit2 = JITCompiler(program, DEFAULT_CONFIG, artifact_cache=cache)
+    compiled2 = jit2.compile("main", 0)
+    assert "_closure" not in compiled2.__dict__ or compiled2 is compiled
+    ensure_closure(compiled2, program, cache)
+    assert compiled2.__dict__["_closure_src"] == src
 
 
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.experiments.server_study import (
     run_fleet_study,
 )
 from repro.serving import FleetServer, ModelRegistry, Tenant, build_fleet
+from repro.vm import Interpreter
 
 pytestmark = pytest.mark.serve
 
@@ -94,6 +95,74 @@ class TestHotSwapUnderLoad:
         assert len(observed) > 50  # readers really raced the swaps
         torn = [s for s in observed if s not in generations]
         assert torn == []  # every read = one complete generation
+
+
+class TestStaleClosures:
+    """Regression: recompilation after a hot model swap (or any artifact
+    round-trip through the shared JIT cache) must discard stale generated
+    closures. ``CompiledCode.__getstate__`` strips the ``_closure*``
+    memos, so a swapped-in artifact always rebuilds its function from
+    (separately cached) source — it can never resurrect a function
+    object generated before the invalidation."""
+
+    def test_cache_roundtrip_discards_generated_closures(self, tmp_path):
+        from repro.lang import compile_source
+        from repro.vm import DEFAULT_CONFIG, JITCompiler
+        from repro.vm.closures import ensure_closure
+        from repro.vm.opt.artifact_cache import JITArtifactCache
+
+        program = compile_source("fn main(n) { return n * 2 + 1; }")
+        cache = JITArtifactCache(str(tmp_path))
+        jit = JITCompiler(program, DEFAULT_CONFIG, artifact_cache=cache)
+        compiled = jit.compile("main", 2)
+        fn = ensure_closure(compiled, program, cache)
+        assert compiled.__dict__["_closure"] is fn
+
+        # Simulate the post-swap tenant: the in-memory layer is gone
+        # (fresh process / invalidation), only the disk envelope remains.
+        key = jit._artifact_key("main", 2)
+        cache._memory.clear()
+        swapped = cache.get(key)
+        assert swapped is not None and swapped is not compiled
+        assert "_closure" not in swapped.__dict__
+        assert "_closure_src" not in swapped.__dict__
+        assert "_closure_unsupported" not in swapped.__dict__
+        # The rebuilt closure is a fresh function over the same (cached)
+        # source, and it still executes correctly.
+        rebuilt = ensure_closure(swapped, program, cache)
+        assert rebuilt is not fn
+        assert (
+            swapped.__dict__["_closure_src"]
+            == compiled.__dict__["_closure_src"]
+        )
+        interp = Interpreter(program, engine="compiled")
+        interp.run((20,))
+        assert interp.result == 41
+
+    def test_swapped_tenant_runs_bit_identical(self, toy_app, tmp_path):
+        # End to end: two tenant generations sharing one disk-backed JIT
+        # cache (the hot-swap topology) must produce identical outcomes
+        # whichever engine the resident VM is configured with.
+        def stream(engine):
+            registry = ModelRegistry(None)
+            tenant = Tenant(
+                toy_app,
+                registry=registry,
+                refit_interval=None,
+                engine=engine,
+            )
+            payloads = []
+            for i, cmd in enumerate(TRAIN):
+                payloads.append(tenant.run(cmd, seed=i))
+            tenant.swap()
+            for i, cmd in enumerate(TRAIN):
+                payloads.append(tenant.run(cmd, seed=len(TRAIN) + i))
+            return payloads
+
+        auto = stream("auto")
+        compiled = stream("compiled")
+        reference = stream("reference")
+        assert auto == compiled == reference
 
 
 class TestBackpressure:
