@@ -1,0 +1,35 @@
+"""Wall-clock benchmarks for the forge dataset factory.
+
+pytest twin of the ``datagen`` section of ``repro bench``: times the
+forked-run labeler against the independent-runs baseline and the
+end-to-end forge pipeline. Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_forge.py -q
+"""
+
+import pytest
+
+from repro.bench.forgebench import bench_fork, bench_pipeline
+
+pytestmark = pytest.mark.bench
+
+
+def test_fork_labeling_speedup_target():
+    """The forge acceptance bar: forked labeling >=3x over naive at
+    bit-identical labels."""
+    fork = bench_fork(quick=True)
+    assert fork["identical_labels"] is True
+    assert fork["speedup"] >= 3.0, (
+        f"forked labeling speedup {fork['speedup']:.2f}x < 3x target"
+    )
+
+
+def test_pipeline_throughput_positive():
+    pipe = bench_pipeline(quick=True)
+    assert pipe["rows"] > 0
+    assert pipe["trained"] is True
+    assert pipe["rows_per_s_generated"] > 0
+    assert pipe["rows_per_s_trained"] > 0
+    # The streaming writer's memory bound: resident rows never exceed
+    # one shard regardless of run size.
+    assert pipe["max_resident_rows"] <= 50_000

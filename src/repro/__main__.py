@@ -10,6 +10,7 @@ Commands map one-to-one onto the experiment harness:
     python -m repro sensitivity           # §V-B.3
     python -m repro gc-study              # §VI extension (GC selection)
     python -m repro server-study          # §V extension (request-specific)
+    python -m repro coldstart             # cross-program prior uplift (forge)
     python -m repro serve                 # multi-tenant fleet server (TCP)
     python -m repro serve --study         # fleet serving study (driving scenario)
     python -m repro bench                 # VM wall-clock benchmark suite
@@ -72,11 +73,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "sensitivity",
             "gc-study",
             "server-study",
+            "coldstart",
             "serve",
             "bench",
             "sweep",
             "fuzz",
             "chaos",
+            "forge",
             "list",
         ],
     )
@@ -168,6 +171,45 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="bench: allowed fractional speedup regression vs the "
         "baseline (default 0.20)",
+    )
+    forge = parser.add_argument_group("forge")
+    forge.add_argument(
+        "--programs",
+        type=int,
+        default=500,
+        help="forge: generated programs to label (default 500)",
+    )
+    forge.add_argument(
+        "--inputs",
+        type=int,
+        default=8,
+        help="forge: inputs labeled per program (default 8)",
+    )
+    forge.add_argument(
+        "--shard-rows",
+        type=int,
+        default=50_000,
+        help="forge: rows per on-disk shard (default 50000)",
+    )
+    forge.add_argument(
+        "--forge-dir",
+        metavar="PATH",
+        default=".repro_forge",
+        help="forge: shard/prior output directory (default .repro_forge)",
+    )
+    forge.add_argument(
+        "--no-train",
+        action="store_true",
+        help="forge: produce shards only, skip training the prior",
+    )
+    forge.add_argument(
+        "--check-naive",
+        type=int,
+        default=0,
+        metavar="N",
+        help="forge: differentially check forked labels against naive "
+        "re-execution on the first N program×input pairs (exit 1 on "
+        "any mismatch)",
     )
     serve = parser.add_argument_group("serve")
     serve.add_argument(
@@ -388,6 +430,9 @@ def main(argv: list[str] | None = None) -> int:
             print("all resilience invariants held")
         return 0 if report.ok else 1
 
+    if command == "forge":
+        return _cmd_forge(options)
+
     if command == "table1":
         from .experiments import table1
 
@@ -422,8 +467,81 @@ def main(argv: list[str] | None = None) -> int:
         from .experiments import server_study
 
         server_study.main(seed=options.seed, requests=options.runs or 120)
+    elif command == "coldstart":
+        from .experiments import coldstart
+
+        coldstart.main(
+            seed=options.seed,
+            programs=options.runs,
+            jobs=options.jobs,
+            cache_dir=options.cache_dir,
+        )
     elif command == "serve":
         return _cmd_serve(options)
+    return 0
+
+
+def _cmd_forge(options) -> int:
+    import json
+
+    from .learning.forge import run_forge
+
+    if options.check_naive > 0:
+        from .learning.forge import label_forked, label_naive, labels_equal
+        from .learning.forge.pipeline import input_args
+        from .testing.differential import compile_module
+        from .testing.generator import generate
+        from .vm.opt.jit import JITCompiler
+        from .learning.forge.labeler import FORGE_CONFIG
+
+        mismatches = 0
+        checked = 0
+        index = 0
+        while checked < options.check_naive:
+            gp = generate(options.seed, index)
+            program = compile_module(gp.module)
+            jit = JITCompiler(program, FORGE_CONFIG)
+            plan_cache: dict = {}
+            for k in range(options.inputs):
+                if checked >= options.check_naive:
+                    break
+                args = input_args(options.seed, index, k, gp.args)
+                forked = label_forked(
+                    program, args, jit=jit, plan_cache=plan_cache
+                )
+                naive = label_naive(program, args)
+                checked += 1
+                if not labels_equal(naive, forked):
+                    mismatches += 1
+                    print(
+                        f"MISMATCH: seed={options.seed} index={index} "
+                        f"args={args}",
+                        file=sys.stderr,
+                    )
+            index += 1
+        print(f"forge check: {checked} pair(s), {mismatches} mismatch(es)")
+        if mismatches:
+            return 1
+
+    stats, prior = run_forge(
+        options.forge_dir,
+        programs=options.programs,
+        inputs_per_program=options.inputs,
+        seed=options.seed,
+        jobs=options.jobs,
+        shard_rows=options.shard_rows,
+        train=not options.no_train,
+    )
+    print(json.dumps(stats.as_dict(), indent=2))
+    if prior is not None:
+        print(
+            f"prior: {len(prior.clusters)} cluster(s) trained on "
+            f"{prior.rows_trained} row(s) -> {options.forge_dir}/prior.bin"
+        )
+    print(
+        f"forge: {stats.rows} row(s) in {stats.shards} shard(s) "
+        f"-> {options.forge_dir}"
+    )
     return 0
 
 

@@ -22,6 +22,10 @@ interpreter? It times three things:
    concurrent mixed-tenant traffic through the fleet server: request
    latency percentiles (p50/p95/p99), throughput, hot swaps, sheds, and
    the bit-identical-to-serial invariant.
+6. **The data forge** (:mod:`repro.bench.forgebench`) — the forked-run
+   labeler's speedup over independent-runs labeling (labels asserted
+   bit-identical) and end-to-end dataset-factory throughput in labeled
+   rows per second.
 
 Results are emitted as a schema-checked ``BENCH_vm.json``. CI's regression
 gate compares the engine/reference **speedup ratios** (VM workloads,
@@ -42,7 +46,7 @@ import time
 from ..lang import compile_source
 from ..vm import Interpreter
 
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 #: Workload sources: small MiniLang kernels exercising the three hot shapes
 #: the fast engine targets (fused arithmetic loops, array traffic, calls).
@@ -254,6 +258,7 @@ def geomean(values: list[float]) -> float:
 
 def bench_report(quick: bool = False) -> dict:
     """Run the full suite and assemble the ``BENCH_vm.json`` payload."""
+    from .forgebench import bench_datagen
     from .learnbench import bench_learning
     from .servebench import bench_serving
 
@@ -283,6 +288,7 @@ def bench_report(quick: bool = False) -> dict:
         "fuzz": bench_fuzz(quick=quick),
         "learning": bench_learning(quick=quick),
         "serving": bench_serving(quick=quick),
+        "datagen": bench_datagen(quick=quick),
     }
 
 
@@ -390,6 +396,33 @@ def validate_bench_report(report: dict) -> None:
             "serving: per-tenant results must be bit-identical to serial "
             "replay"
         )
+    need(report, "datagen", dict, "report")
+    datagen = report["datagen"]
+    need(datagen, "fork", dict, "datagen")
+    fork = datagen["fork"]
+    for key in ("programs", "pairs"):
+        need(fork, key, int, "datagen.fork")
+        if fork[key] <= 0:
+            raise ValueError(f"datagen.fork: {key!r} must be positive")
+    for key in ("naive_wall_s", "forked_wall_s", "speedup"):
+        need(fork, key, (int, float), "datagen.fork")
+        if fork[key] <= 0:
+            raise ValueError(f"datagen.fork: {key!r} must be positive")
+    need(fork, "identical_labels", bool, "datagen.fork")
+    if fork["identical_labels"] is not True:
+        raise ValueError(
+            "datagen.fork: forked labels must be bit-identical to naive"
+        )
+    need(datagen, "pipeline", dict, "datagen")
+    pipeline = datagen["pipeline"]
+    for key in ("programs", "rows", "shards"):
+        need(pipeline, key, int, "datagen.pipeline")
+        if pipeline[key] <= 0:
+            raise ValueError(f"datagen.pipeline: {key!r} must be positive")
+    for key in ("rows_per_s_generated",):
+        need(pipeline, key, (int, float), "datagen.pipeline")
+        if pipeline[key] <= 0:
+            raise ValueError(f"datagen.pipeline: {key!r} must be positive")
 
 
 def compare_to_baseline(
@@ -458,6 +491,19 @@ def compare_to_baseline(
                 f"baseline {base_ratio:.2f} "
                 f"(ceiling {base_ratio * (1.0 + max_regression):.2f})"
             )
+    # Datagen gate: the forked labeler's speedup over independent-runs
+    # labeling (both sides timed on this runner, so the ratio is
+    # machine-independent). Baselines recorded before schema v5 have no
+    # datagen section and are tolerated — the gate simply skips.
+    base_datagen = baseline.get("datagen")
+    if base_datagen is not None and "datagen" in report:
+        base_fork = base_datagen["fork"]["speedup"]
+        new_fork = report["datagen"]["fork"]["speedup"]
+        if new_fork < base_fork * floor:
+            failures.append(
+                f"fork labeling speedup regressed: {new_fork:.2f}x vs "
+                f"baseline {base_fork:.2f}x (floor {base_fork * floor:.2f}x)"
+            )
     return failures
 
 
@@ -497,12 +543,15 @@ def format_report(report: dict) -> str:
         f"fuzz: {fuzz['iterations']} iteration(s) in {fuzz['wall_s']:.2f}s "
         f"({fuzz['iterations_per_s']:.2f}/s)"
     )
+    from .forgebench import format_datagen
     from .learnbench import format_learning
     from .servebench import format_serving
 
     lines.extend(format_learning(report["learning"]))
     if "serving" in report:
         lines.extend(format_serving(report["serving"]))
+    if "datagen" in report:
+        lines.extend(format_datagen(report["datagen"]))
     return "\n".join(lines)
 
 

@@ -88,6 +88,7 @@ class EvolvableVM:
         refit_jobs: int = 1,
         defer_refits: bool = False,
         engine: str = "auto",
+        prior=None,
     ):
         self.app = app
         self.config = config
@@ -104,8 +105,29 @@ class EvolvableVM:
         #: fans the end-of-run model refits across worker processes.
         self.learning_engine = learning_engine
         self.refit_jobs = refit_jobs
+        #: Optional cross-program prior
+        #: (:class:`~repro.learning.forge.prior.CrossProgramPrior`, or any
+        #: object with ``predict_program(program, args) -> dict[str, int]``):
+        #: per-method cold-start advice. Consulted per run — when the
+        #: confidence-gated predictor declines (i.e. before this
+        #: application has its own history), :meth:`run` asks the prior
+        #: with the program's static features *plus this run's entry
+        #: arguments* (the ``i_*`` columns of the forge schema), so the
+        #: advice is input-discriminative. The static (argument-free)
+        #: advice additionally seeds the per-method fallback for
+        #: still-unfitted models inside gated predictions. Level −1
+        #: advice means "stay baseline": the first-invocation hook
+        #: ignores it and the adaptive controller's exclude set stops
+        #: reactive promotion.
+        self.prior = prior
+        prior_levels = (
+            prior.predict_program(app.program) if prior is not None else {}
+        )
         self.models = ModelBuilder(
-            tree_params, min_rows=min_rows, engine=learning_engine
+            tree_params,
+            min_rows=min_rows,
+            engine=learning_engine,
+            prior_levels=prior_levels,
         )
         self.confidence = ConfidenceTracker(gamma=gamma, threshold=threshold)
         self.predictor = StrategyPredictor(self.models, self.confidence, overhead)
@@ -184,6 +206,20 @@ class EvolvableVM:
             overhead_cycles += predict_cycles
         # Without an XICL spec the VM behaves exactly like the default one.
 
+        args = (
+            self.app.entry_args(tokens, fvector)
+            if fvector is not None
+            else self.app.launcher(tokens, FeatureVector(), self.app.filesystem)
+        )
+        if fvector is not None and predicted is None and self.prior is not None:
+            # Cold start: no confident in-app model yet. Ask the
+            # cross-program prior; its feature row sees the program's
+            # statics plus this run's entry arguments, so the advice
+            # discriminates between inputs even with zero history.
+            advice = self.prior.predict_program(self.app.program, args)
+            if advice:
+                predicted = LevelStrategy(dict(advice))
+
         conf_before = self.confidence.value
         gc_decision: GCDecision | None = None
         gc_policy = self.default_gc_policy
@@ -206,11 +242,6 @@ class EvolvableVM:
             frozenset(predicted.levels) if predicted is not None else frozenset()
         )
         AdaptiveController(interp, exclude=exclude)
-        args = (
-            self.app.entry_args(tokens, fvector)
-            if fvector is not None
-            else self.app.launcher(tokens, FeatureVector(), self.app.filesystem)
-        )
         profile = interp.run(args)
 
         outcome = RunOutcome(

@@ -72,6 +72,7 @@ class ModelBuilder:
         tree_params: TreeParams = TreeParams(),
         min_rows: int = 2,
         engine: str = "auto",
+        prior_levels: dict[str, int] | None = None,
     ):
         if engine not in ENGINES:
             raise ValueError(
@@ -83,6 +84,12 @@ class ModelBuilder:
         self._models: dict[str, IncrementalClassifier] = {}
         self._matrix_cache = MatrixCache()
         self._forest: FlatForest | None = None
+        #: Cross-program cold-start advice (see
+        #: :class:`~repro.learning.forge.prior.CrossProgramPrior`): static
+        #: per-method levels consulted only for methods that have no
+        #: fitted tree yet — once a method's own model fits, its in-app
+        #: prediction always wins.
+        self.prior_levels = dict(prior_levels) if prior_levels else {}
 
     # -- learning -------------------------------------------------------------
     def observe_run(self, fvector: FeatureVector, ideal: LevelStrategy) -> None:
@@ -186,16 +193,19 @@ class ModelBuilder:
     def predict(self, fvector: FeatureVector) -> LevelStrategy:
         """Predicted per-method levels for the input *fvector*.
 
-        Methods whose models lack a fitted tree are omitted (no advice).
-        Runs on the startup hot path: a single flattened-forest pass from
-        the last explicit :meth:`refit_all` — never a refit.
+        Methods whose models lack a fitted tree fall back to
+        :attr:`prior_levels` when present, and are omitted otherwise (no
+        advice). Runs on the startup hot path: a single flattened-forest
+        pass from the last explicit :meth:`refit_all` — never a refit.
         """
-        return LevelStrategy(
-            {
-                method: int(label)
-                for method, label in self.predict_all(fvector).items()
-            }
-        )
+        levels = {
+            method: int(label)
+            for method, label in self.predict_all(fvector).items()
+        }
+        for method, level in self.prior_levels.items():
+            if method not in levels:
+                levels[method] = int(level)
+        return LevelStrategy(levels)
 
     # -- introspection ------------------------------------------------------
     @property

@@ -347,12 +347,27 @@ def _resolve_jobs(jobs: int | None) -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def map_parallel(worker, items: list, jobs: int) -> tuple[list, bool]:
+def _apply_chunk(item: tuple) -> list:
+    """Worker for chunked :func:`map_parallel`: one pool hop per chunk."""
+    worker, chunk = item
+    return [worker(x) for x in chunk]
+
+
+def map_parallel(
+    worker, items: list, jobs: int, *, chunksize: int = 1
+) -> tuple[list, bool]:
     """Apply picklable *worker* to every item, preferring a process pool.
 
     Returns ``(results, parallel)`` with results in item order. Falls back
     to in-process execution when the platform forbids multiprocessing
     (sandboxes without semaphore support), so callers always get results.
+
+    *chunksize* batches consecutive items into one pool submission each,
+    amortizing pickle/IPC overhead when items are tiny (the forge's
+    per-program chunks already batch, but per-method refit groups are
+    single dict entries). Results are flattened back into item order, so
+    any chunksize returns the identical result list — only the transport
+    granularity changes.
 
     This is the *plain* fan-out primitive: there are no retries, no
     per-item timeouts, and no fault isolation — an exception in *worker*
@@ -364,9 +379,18 @@ def map_parallel(worker, items: list, jobs: int) -> tuple[list, bool]:
     :meth:`~repro.core.model_builder.ModelBuilder.refit_all`, which the
     serving layer uses for offline refits between hot model swaps.
     """
+    if chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
     if not items:
         return [], False
     if jobs > 1 and len(items) > 1:
+        if chunksize > 1:
+            chunks = [
+                (worker, items[i : i + chunksize])
+                for i in range(0, len(items), chunksize)
+            ]
+            chunked, parallel = map_parallel(_apply_chunk, chunks, jobs)
+            return [result for chunk in chunked for result in chunk], parallel
         results: dict[int, object] = {}
         try:
             with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:

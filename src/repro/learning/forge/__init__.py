@@ -1,0 +1,43 @@
+"""The data forge: mass-production of labeled cross-program training data.
+
+The paper's learner trains per method on O(10²) runs inside a single
+program. The forge promotes that to *cross-program* learning at dataset
+scale: a forked-run labeler extracts every method's ideal optimization
+level from (nearly) one execution per program×input, sharded columnar
+matrices stream the rows to disk with bounded memory, and a parallel
+pipeline feeds thousands of generated programs through labeling into a
+cross-program prior for cold-start prediction. See ``docs/datasets.md``.
+"""
+
+from .features import forge_columns, method_feature_vector, program_features
+from .labeler import (
+    FORGE_CONFIG,
+    LevelOutcome,
+    MethodLabel,
+    RunLabels,
+    label_forked,
+    label_naive,
+    labels_equal,
+)
+from .pipeline import ForgeStats, run_forge
+from .prior import CrossProgramPrior
+from .shards import ShardStore, ShardWriter, merge_matrices
+
+__all__ = [
+    "FORGE_CONFIG",
+    "CrossProgramPrior",
+    "ForgeStats",
+    "LevelOutcome",
+    "MethodLabel",
+    "RunLabels",
+    "ShardStore",
+    "ShardWriter",
+    "forge_columns",
+    "label_forked",
+    "label_naive",
+    "labels_equal",
+    "merge_matrices",
+    "method_feature_vector",
+    "program_features",
+    "run_forge",
+]

@@ -1,0 +1,169 @@
+"""Program-level feature vectors: instruction mix, loop shape, input args.
+
+The paper's learner conditions on *input* features within one program;
+cross-program learning additionally needs features that describe the
+*code* so a prior fitted on thousands of generated programs transfers to
+an unseen one ("Behavioral Embeddings of Programs" motivates exactly
+this). The forge's feature schema therefore has three blocks, all
+numeric, all computable without running the program:
+
+- ``m_*`` — per-method statics: size, locals, the instruction-mix
+  fraction per opcode group, and loop shape (backward-jump count and
+  spans — the static proxies the JIT's own optimizability model uses).
+- ``p_*`` — the same statics aggregated over the whole program, so a
+  method's row also sees the code it lives inside.
+- ``i_*`` — the entry-point input arguments (known at run start, so
+  they are legitimately available for cold-start prediction).
+
+:func:`forge_columns` fixes the column universe once; every training
+row is a plain value tuple in that order, which is what lets shards
+share one schema and merge without realignment.
+"""
+
+from __future__ import annotations
+
+from ...vm.instructions import JUMP_OPS, Op
+from ...vm.program import Method, Program
+from ...xicl.features import FeatureKind, FeatureVector
+
+#: Opcode groups whose code fraction becomes one mix feature each.
+_MIX_GROUPS: tuple[tuple[str, frozenset], ...] = (
+    ("arith", frozenset({Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.NEG})),
+    ("cmp", frozenset({Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE, Op.NOT})),
+    ("local", frozenset({Op.LOAD, Op.STORE})),
+    ("const", frozenset({Op.CONST})),
+    ("stack", frozenset({Op.POP, Op.DUP, Op.SWAP})),
+    ("branch", frozenset(JUMP_OPS)),
+    ("call", frozenset({Op.CALL})),
+    ("array", frozenset({Op.NEWARR, Op.ALOAD, Op.ASTORE, Op.ALEN})),
+    ("intrin", frozenset({Op.INTRIN})),
+)
+
+#: Entry arguments beyond this many are dropped from the feature row
+#: (the generator's programs take at most two).
+MAX_INPUT_ARGS = 3
+
+
+def _mix_and_shape(code) -> tuple[dict[str, float], int, int, float]:
+    """(mix fractions, loop count, max back-jump span, mean span)."""
+    counts = {name: 0 for name, _ in _MIX_GROUPS}
+    spans: list[int] = []
+    for pc, ins in enumerate(code):
+        op = ins.op
+        for name, group in _MIX_GROUPS:
+            if op in group:
+                counts[name] += 1
+                break
+        if op in JUMP_OPS and ins.arg <= pc:
+            spans.append(pc - ins.arg)
+    n = len(code) or 1
+    mix = {name: counts[name] / n for name, _ in _MIX_GROUPS}
+    max_span = max(spans) if spans else 0
+    mean_span = sum(spans) / len(spans) if spans else 0.0
+    return mix, len(spans), max_span, mean_span
+
+
+def _method_features(method: Method) -> dict[str, float]:
+    mix, loops, max_span, mean_span = _mix_and_shape(method.code)
+    feats: dict[str, float] = {
+        "m_size": method.size,
+        "m_params": method.num_params,
+        "m_locals": method.num_locals,
+        "m_loops": loops,
+        "m_loop_max_span": max_span,
+        "m_loop_mean_span": mean_span,
+        "m_arith_density": method.arithmetic_density(),
+        "m_callees": len(
+            {ins.arg[0] for ins in method.code if ins.op == Op.CALL}
+        ),
+    }
+    for name, _ in _MIX_GROUPS:
+        feats[f"m_mix_{name}"] = mix[name]
+    return feats
+
+
+def program_features(program: Program) -> dict[str, float]:
+    """Whole-program statics (shared by every method row of the program)."""
+    all_code = tuple(ins for m in program for ins in m.code)
+    mix, loops, max_span, _mean = _mix_and_shape(all_code)
+    sizes = [m.size for m in program]
+    feats: dict[str, float] = {
+        "p_methods": len(program),
+        "p_total_size": program.total_size(),
+        "p_mean_size": sum(sizes) / len(sizes) if sizes else 0.0,
+        "p_max_size": max(sizes, default=0),
+        "p_loops": loops,
+        "p_loop_max_span": max_span,
+    }
+    for name, _ in _MIX_GROUPS:
+        feats[f"p_mix_{name}"] = mix[name]
+    return feats
+
+
+def _input_features(args: tuple) -> dict[str, float]:
+    feats: dict[str, float] = {"i_argc": len(args)}
+    for k in range(MAX_INPUT_ARGS):
+        if k < len(args) and isinstance(args[k], (int, float)):
+            feats[f"i_arg{k}"] = args[k]
+    return feats
+
+
+_COLUMNS: tuple[str, ...] | None = None
+
+
+def forge_columns() -> tuple[str, ...]:
+    """The fixed column universe of every forge training row."""
+    global _COLUMNS
+    if _COLUMNS is None:
+        sample = dict(_method_features(_PROBE.method("main")))
+        sample.update(program_features(_PROBE))
+        sample.update({f"i_arg{k}": 0.0 for k in range(MAX_INPUT_ARGS)})
+        sample["i_argc"] = 0.0
+        _COLUMNS = tuple(sorted(sample))
+    return _COLUMNS
+
+
+def forge_kinds() -> tuple[FeatureKind, ...]:
+    """Column kinds: the whole forge schema is numeric."""
+    return tuple(FeatureKind.NUMERIC for _ in forge_columns())
+
+
+def row_values(
+    program_feats: dict[str, float], method: Method, args: tuple
+) -> tuple:
+    """One training row's values, aligned to :func:`forge_columns`.
+
+    Absent features (e.g. ``i_arg2`` of a one-argument input) are
+    ``None`` — the trees route missing values like any other dataset.
+    """
+    feats = _method_features(method)
+    feats.update(program_feats)
+    feats.update(_input_features(args))
+    return tuple(feats.get(name) for name in forge_columns())
+
+
+def method_feature_vector(
+    program: Program, method_name: str, args: tuple = ()
+) -> FeatureVector:
+    """Predict-time vector for one method of a (possibly unseen) program."""
+    feats = _method_features(program.method(method_name))
+    feats.update(program_features(program))
+    feats.update(_input_features(args))
+    vector = FeatureVector()
+    for name in forge_columns():
+        value = feats.get(name)
+        if value is not None:
+            vector.append_value(name, value, FeatureKind.NUMERIC)
+    return vector
+
+
+def _make_probe() -> Program:
+    """A tiny constant program used only to enumerate feature names."""
+    from ...vm.program import MethodBuilder
+
+    b = MethodBuilder("main")
+    b.const(0).ret()
+    return Program([b.build()])
+
+
+_PROBE = _make_probe()

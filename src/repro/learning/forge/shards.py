@@ -1,0 +1,229 @@
+"""Sharded streaming training matrices with bounded memory.
+
+A forge run produces far more rows than one in-memory ``Dataset``
+should hold, so rows stream through a :class:`ShardWriter` that spills
+fixed-size columnar shards to disk through the resilience envelope
+(kind ``forge-shard`` — torn writes and bit rot surface as the usual
+:class:`~repro.resilience.envelope.EnvelopeError` reasons instead of
+silently corrupting training data). Resident memory is bounded by one
+shard regardless of run size.
+
+Reading back, each shard presorts its own :class:`TrainingMatrix`
+exactly once; :func:`merge_matrices` then builds the full-corpus matrix
+by *merging the per-shard presorted orders* (a k-way merge keyed on
+``(value, global row index)``) instead of re-sorting the concatenation
+— bit-identical to a from-scratch presort, which the shard tests
+assert, because the reference presort is a stable ascending sort and
+global row index ties reproduce exactly that stability.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+
+from ...resilience.envelope import (
+    FileSystem,
+    REAL_FS,
+    read_json_envelope,
+    write_json_envelope,
+)
+from ...xicl.features import FeatureKind
+from ..matrix import TrainingMatrix
+
+#: Envelope kind tag for forge shards.
+SHARD_KIND = "forge-shard"
+
+#: On-disk payload format version (inside the envelope).
+SHARD_FORMAT = 1
+
+
+class Shard:
+    """One decoded shard: a columnar block of (values, label, group) rows.
+
+    ``groups`` carries each row's cluster key (the method name) so the
+    cross-program prior can fan rows into per-cluster datasets without
+    widening the feature schema.
+    """
+
+    __slots__ = ("index", "columns", "kinds", "values", "labels", "groups")
+
+    def __init__(self, index, columns, kinds, values, labels, groups):
+        self.index = index
+        self.columns = columns
+        self.kinds = kinds
+        self.values = values
+        self.labels = labels
+        self.groups = groups
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.values)
+
+    def matrix(self) -> TrainingMatrix:
+        """This shard's presorted matrix (computed once per shard)."""
+        return TrainingMatrix(self.columns, self.kinds, self.values)
+
+
+class ShardWriter:
+    """Streams rows into fixed-size shards under ``out_dir``.
+
+    Rows are buffered up to *shard_rows* then spilled atomically;
+    ``max_resident_rows`` records the high-water mark as evidence the
+    memory bound held. Call :meth:`close` to flush the remainder.
+    """
+
+    def __init__(
+        self,
+        out_dir: str | Path,
+        columns: tuple[str, ...],
+        kinds: tuple[FeatureKind, ...],
+        shard_rows: int = 50_000,
+        fs: FileSystem = REAL_FS,
+    ):
+        if shard_rows < 1:
+            raise ValueError("shard_rows must be >= 1")
+        self.out_dir = Path(out_dir)
+        self.columns = tuple(columns)
+        self.kinds = tuple(kinds)
+        self.shard_rows = shard_rows
+        self.fs = fs
+        self.rows_written = 0
+        self.shards_written = 0
+        self.max_resident_rows = 0
+        self._values: list[tuple] = []
+        self._labels: list = []
+        self._groups: list[str] = []
+        self._closed = False
+
+    def add(self, values: tuple, label, group: str) -> None:
+        if self._closed:
+            raise RuntimeError("ShardWriter is closed")
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, schema has {len(self.columns)}"
+            )
+        self._values.append(tuple(values))
+        self._labels.append(label)
+        self._groups.append(group)
+        self.rows_written += 1
+        if len(self._values) > self.max_resident_rows:
+            self.max_resident_rows = len(self._values)
+        if len(self._values) >= self.shard_rows:
+            self._spill()
+
+    def _spill(self) -> None:
+        if not self._values:
+            return
+        # JSON payload (canonical: sorted keys, shortest-repr floats) so
+        # equal row streams produce byte-identical shard files — the
+        # jobs-invariance test compares digests, not just decoded rows.
+        payload = {
+            "format": SHARD_FORMAT,
+            "index": self.shards_written,
+            "columns": list(self.columns),
+            "kinds": [kind.value for kind in self.kinds],
+            "values": [list(row) for row in self._values],
+            "labels": list(self._labels),
+            "groups": list(self._groups),
+        }
+        path = self.out_dir / f"shard-{self.shards_written:05d}.bin"
+        write_json_envelope(path, payload, kind=SHARD_KIND, fs=self.fs)
+        self.shards_written += 1
+        self._values = []
+        self._labels = []
+        self._groups = []
+
+    def close(self) -> None:
+        """Flush any buffered rows; further :meth:`add` calls error."""
+        if not self._closed:
+            self._spill()
+            self._closed = True
+
+
+class ShardStore:
+    """Read-side view of a shard directory."""
+
+    def __init__(self, directory: str | Path, fs: FileSystem = REAL_FS):
+        self.directory = Path(directory)
+        self.fs = fs
+
+    def paths(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("shard-*.bin"))
+
+    def load(self, path: str | Path) -> Shard:
+        payload = read_json_envelope(path, kind=SHARD_KIND, fs=self.fs)
+        if payload.get("format") != SHARD_FORMAT:
+            raise ValueError(
+                f"unsupported shard format {payload.get('format')!r}"
+            )
+        return Shard(
+            index=payload["index"],
+            columns=tuple(payload["columns"]),
+            kinds=tuple(FeatureKind(v) for v in payload["kinds"]),
+            values=tuple(tuple(row) for row in payload["values"]),
+            labels=tuple(payload["labels"]),
+            groups=tuple(payload["groups"]),
+        )
+
+    def iter_shards(self):
+        for path in self.paths():
+            yield self.load(path)
+
+    def total_rows(self) -> int:
+        return sum(shard.n_rows for shard in self.iter_shards())
+
+
+def merge_matrices(matrices: list[TrainingMatrix]) -> TrainingMatrix:
+    """Merge presorted shard matrices into one full-corpus matrix.
+
+    Reuses each shard's presorted per-column orders: numeric columns are
+    k-way merged on ``(value, global row index)``, categorical columns
+    union their repr-sorted category lists. Bit-identical to presorting
+    the concatenated rows from scratch (stable ascending sort ≡ merge
+    with global-index tie-break), without the O(N log N) re-sort.
+    """
+    if not matrices:
+        raise ValueError("merge_matrices needs at least one matrix")
+    first = matrices[0]
+    for other in matrices[1:]:
+        if other.columns != first.columns or other.kinds != first.kinds:
+            raise ValueError("shard matrices disagree on schema")
+    offsets = []
+    total = 0
+    for m in matrices:
+        offsets.append(total)
+        total += m.n_rows
+    values = tuple(row for m in matrices for row in m.values)
+    numeric_order: list[tuple[int, ...] | None] = []
+    category_order: list[tuple | None] = []
+    for j, kind in enumerate(first.kinds):
+        if kind is FeatureKind.NUMERIC:
+
+            def stream(m, off, j=j):
+                for i in m.numeric_order[j]:
+                    idx = i + off
+                    yield values[idx][j], idx
+
+            streams = [
+                stream(m, off) for m, off in zip(matrices, offsets)
+            ]
+            numeric_order.append(
+                tuple(i for _v, i in heapq.merge(*streams))
+            )
+            category_order.append(None)
+        else:
+            cats = set()
+            for m in matrices:
+                cats.update(m.category_order[j])
+            numeric_order.append(None)
+            category_order.append(tuple(sorted(cats, key=repr)))
+    merged = object.__new__(TrainingMatrix)
+    merged.columns = first.columns
+    merged.kinds = first.kinds
+    merged.values = values
+    merged.numeric_order = tuple(numeric_order)
+    merged.category_order = tuple(category_order)
+    return merged

@@ -18,6 +18,8 @@ the same sequence of observations resolve to one shared presort.
 
 from __future__ import annotations
 
+import threading
+
 from ..xicl.features import FeatureKind
 from .dataset import Dataset
 
@@ -100,34 +102,62 @@ class MatrixCache:
         self._entries: dict[tuple, TrainingMatrix] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Serving-layer tenants swap models from worker threads while
+        # predictions read through the same builder; the lock keeps the
+        # LRU reorder + eviction sequence atomic under that contention.
+        self._lock = threading.Lock()
 
     def get(self, dataset: Dataset) -> TrainingMatrix:
         """The (possibly shared) presorted matrix for *dataset*'s features."""
         try:
             key = matrix_key(dataset)
-            cached = self._entries.pop(key, None)
         except TypeError:  # unhashable feature value: presort without caching
             return TrainingMatrix.from_dataset(dataset)
-        if cached is not None:
-            self.hits += 1
-            self._entries[key] = cached  # re-insert: most recently used
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._entries.pop(key, None)
+            if cached is not None:
+                self.hits += 1
+                self._entries[key] = cached  # re-insert: most recently used
+                return cached
+            self.misses += 1
+        # Presort outside the lock — it is the expensive part, and a
+        # concurrent miss on the same key just builds an equal matrix.
         matrix = TrainingMatrix.from_dataset(dataset)
-        self._entries[key] = matrix
-        while len(self._entries) > self.capacity:
-            self._entries.pop(next(iter(self._entries)))
+        with self._lock:
+            self._entries[key] = matrix
+            while len(self._entries) > self.capacity:
+                self._entries.pop(next(iter(self._entries)))
+                self.evictions += 1
         return matrix
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict:
         return {
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
+
+    # The forge prior pickles its ModelBuilder (shared cache included);
+    # locks don't pickle, so drop it and recreate on load.
+    def __getstate__(self) -> dict:
+        state = {
+            "capacity": self.capacity,
+            "_entries": self._entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

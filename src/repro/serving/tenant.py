@@ -232,6 +232,7 @@ def build_fleet(
     refit_interval: int | None = 25,
     refit_jobs: int = 1,
     engine: str = "auto",
+    prior=None,
 ) -> list[Tenant]:
     """Assemble resident tenants over one shared pair of caches.
 
@@ -239,7 +240,11 @@ def build_fleet(
     instance handed to every tenant; passing ``None`` directories keeps
     them memory-only / disabled respectively. *engine* selects each
     resident VM's execution engine
-    (see :class:`~repro.vm.interpreter.Interpreter`).
+    (see :class:`~repro.vm.interpreter.Interpreter`). *prior* is an
+    optional shared cross-program prior
+    (:class:`~repro.learning.forge.prior.CrossProgramPrior`): tenants
+    admitted cold — no registry state yet — start from its per-method
+    advice instead of unguided reactive optimization.
     """
     names = [app.name for app in apps]
     if len(set(names)) != len(names):
@@ -260,6 +265,7 @@ def build_fleet(
             refit_interval=refit_interval,
             refit_jobs=refit_jobs,
             engine=engine,
+            prior=prior,
         )
         for app in apps
     ]

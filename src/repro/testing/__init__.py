@@ -39,7 +39,7 @@ from .differential import (
     run_differential,
 )
 from .fuzz import FuzzFinding, FuzzReport, run_fuzz
-from .generator import GeneratedProgram, generate
+from .generator import GeneratedProgram, generate, generate_batch
 from .minimize import minimize
 from .render import render_module
 
@@ -66,6 +66,7 @@ __all__ = [
     "execute_engine",
     "execute_variant",
     "generate",
+    "generate_batch",
     "load_corpus",
     "minimize",
     "module_diverges",

@@ -528,3 +528,16 @@ def generate(seed: int, index: int) -> GeneratedProgram:
         source=render_module(module),
         args=args,
     )
+
+
+def generate_batch(seed: int, n: int) -> list[GeneratedProgram]:
+    """Cases ``0..n-1`` of stream *seed*, in index order.
+
+    Each case is still an independent pure function of ``(seed, index)``
+    — batching adds no shared RNG state — so any slicing of the stream
+    across processes (the forge's chunked workers, the fuzz harness's
+    iteration chunks) reproduces the identical programs.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return [generate(seed, index) for index in range(n)]

@@ -24,6 +24,7 @@ def synthetic_report(
     learn_speedup: float = 5.0,
     overhead_ratio: float = 1.3,
     compiled_speedup: float = 12.0,
+    fork_speedup: float = 3.2,
 ) -> dict:
     row = {
         "name": "arith_loop",
@@ -91,6 +92,28 @@ def synthetic_report(
             "batches": 5,
             "identical_to_serial": True,
         },
+        "datagen": {
+            "fork": {
+                "programs": 6,
+                "pairs": 48,
+                "naive_wall_s": 3.2,
+                "forked_wall_s": 3.2 / fork_speedup,
+                "speedup": fork_speedup,
+                "identical_labels": True,
+            },
+            "pipeline": {
+                "programs": 30,
+                "inputs_per_program": 4,
+                "rows": 280,
+                "shards": 1,
+                "max_resident_rows": 280,
+                "label_wall_s": 2.0,
+                "train_wall_s": 0.5,
+                "rows_per_s_generated": 140.0,
+                "rows_per_s_trained": 560.0,
+                "trained": True,
+            },
+        },
     }
 
 
@@ -118,6 +141,10 @@ def test_valid_report_passes():
         lambda r: r["serving"].update(identical_to_serial=False),
         lambda r: r["serving"]["latency_ms"].pop("p99"),
         lambda r: r["serving"].update(rps=0),
+        lambda r: r.pop("datagen"),
+        lambda r: r["datagen"]["fork"].update(identical_labels=False),
+        lambda r: r["datagen"]["fork"].update(speedup=0),
+        lambda r: r["datagen"]["pipeline"].update(rows=0),
     ],
     ids=[
         "missing-workloads",
@@ -137,6 +164,10 @@ def test_valid_report_passes():
         "serving-diverged-from-serial",
         "serving-missing-percentile",
         "serving-zero-throughput",
+        "missing-datagen",
+        "fork-labels-diverged",
+        "zero-fork-speedup",
+        "datagen-zero-rows",
     ],
 )
 def test_invalid_reports_rejected(mutate):
@@ -224,6 +255,29 @@ def test_serving_gate_tolerates_v2_baseline():
     assert compare_to_baseline(report, baseline, max_regression=0.20) == []
 
 
+def test_datagen_regression_detected():
+    report = synthetic_report(fork_speedup=1.5)
+    baseline = synthetic_report(fork_speedup=3.2)
+    failures = compare_to_baseline(report, baseline, max_regression=0.20)
+    assert failures
+    assert all("fork" in failure for failure in failures)
+
+
+def test_datagen_within_tolerance():
+    report = synthetic_report(fork_speedup=2.8)
+    baseline = synthetic_report(fork_speedup=3.2)
+    # 2.8 >= 3.2 * 0.8 → fine.
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
+
+
+def test_datagen_gate_tolerates_v4_baseline():
+    # A pre-forge (schema 4) baseline simply has no datagen gate.
+    report = synthetic_report(fork_speedup=1.0)
+    baseline = synthetic_report()
+    del baseline["datagen"]
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
+
+
 def test_checked_in_baseline_is_valid():
     from pathlib import Path
 
@@ -242,6 +296,10 @@ def test_checked_in_baseline_is_valid():
     assert baseline["serving"]["identical_to_serial"] is True
     assert baseline["serving"]["swaps"] > 0
     assert baseline["serving"]["sheds"] > 0
+    # Forked-run labeling: at least 3x over independent runs at
+    # bit-identical labels (the forge acceptance bar).
+    assert baseline["datagen"]["fork"]["speedup"] >= 3.0
+    assert baseline["datagen"]["fork"]["identical_labels"] is True
 
 
 def test_workload_timing_roundtrip(tmp_path):

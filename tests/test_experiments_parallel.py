@@ -17,6 +17,7 @@ from repro.experiments.parallel import (
     DEFAULT_CHUNK,
     STATEFUL_SCENARIOS,
     execute_cell,
+    map_parallel,
     plan_cells,
 )
 from repro.experiments.telemetry import (
@@ -28,6 +29,39 @@ from repro.experiments.telemetry import (
 
 RUNS = 6
 SEED = 11
+
+
+def _square(x):
+    return x * x
+
+
+class TestMapParallelChunksize:
+    ITEMS = list(range(23))
+    WANT = [x * x for x in ITEMS]
+
+    def test_default_chunksize_unchanged(self):
+        results, _ = map_parallel(_square, self.ITEMS, jobs=2)
+        assert results == self.WANT
+
+    def test_chunked_results_identical_to_unchunked(self):
+        # Any chunksize returns the identical result list — only the
+        # pool transport granularity changes.
+        for chunksize in (1, 3, 7, 100):
+            results, _ = map_parallel(
+                _square, self.ITEMS, jobs=2, chunksize=chunksize
+            )
+            assert results == self.WANT, chunksize
+
+    def test_chunksize_inline_path(self):
+        results, parallel = map_parallel(
+            _square, self.ITEMS, jobs=1, chunksize=4
+        )
+        assert results == self.WANT
+        assert parallel is False
+
+    def test_chunksize_validated(self):
+        with pytest.raises(ValueError):
+            map_parallel(_square, self.ITEMS, jobs=2, chunksize=0)
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,42 @@
 """Tests for the seeded fuzz program generator."""
 
+import pytest
+
 from repro.lang import compile_source
-from repro.testing import REFERENCE, execute_variant, generate
+from repro.testing import REFERENCE, execute_variant, generate, generate_batch
+
+
+def _batch_sources(item):
+    seed, n = item
+    return [gp.source for gp in generate_batch(seed, n)]
+
+
+class TestGenerateBatch:
+    def test_matches_individual_generation(self):
+        batch = generate_batch(7, 10)
+        assert [gp.source for gp in batch] == [
+            generate(7, i).source for i in range(10)
+        ]
+        assert [gp.args for gp in batch] == [
+            generate(7, i).args for i in range(10)
+        ]
+
+    def test_empty_batch(self):
+        assert generate_batch(7, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_batch(7, -1)
+
+    def test_cross_process_determinism(self):
+        # Each case is a pure function of (seed, index): worker
+        # processes generating the same batch must emit byte-identical
+        # sources, and they must match the in-process stream.
+        from repro.experiments.parallel import map_parallel
+
+        results, _ = map_parallel(_batch_sources, [(7, 6), (7, 6)], jobs=2)
+        local = _batch_sources((7, 6))
+        assert results[0] == results[1] == local
 
 
 class TestDeterminism:

@@ -72,7 +72,9 @@ class TestMatrixCache:
         cache = MatrixCache()
         a, b = mixed_dataset(), mixed_dataset()
         assert cache.get(a) is cache.get(b)
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
+        }
 
     def test_label_changes_do_not_split_the_cache(self):
         # Content key covers features only: same X, different y → shared.
@@ -136,11 +138,80 @@ class TestMatrixCache:
         matrix = cache.get(ds)
         assert isinstance(matrix, TrainingMatrix)
         assert cache.get(ds) is not matrix  # never cached
-        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        assert cache.stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
+        }
 
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             MatrixCache(capacity=0)
+
+    def test_eviction_counter(self):
+        cache = MatrixCache(capacity=2)
+        for base in range(5):
+            ds = Dataset()
+            ds.add(kv(x=base), "a")
+            ds.add(kv(x=base + 10), "b")
+            cache.get(ds)
+        assert cache.evictions == 3
+        assert cache.stats()["evictions"] == 3
+        assert len(cache) == 2
+
+    def test_eviction_under_contention(self):
+        # Regression test: serving-layer tenants refit from worker
+        # threads against one shared cache. Before the cache was locked,
+        # the unsynchronized pop/reinsert/evict sequence could corrupt
+        # the LRU dict mid-iteration. Hammer a tiny cache from several
+        # threads and check every returned matrix is correct and the
+        # counters reconcile.
+        import threading
+
+        cache = MatrixCache(capacity=2)
+        datasets = []
+        for base in range(8):
+            ds = Dataset()
+            for i in range(4):
+                ds.add(kv(x=base * 100 + i), "a" if i % 2 else "b")
+            datasets.append(ds)
+        rounds = 60
+        errors = []
+
+        def hammer(offset):
+            rng = Random(offset)
+            try:
+                for _ in range(rounds):
+                    ds = datasets[rng.randrange(len(datasets))]
+                    matrix = cache.get(ds)
+                    if matrix.n_rows != 4:
+                        raise AssertionError("wrong matrix returned")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 6 * rounds
+        assert stats["evictions"] > 0
+        assert len(cache) <= 2
+
+    def test_pickle_roundtrip_drops_lock(self):
+        # The forge prior pickles its builder (shared cache included);
+        # the lock must not travel, and a loaded cache must still work.
+        import pickle
+
+        cache = MatrixCache(capacity=4)
+        ds = mixed_dataset()
+        cache.get(ds)
+        loaded = pickle.loads(pickle.dumps(cache))
+        assert loaded.stats() == cache.stats()
+        assert loaded.get(mixed_dataset()).n_rows == 5
+        assert loaded.hits == cache.hits + 1
 
     def test_clear(self):
         cache = MatrixCache()
