@@ -18,6 +18,8 @@ Commands map one-to-one onto the experiment harness:
     python -m repro sweep [NAME ...]      # parallel sweep w/ cache+telemetry
     python -m repro fuzz                  # differential fuzz the VM/JIT
     python -m repro chaos                 # fault-injection campaign
+    python -m repro chaos --drift         # faults + non-stationary inputs
+    python -m repro drift                 # non-stationary shift-type study
     python -m repro list                  # available benchmarks
 
 Options: ``--seed N`` (default 0), ``--runs N`` (scaled-down protocol;
@@ -39,7 +41,14 @@ flattened predict-all latency) — and writes ``BENCH_vm.json``; it takes
 ``--max-regression FRACTION``. ``chaos [BENCH]`` runs seeded
 fault-injection campaigns over the crash-safe persistence stack
 (``--iterations N`` campaigns, ``--seed N``, ``--runs N`` VM runs per
-reference; exit status 1 when any resilience invariant is violated).
+reference; exit status 1 when any resilience invariant is violated);
+with ``--drift`` the campaign additionally drives an abrupt-shift input
+schedule and checks the hot-swap rollback pillar. ``drift [BENCH]``
+runs the non-stationary study — temporal confidence/accuracy/speedup
+curves per shift type (``--kinds gradual,abrupt,cyclic,adversarial``)
+with ground-truth shift points, detector firings, recovery latency, and
+post-drift accuracy. ``sweep --strict`` exits 1 when any sweep cell
+failed instead of returning the surviving results.
 ``serve`` boots the long-lived multi-tenant fleet server on a JSON-lines
 TCP socket (``--host``/``--port``, ``--registry-dir PATH`` crash-safe
 model registry, ``--queue-bound N`` admission control, ``--refit-interval
@@ -79,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "sweep",
             "fuzz",
             "chaos",
+            "drift",
             "forge",
             "list",
         ],
@@ -145,6 +155,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-jit-cache",
         action="store_true",
         help="sweep: disable the cross-run JIT artifact cache",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="sweep: exit with status 1 when any cell failed (degraded "
+        "sweeps otherwise return the surviving results with status 0)",
+    )
+    parser.add_argument(
+        "--drift",
+        action="store_true",
+        help="chaos: layer a non-stationary (abrupt-shift) input schedule "
+        "over the fault campaign and check the hot-swap rollback pillar",
+    )
+    parser.add_argument(
+        "--kinds",
+        metavar="KIND[,KIND...]",
+        default=None,
+        help="drift: comma-separated shift kinds to study "
+        "(default: gradual,abrupt,cyclic,adversarial)",
     )
     parser.add_argument(
         "--quick",
@@ -386,6 +415,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(format_sweep(report.results))
         print(report.describe())
+        for failure in report.failures:
+            print(f"  failed cell: {failure.describe()}", file=sys.stderr)
         if cache is not None:
             print(f"cache: {cache.stats.describe()}")
         if telemetry is not None:
@@ -394,6 +425,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"telemetry: {telemetry.events_written} event(s) "
                 f"-> {telemetry.path}"
             )
+        if options.strict and report.cells_failed:
+            print(
+                f"sweep --strict: {report.cells_failed} cell(s) failed",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
     if command == "fuzz":
@@ -422,13 +459,32 @@ def main(argv: list[str] | None = None) -> int:
             iterations=options.iterations,
             benchmark=options.args[0] if options.args else "Search",
             runs=options.runs or 3,
+            drift=options.drift,
         )
-        print(f"chaos seed={report.seed}: {report.describe()}")
+        mode = " (drifted input schedule)" if report.drift else ""
+        print(f"chaos seed={report.seed}{mode}: {report.describe()}")
         for violation in report.violations:
             print(f"  violation: {violation.describe()}", file=sys.stderr)
         if report.ok:
             print("all resilience invariants held")
         return 0 if report.ok else 1
+
+    if command == "drift":
+        from .experiments import drift_study
+
+        kinds = (
+            tuple(k.strip() for k in options.kinds.split(",") if k.strip())
+            if options.kinds
+            else None
+        )
+        drift_study.main(
+            program=options.args[0] if options.args else None,
+            seed=options.seed,
+            runs=options.runs,
+            jobs=options.jobs,
+            kinds=kinds,
+        )
+        return 0
 
     if command == "forge":
         return _cmd_forge(options)

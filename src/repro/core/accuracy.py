@@ -40,3 +40,28 @@ def prediction_accuracy(
         if want == got:
             correct += weight
     return correct / total
+
+
+def per_method_accuracy(
+    predicted: LevelStrategy, ideal: LevelStrategy, profile: RunProfile
+) -> dict[str, float]:
+    """Per-method prediction correctness for this run: 1.0 when the
+    method's predicted optimization level matched the ideal, 0.0 when
+    it did not.
+
+    Covers exactly the methods the run profiled (the same weight set
+    :func:`prediction_accuracy` aggregates over), with the same
+    baseline-level defaulting for methods absent from a strategy. The
+    drift monitor smooths these binary observations per method, so a
+    single wrong run never looks like a regime shift.
+    """
+    if profile.total_samples > 0:
+        methods = profile.samples.keys()
+    else:
+        methods = profile.method_work.keys()
+    result: dict[str, float] = {}
+    for method in methods:
+        want = ideal.levels.get(method, BASELINE_LEVEL)
+        got = predicted.levels.get(method, BASELINE_LEVEL)
+        result[method] = 1.0 if want == got else 0.0
+    return result

@@ -1,4 +1,4 @@
-"""Confidence tracking for discriminative prediction.
+"""Confidence tracking and drift detection for discriminative prediction.
 
 The confidence of the predictive models is the decayed average of the
 prediction accuracies observed on previous executions::
@@ -8,6 +8,20 @@ prediction accuracies observed on previous executions::
 The decay factor γ weights recent runs against older history; the
 confidence threshold TH_c gates prediction — *only predict when confident*.
 The paper uses 0.7 for both.
+
+The paper's single global decayed average cannot tell *which* model went
+stale when the input distribution moves, so the drift-aware layer
+(``docs/robustness.md``, "Drift and rollback") adds two pieces on top:
+
+- :class:`PageHinkley` — a windowed changepoint detector over an
+  accuracy stream: it flags a *sustained drop* relative to the stream's
+  own running mean, not any single bad run.
+- :class:`DriftMonitor` — per-method confidence decay feeding one
+  Page–Hinkley detector per method. When a method's smoothed prediction
+  accuracy collapses, the monitor names exactly that method, and the
+  evolvable VM reacts with a *targeted* response (forget that method's
+  stale regime, refit only its tree) instead of degrading the global
+  average and re-learning everything.
 """
 
 from __future__ import annotations
@@ -17,6 +31,16 @@ from dataclasses import dataclass, field
 #: Paper defaults (§IV-C).
 DEFAULT_GAMMA = 0.7
 DEFAULT_THRESHOLD = 0.7
+
+#: Drift-detection defaults, tuned so a stationary noisy stream stays
+#: quiet but a regime shift fires within a handful of runs (tests pin
+#: both sides).
+DEFAULT_DRIFT_DELTA = 0.02
+DEFAULT_DRIFT_LAMBDA = 0.35
+DEFAULT_DRIFT_MIN_SAMPLES = 5
+#: Smoothing for the per-method accuracy series the detectors watch —
+#: lighter than the paper's γ = 0.7 so one unlucky run cannot swing it.
+DEFAULT_METHOD_GAMMA = 0.3
 
 
 @dataclass
@@ -46,3 +70,138 @@ class ConfidenceTracker:
     def confident(self) -> bool:
         """True when the gate opens: conf > TH_c."""
         return self.value > self.threshold
+
+
+@dataclass
+class PageHinkley:
+    """Page–Hinkley changepoint detector for downward shifts.
+
+    Accumulates how far the stream has fallen below its own running mean
+    (minus a tolerance ``delta``); when the cumulative deficit exceeds
+    ``lam`` after at least ``min_samples`` observations, a changepoint is
+    declared and the detector re-arms from the current sample — so it
+    can catch the *next* shift too. A stream that merely sits at a low
+    level never fires: the running mean tracks it down.
+    """
+
+    delta: float = DEFAULT_DRIFT_DELTA
+    lam: float = DEFAULT_DRIFT_LAMBDA
+    min_samples: int = DEFAULT_DRIFT_MIN_SAMPLES
+    n: int = 0
+    mean: float = 0.0
+    cum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delta < 0.0:
+            raise ValueError("delta must be >= 0")
+        if self.lam <= 0.0:
+            raise ValueError("lam must be > 0")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+
+    def update(self, x: float) -> bool:
+        """Fold one observation in; True when a changepoint fires."""
+        self.n += 1
+        self.mean += (x - self.mean) / self.n
+        self.cum = max(0.0, self.cum + (self.mean - x - self.delta))
+        if self.n >= self.min_samples and self.cum > self.lam:
+            self.reset(anchor=x)
+            return True
+        return False
+
+    def reset(self, anchor: float | None = None) -> None:
+        """Re-arm after a detection (or to start over).
+
+        *anchor* seeds the running mean at the post-shift level, so the
+        detector immediately tracks the new regime instead of dragging
+        pre-shift history along.
+        """
+        self.cum = 0.0
+        if anchor is None:
+            self.n = 0
+            self.mean = 0.0
+        else:
+            self.n = 1
+            self.mean = anchor
+
+
+class DriftMonitor:
+    """Per-method confidence decay + one Page–Hinkley detector each.
+
+    Replaces the *diagnostic* role of the global decayed average: the
+    global tracker still gates prediction (paper semantics, untouched),
+    while this monitor watches each profiled method's own smoothed
+    prediction accuracy and names the methods whose accuracy has
+    *collapsed relative to their own history* — the targeted-refit and
+    rollback machinery keys off those names.
+    """
+
+    def __init__(
+        self,
+        gamma: float = DEFAULT_METHOD_GAMMA,
+        delta: float = DEFAULT_DRIFT_DELTA,
+        lam: float = DEFAULT_DRIFT_LAMBDA,
+        min_samples: int = DEFAULT_DRIFT_MIN_SAMPLES,
+    ) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.gamma = gamma
+        self._detector_params = (delta, lam, min_samples)
+        self._values: dict[str, float] = {}
+        self._detectors: dict[str, PageHinkley] = {}
+        #: Total changepoints declared across all methods.
+        self.detections = 0
+        #: (run ordinal, methods) per observation that fired.
+        self.events: list[tuple[int, tuple[str, ...]]] = []
+        self._observations = 0
+
+    def observe(self, per_method: dict[str, float]) -> tuple[str, ...]:
+        """Fold one run's per-method accuracies in.
+
+        Returns the (sorted) methods whose detector fired on this run —
+        empty on the vast majority of runs. Iteration is over sorted
+        method names, so the monitor's state is independent of dict
+        ordering (bit-identity across engines).
+        """
+        self._observations += 1
+        drifted: list[str] = []
+        for method in sorted(per_method):
+            acc = per_method[method]
+            if not 0.0 <= acc <= 1.0:
+                raise ValueError(f"accuracy out of range for {method}: {acc}")
+            prev = self._values.get(method)
+            if prev is None:
+                smoothed = acc
+                delta, lam, min_samples = self._detector_params
+                self._detectors[method] = PageHinkley(
+                    delta=delta, lam=lam, min_samples=min_samples
+                )
+            else:
+                smoothed = (1.0 - self.gamma) * prev + self.gamma * acc
+            self._values[method] = smoothed
+            if self._detectors[method].update(smoothed):
+                drifted.append(method)
+        if drifted:
+            self.detections += len(drifted)
+            self.events.append((self._observations, tuple(drifted)))
+        return tuple(drifted)
+
+    def reset(self) -> None:
+        """Forget all per-method state (smoothed values and detectors).
+
+        Called after a rollback or forced re-train: the restored models
+        answer differently, so detector baselines built against the
+        rolled-back generation would be noise. Cumulative counters
+        (:attr:`detections`, :attr:`events`) are kept — they are audit
+        history, not live state.
+        """
+        self._values.clear()
+        self._detectors.clear()
+
+    def confidence_for(self, method: str) -> float | None:
+        """Current smoothed accuracy of one method (None = never seen)."""
+        return self._values.get(method)
+
+    def snapshot(self) -> dict[str, float]:
+        """All per-method smoothed accuracies, for telemetry/reports."""
+        return dict(sorted(self._values.items()))

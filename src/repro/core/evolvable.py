@@ -31,9 +31,14 @@ from ..vm.interpreter import Interpreter
 from ..vm.opt.jit import JITCompiler
 from ..vm.profiles import RunProfile
 from ..xicl.features import FeatureVector
-from .accuracy import prediction_accuracy
+from .accuracy import per_method_accuracy, prediction_accuracy
 from .application import Application
-from .confidence import DEFAULT_GAMMA, DEFAULT_THRESHOLD, ConfidenceTracker
+from .confidence import (
+    DEFAULT_GAMMA,
+    DEFAULT_THRESHOLD,
+    ConfidenceTracker,
+    DriftMonitor,
+)
 from .gc_selection import GCDecision, GCSelector
 from .model_builder import ModelBuilder
 from .predictor import OverheadModel, StrategyPredictor
@@ -56,6 +61,10 @@ class RunOutcome:
     confidence_after: float | None = None
     applied_prediction: bool = False
     gc_decision: GCDecision | None = None
+    #: Methods whose changepoint detector fired on this run (almost
+    #: always empty; non-empty means the VM trimmed their stale history
+    #: and scheduled targeted refits).
+    drift_methods: tuple[str, ...] = ()
 
     @property
     def total_cycles(self) -> float:
@@ -89,6 +98,9 @@ class EvolvableVM:
         defer_refits: bool = False,
         engine: str = "auto",
         prior=None,
+        detect_drift: bool = True,
+        drift_window: int = 12,
+        drift_monitor: DriftMonitor | None = None,
     ):
         self.app = app
         self.config = config
@@ -161,6 +173,21 @@ class EvolvableVM:
         #: swap point (:class:`~repro.serving.tenant.Tenant.swap`), so
         #: predictions answer from the last deployed model generation.
         self.defer_refits = defer_refits
+        #: Per-method changepoint detection (see ``docs/robustness.md``,
+        #: "Drift and rollback"): the global tracker keeps gating
+        #: prediction exactly as in the paper, while the monitor watches
+        #: each method's own smoothed accuracy and names the ones whose
+        #: model went stale. ``detect_drift=False`` restores the
+        #: pre-drift-layer behavior bit-for-bit.
+        if drift_monitor is not None:
+            self.drift = drift_monitor
+        elif detect_drift:
+            self.drift = DriftMonitor()
+        else:
+            self.drift = None
+        #: Observations kept per drifted method when its history trims —
+        #: roughly the post-shift window the refit should learn from.
+        self.drift_window = drift_window
 
     # -- the Figure 7 loop ----------------------------------------------------
     def run(
@@ -268,16 +295,34 @@ class EvolvableVM:
             ideal = self.cost_benefit.ideal_strategy(profile)
             accuracy = prediction_accuracy(scored, ideal, profile)
             self.confidence.update(accuracy)
+            drifted: tuple[str, ...] = ()
+            if self.drift is not None:
+                drifted = self.drift.observe(
+                    per_method_accuracy(scored, ideal, profile)
+                )
             # Offline stage: extend and (unless deferred to an explicit
             # serving-layer swap) rebuild the models — the run-start
             # prediction above reads the flattened forest compiled here.
             self.models.observe_run(fvector, ideal)
+            if drifted:
+                # Drift response: the pre-shift history of exactly these
+                # methods misleads their trees. Trim each to the recent
+                # window (this run's observation included) and, in
+                # serving mode where refits are otherwise deferred to a
+                # swap point, refit just the affected trees now — stale
+                # drifted models must not keep answering until the next
+                # scheduled swap.
+                for method in drifted:
+                    self.models.trim_method_history(method, self.drift_window)
+                if self.defer_refits:
+                    self.models.refit_methods(drifted)
             if not self.defer_refits:
                 self.models.refit_all(jobs=self.refit_jobs)
             outcome.predicted = scored
             outcome.ideal = ideal
             outcome.accuracy = accuracy
             outcome.confidence_after = self.confidence.value
+            outcome.drift_methods = drifted
 
         if (
             self.gc_selector is not None

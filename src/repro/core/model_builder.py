@@ -163,6 +163,40 @@ class ModelBuilder:
             # Mirror serial refit(): too little history keeps the old tree.
             model._stale = False
 
+    def reset(self) -> None:
+        """Discard all learned state — models, presort cache, compiled
+        forest — **in place**, so references other components hold (the
+        strategy predictor, serving tenants) stay valid. The rollback
+        path wipes the builder with this and then replays the last-good
+        observations into it."""
+        self._models.clear()
+        self._matrix_cache = MatrixCache()
+        self._forest = None
+
+    def refit_methods(self, methods: tuple[str, ...] | list[str]) -> int:
+        """Targeted offline construction: rebuild only *methods*' trees.
+
+        The drift-response path — when the changepoint detector names
+        the methods whose models went stale, only their trees refit (the
+        rest of the forest answered fine and keeps its fitted trees).
+        The flattened forest recompiles iff anything refit. Returns the
+        number of models refit.
+        """
+        hit = [m for m in sorted(set(methods)) if m in self._models]
+        for method in hit:
+            self._models[method].refit()
+        if hit:
+            self._compile_forest()
+        return len(hit)
+
+    def trim_method_history(self, method: str, keep_last: int) -> int:
+        """Forget one method's pre-drift observations (keep the recent
+        window); returns rows dropped. Unknown methods are a no-op."""
+        model = self._models.get(method)
+        if model is None:
+            return 0
+        return model.trim_history(keep_last)
+
     def _compile_forest(self) -> None:
         self._forest = compile_forest(
             {

@@ -146,6 +146,28 @@ def load_state(vm: EvolvableVM, state: dict) -> None:
     vm.models.refit_all(jobs=vm.refit_jobs)
 
 
+def restore_state(vm: EvolvableVM, state: dict) -> None:
+    """Replace a **live** VM's learned state wholesale (the rollback path).
+
+    :func:`load_state` assumes a freshly constructed VM; this variant
+    first discards whatever the VM has learned since, then replays the
+    snapshot. The parse is staged exactly like a load, so an invalid
+    snapshot raises *before* any mutation — a failed rollback leaves the
+    current (bad but functional) generation serving, never a half-wiped
+    VM. The drift monitor is re-armed too: detector baselines built
+    against the rolled-back generation would be noise.
+    """
+    confidence, run_count, observations = _stage_state(vm, state)
+    vm.models.reset()
+    vm.confidence.value = confidence
+    vm.run_count = run_count
+    for vector, strategy in observations:
+        vm.models.observe_run(vector, strategy)
+    vm.models.refit_all(jobs=vm.refit_jobs)
+    if vm.drift is not None:
+        vm.drift.reset()
+
+
 def save_state(
     vm: EvolvableVM,
     path: str,

@@ -1,0 +1,214 @@
+"""The `repro drift` study: temporal behavior under non-stationary input.
+
+For each shift type in the non-stationary suite
+(:data:`~repro.scenarios.drift.DEFAULT_DRIFT_SPECS`) the study runs one
+benchmark under the drifted input schedule and reports figure8-style
+temporal curves — confidence, prediction accuracy, and Evolve's per-run
+speedup over the default VM — annotated with the schedule's ground-truth
+shift points and the runs where the VM's own per-method changepoint
+detectors fired.
+
+Two summary metrics per shift type (the EXPERIMENTS.md table):
+
+- **recovery latency** — runs from the first post-shift run until the
+  global accuracy series climbs back to within a tolerance of its
+  pre-shift steady mean (how long mispredictions persist after the world
+  changes);
+- **post-drift accuracy** — mean accuracy over the steady suffix after
+  the last shift (does the learner actually re-converge?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bench.suite import get_benchmark
+from ..scenarios.drift import DEFAULT_DRIFT_SPECS, DriftSpec, shift_points
+from ..vm.config import DEFAULT_CONFIG, VMConfig
+from .report import format_table, sparkline, steady_state_mean
+from .runner import run_experiment
+
+#: Default program for the study: input-sensitive enough that regimes
+#: have genuinely different ideal strategies.
+DEFAULT_PROGRAM = "Search"
+
+#: Accuracy must come back to (pre-shift mean − tolerance) to count as
+#: recovered.
+RECOVERY_TOLERANCE = 0.1
+
+
+@dataclass
+class DriftCurves:
+    """Temporal observations of one benchmark under one drift spec."""
+
+    program: str
+    spec: DriftSpec
+    confidence: list[float]
+    accuracy: list[float]
+    evolve_speedup: list[float]
+    #: Ground truth: run indices where the generating schedule shifted.
+    shifts: list[int]
+    #: Run indices where the VM's per-method detectors fired (with the
+    #: methods they named).
+    detections: list[tuple[int, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+    def recovery_latency(self) -> int | None:
+        """Runs from the first shift until accuracy re-reaches the
+        pre-shift level (minus :data:`RECOVERY_TOLERANCE`).
+
+        ``None`` when there is no shift, no pre-shift baseline, or the
+        series never recovers within the stream.
+        """
+        if not self.shifts or not self.accuracy:
+            return None
+        first = self.shifts[0]
+        before = self.accuracy[:first]
+        if not before:
+            return None
+        baseline = sum(before) / len(before)
+        target = baseline - RECOVERY_TOLERANCE
+        for index in range(first, len(self.accuracy)):
+            if self.accuracy[index] >= target:
+                return index - first
+        return None
+
+    def post_drift_accuracy(self) -> float | None:
+        """Mean accuracy over the stream's steady suffix after the last
+        shift (``None`` when the last shift leaves no suffix)."""
+        if not self.shifts:
+            return steady_state_mean(self.accuracy)
+        tail = self.accuracy[self.shifts[-1]:]
+        if not tail:
+            return None
+        return sum(tail) / len(tail)
+
+
+def run_drift_study(
+    program: str = DEFAULT_PROGRAM,
+    *,
+    spec: DriftSpec,
+    seed: int = 0,
+    runs: int | None = None,
+    config: VMConfig = DEFAULT_CONFIG,
+    jobs: int = 1,
+) -> DriftCurves:
+    """One benchmark under one drift spec, with temporal curves."""
+    bench = get_benchmark(program)
+    result = run_experiment(
+        bench,
+        seed=seed,
+        runs=runs,
+        config=config,
+        scenarios=("default", "evolve"),
+        drift=spec,
+        jobs=jobs,
+    )
+    n_runs = len(result.sequence)
+    return DriftCurves(
+        program=program,
+        spec=spec,
+        confidence=result.confidences(),
+        accuracy=result.accuracies(),
+        evolve_speedup=result.speedups("evolve"),
+        shifts=shift_points(spec, n_runs, seed=seed),
+        detections=[
+            (index, outcome.drift_methods)
+            for index, outcome in enumerate(result.evolve)
+            if outcome.drift_methods
+        ],
+    )
+
+
+def render(curves: DriftCurves) -> str:
+    """Figure8-style text plot plus the shift/detection annotations."""
+    marks = [" "] * max(len(curves.accuracy), 1)
+    for point in curves.shifts:
+        if point < len(marks):
+            marks[point] = "|"
+    for index, _ in curves.detections:
+        if index < len(marks):
+            marks[index] = "!" if marks[index] == " " else "+"
+    latency = curves.recovery_latency()
+    post = curves.post_drift_accuracy()
+    lines = [
+        f"drift {curves.spec.describe()} — {curves.program} "
+        f"({len(curves.accuracy)} runs)",
+        f"shifts |{''.join(marks)}|  (| = schedule shift, ! = detector, "
+        "+ = both)",
+        f"conf   |{sparkline(curves.confidence, width=len(marks))}|",
+        f"acc    |{sparkline(curves.accuracy, width=len(marks))}|",
+        f"evolve |{sparkline(curves.evolve_speedup, width=len(marks))}|",
+        f"detections: {len(curves.detections)}  "
+        f"recovery latency: {latency if latency is not None else '-'} runs  "
+        f"post-drift accuracy: {f'{post:.3f}' if post is not None else '-'}",
+    ]
+    return "\n".join(lines)
+
+
+def summary_table(all_curves: list[DriftCurves]) -> str:
+    """The per-shift-type recovery/accuracy table (EXPERIMENTS.md)."""
+    rows: list[list[object]] = []
+    for curves in all_curves:
+        latency = curves.recovery_latency()
+        post = curves.post_drift_accuracy()
+        mean_acc = (
+            sum(curves.accuracy) / len(curves.accuracy)
+            if curves.accuracy
+            else None
+        )
+        rows.append(
+            [
+                curves.spec.describe(),
+                len(curves.accuracy),
+                len(curves.shifts),
+                len(curves.detections),
+                latency if latency is not None else "-",
+                f"{mean_acc:.3f}" if mean_acc is not None else "-",
+                f"{post:.3f}" if post is not None else "-",
+            ]
+        )
+    return format_table(
+        [
+            "Shift",
+            "Runs",
+            "SchedShifts",
+            "Detections",
+            "RecoveryRuns",
+            "MeanAcc",
+            "PostDriftAcc",
+        ],
+        rows,
+    )
+
+
+def main(
+    program: str | None = None,
+    seed: int = 0,
+    runs: int | None = None,
+    jobs: int = 1,
+    kinds: tuple[str, ...] | None = None,
+) -> str:
+    """Run the full suite (all four shift types) and print the report."""
+    program = program or DEFAULT_PROGRAM
+    specs = (
+        DEFAULT_DRIFT_SPECS
+        if kinds is None
+        else tuple(s for s in DEFAULT_DRIFT_SPECS if s.kind in kinds)
+    )
+    all_curves = [
+        run_drift_study(
+            program, spec=spec, seed=seed, runs=runs, jobs=jobs
+        )
+        for spec in specs
+    ]
+    parts = [render(curves) for curves in all_curves]
+    parts.append(summary_table(all_curves))
+    output = "\n\n".join(parts)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -57,6 +57,7 @@ from ..core.evolvable import EvolvableVM, RepVM, run_default
 from ..learning.tree import TreeParams
 from ..resilience.degradation import DegradationReport
 from ..resilience.faults import WorkerFaultPlan
+from ..scenarios.drift import DriftSpec, drift_sequence
 from ..vm.config import DEFAULT_CONFIG, VMConfig
 from ..vm.opt.artifact_cache import JITArtifactCache
 from ..vm.opt.jit import JITCompiler
@@ -68,6 +69,7 @@ from .telemetry import (
     cell_event,
     cell_failed_event,
     config_digest,
+    drift_event,
     run_event,
 )
 
@@ -122,9 +124,22 @@ class CellSpec:
         )
 
 
-def derive_sequence(bench: Benchmark, seed: int, n_runs: int) -> list[int]:
-    """The runner's deterministic input order for (*bench*, *seed*)."""
+def derive_sequence(
+    bench: Benchmark,
+    seed: int,
+    n_runs: int,
+    drift: DriftSpec | None = None,
+) -> list[int]:
+    """The runner's deterministic input order for (*bench*, *seed*).
+
+    With a *drift* spec the order comes from the non-stationary schedule
+    (:func:`~repro.scenarios.drift.drift_sequence`) instead of the
+    stationary uniform draw; either way the result is a pure function of
+    its arguments, which is what lets cells ship it verbatim.
+    """
     _, inputs = bench.build(seed=seed)
+    if drift is not None:
+        return drift_sequence(drift, len(inputs), n_runs, seed)
     rng = Random(seed * 7919 + 17)
     return [rng.randrange(len(inputs)) for _ in range(n_runs)]
 
@@ -142,15 +157,18 @@ def plan_cells(
     threshold: float | None = None,
     tree_params: TreeParams | None = None,
     sequence: list[int] | None = None,
+    drift: DriftSpec | None = None,
     jit_cache_dir: str | None = None,
     engine: str = "auto",
 ) -> list[CellSpec]:
     """Split one benchmark's experiment into independent cell specs."""
     if grain not in ("benchmark", "cell"):
         raise ValueError(f"unknown grain {grain!r}")
+    if sequence is not None and drift is not None:
+        raise ValueError("pass either an explicit sequence or a drift spec")
     n_runs = runs if runs is not None else bench.runs
     if sequence is None:
-        sequence = derive_sequence(bench, seed, n_runs)
+        sequence = derive_sequence(bench, seed, n_runs, drift)
     seq = tuple(sequence)
 
     def spec(scens: tuple[str, ...], start: int, stop: int) -> CellSpec:
@@ -275,6 +293,16 @@ def execute_cell(spec: CellSpec) -> dict:
                     wall_s=time.perf_counter() - run_clock,
                 )
             )
+            if getattr(outcome, "drift_methods", ()):
+                events.append(
+                    drift_event(
+                        benchmark=spec.benchmark,
+                        scenario=scenario,
+                        run_index=run_index,
+                        methods=outcome.drift_methods,
+                        confidence=outcome.confidence_after,
+                    )
+                )
 
     if evolve_vm is not None:
         model_summary = dict(evolve_vm.models.summary())
@@ -691,6 +719,7 @@ def run_sweep(
     gamma: float | None = None,
     threshold: float | None = None,
     tree_params: TreeParams | None = None,
+    drift: DriftSpec | None = None,
     telemetry: TelemetryLog | None = None,
     cache: ResultCache | None = None,
     jit_cache_dir: str | None = None,
@@ -734,6 +763,7 @@ def run_sweep(
             gamma=gamma,
             threshold=threshold,
             tree_params=tree_params,
+            drift=drift,
             jit_cache_dir=jit_cache_dir,
             engine=engine,
         )
@@ -809,7 +839,11 @@ def run_sweep(
         app, inputs = bench.build(seed=seed)
         sequence = list(cells[0].sequence)
         result = ExperimentResult(
-            benchmark=bench.name, app=app, inputs=inputs, sequence=sequence
+            benchmark=bench.name,
+            app=app,
+            inputs=inputs,
+            sequence=sequence,
+            drift_spec=drift,
         )
         by_scenario: dict[str, list[tuple[int, list]]] = {}
         for offset, spec in enumerate(cells):
@@ -853,6 +887,7 @@ def run_experiment_parallel(
     gamma: float | None = None,
     threshold: float | None = None,
     tree_params: TreeParams | None = None,
+    drift: DriftSpec | None = None,
     telemetry: TelemetryLog | None = None,
     cache: ResultCache | None = None,
     jit_cache_dir: str | None = None,
@@ -879,6 +914,7 @@ def run_experiment_parallel(
         gamma=gamma,
         threshold=threshold,
         tree_params=tree_params,
+        drift=drift,
         telemetry=telemetry,
         cache=cache,
         jit_cache_dir=jit_cache_dir,

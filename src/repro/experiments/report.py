@@ -74,6 +74,74 @@ def format_sweep(results: list) -> str:
     )
 
 
+def detect_changepoints(
+    values: list[float],
+    *,
+    delta: float = 0.02,
+    lam: float = 0.35,
+    min_samples: int = 5,
+) -> list[int]:
+    """Offline changepoint scan over a per-run series (both directions).
+
+    Runs one Page–Hinkley detector over the series and one over its
+    negation (the online detector only watches *drops*; a report wants
+    recoveries too), merging the fire indices. Used by the steady-state
+    logic below and by the drift study to align measured behavior with
+    a scenario's ground-truth :func:`~repro.scenarios.drift.shift_points`.
+    """
+    from ..core.confidence import PageHinkley
+
+    down = PageHinkley(delta=delta, lam=lam, min_samples=min_samples)
+    up = PageHinkley(delta=delta, lam=lam, min_samples=min_samples)
+    points: set[int] = set()
+    for index, value in enumerate(values):
+        if down.update(value):
+            points.add(index)
+        if up.update(-value):
+            points.add(index)
+    return sorted(points)
+
+
+def steady_state_start(
+    values: list[float],
+    *,
+    delta: float = 0.02,
+    lam: float = 0.35,
+    min_samples: int = 5,
+) -> int:
+    """First run index after which the series has no more changepoints.
+
+    Replaces eyeballed warmup cutoffs in summaries: statistics reported
+    "at steady state" start after the last detected changepoint (0 when
+    the series never shifts — the whole series is steady).
+    """
+    points = detect_changepoints(
+        values, delta=delta, lam=lam, min_samples=min_samples
+    )
+    return points[-1] + 1 if points else 0
+
+
+def steady_state_mean(
+    values: list[float],
+    *,
+    delta: float = 0.02,
+    lam: float = 0.35,
+    min_samples: int = 5,
+) -> float | None:
+    """Mean of the series restricted to its steady-state suffix.
+
+    ``None`` when no steady suffix exists (the last changepoint is the
+    final observation) or the series is empty.
+    """
+    start = steady_state_start(
+        values, delta=delta, lam=lam, min_samples=min_samples
+    )
+    tail = values[start:]
+    if not tail:
+        return None
+    return sum(tail) / len(tail)
+
+
 def sparkline(values: list[float], width: int = 60) -> str:
     """A coarse one-line chart for quick visual checks in terminals."""
     if not values:

@@ -22,6 +22,7 @@ from ..bench.base import BenchInput, Benchmark
 from ..core.application import Application
 from ..aos.phase import PhaseAdaptiveController
 from ..core.evolvable import EvolvableVM, RepVM, RunOutcome, run_default
+from ..scenarios.drift import DriftSpec, drift_sequence
 from ..vm.interpreter import Interpreter
 from ..xicl.features import FeatureVector
 from ..learning.tree import TreeParams
@@ -53,6 +54,10 @@ class ExperimentResult:
     evolve_vm: EvolvableVM | None = None
     rep_vm: RepVM | None = None
     evolve_summary: dict | None = None
+    #: The non-stationary input schedule the sequence was drawn from,
+    #: when the experiment ran under drift (``None`` = the paper's
+    #: stationary i.i.d. protocol).
+    drift_spec: DriftSpec | None = None
 
     # -- derived series -----------------------------------------------------
     def speedups(self, scenario: str) -> list[float]:
@@ -93,18 +98,24 @@ def run_experiment(
     tree_params: TreeParams | None = None,
     scenarios: tuple[str, ...] = ("default", "rep", "evolve"),
     sequence: list[int] | None = None,
+    drift: DriftSpec | None = None,
     jobs: int = 1,
 ) -> ExperimentResult:
     """Run the full §V-B protocol for one benchmark.
 
     *sequence* overrides the random input order (used by the
     input-order-sensitivity study); otherwise inputs are drawn uniformly
-    with a deterministic RNG derived from *seed*.
+    with a deterministic RNG derived from *seed* — unless *drift* names
+    a non-stationary schedule, in which case the sequence comes from
+    :func:`~repro.scenarios.drift.drift_sequence` (same determinism
+    contract, shifting distribution).
 
     *jobs* > 1 delegates to the parallel engine: scenarios (and run
     ranges of the stateless ones) execute as independent worker cells,
     with bit-identical outcomes.
     """
+    if sequence is not None and drift is not None:
+        raise ValueError("pass either an explicit sequence or a drift spec")
     if jobs > 1 and sequence is None:
         from .parallel import run_experiment_parallel
 
@@ -118,14 +129,17 @@ def run_experiment(
             gamma=gamma,
             threshold=threshold,
             tree_params=tree_params,
+            drift=drift,
         )
     app, inputs = bench.build(seed=seed)
     n_runs = runs if runs is not None else bench.runs
-    if sequence is None:
+    if sequence is not None:
+        sequence = list(sequence)
+    elif drift is not None:
+        sequence = drift_sequence(drift, len(inputs), n_runs, seed)
+    else:
         rng = Random(seed * 7919 + 17)
         sequence = [rng.randrange(len(inputs)) for _ in range(n_runs)]
-    else:
-        sequence = list(sequence)
 
     jit = JITCompiler(app.program, config)
     result = ExperimentResult(
@@ -133,6 +147,7 @@ def run_experiment(
         app=app,
         inputs=inputs,
         sequence=sequence,
+        drift_spec=drift,
     )
 
     evolve_kwargs: dict = {"config": config, "jit": jit}

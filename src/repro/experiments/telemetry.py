@@ -147,13 +147,38 @@ def cell_failed_event(
     }
 
 
+def drift_event(
+    benchmark: str,
+    scenario: str,
+    run_index: int,
+    methods: tuple[str, ...] | list[str],
+    confidence: float | None,
+) -> dict:
+    """A changepoint detection: the per-method Page–Hinkley detectors
+    named *methods* as drifted on this run (``docs/robustness.md``,
+    "Drift and rollback"). Machine-readable on purpose — the chaos
+    harness, the drift study, and serving watchdogs all key off it."""
+    return {
+        "event": "drift_detected",
+        "v": TELEMETRY_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "scenario": scenario,
+        "run": run_index,
+        "methods": sorted(methods),
+        "confidence": confidence,
+    }
+
+
 def serve_event(kind: str, **fields) -> dict:
     """A serving-layer event (see ``docs/serving.md``).
 
     Kinds: ``serve_start`` (fleet boot summary), ``serve_request`` (one
     answered request), ``serve_shed`` (admission control refused a
-    request), ``serve_swap`` (hot model swap), ``serve_degradation``
-    (one registry :class:`DegradationEvent` mirrored at startup).
+    request), ``serve_swap`` (hot model swap), ``serve_rollback``
+    (post-swap probation failed; the tenant restored its last-good
+    generation — ``watchdog`` marks a forced re-train), and
+    ``serve_degradation`` (one registry :class:`DegradationEvent`
+    mirrored at startup).
     """
     event = {"event": kind, "v": TELEMETRY_SCHEMA_VERSION}
     event.update(fields)
@@ -204,6 +229,16 @@ _CELL_FAILED_FIELDS: dict[str, tuple[type, ...]] = {
     "attempts": (int,),
 }
 
+_DRIFT_FIELDS: dict[str, tuple[type, ...]] = {
+    "event": (str,),
+    "v": (int,),
+    "benchmark": (str,),
+    "scenario": (str,),
+    "run": (int,),
+    "methods": (list,),
+    "confidence": (int, float, type(None)),
+}
+
 #: Serving-layer event schemas (``docs/serving.md``).
 _SERVE_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     "serve_start": {
@@ -240,6 +275,14 @@ _SERVE_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
         "runs": (int,),
         "wall_s": (int, float, type(None)),
     },
+    "serve_rollback": {
+        "event": (str,),
+        "v": (int,),
+        "app": (str,),
+        "from_generation": (int,),
+        "to_generation": (int, type(None)),
+        "watchdog": (bool,),
+    },
     "serve_degradation": {
         "event": (str,),
         "v": (int,),
@@ -263,6 +306,8 @@ def validate_event(event: dict) -> list[str]:
         fields = _CELL_FIELDS
     elif kind == "cell_failed":
         fields = _CELL_FAILED_FIELDS
+    elif kind == "drift_detected":
+        fields = _DRIFT_FIELDS
     elif kind in _SERVE_FIELDS:
         fields = _SERVE_FIELDS[kind]
     else:
@@ -281,6 +326,10 @@ def validate_event(event: dict) -> list[str]:
             if not isinstance(level, str) or not isinstance(count, int):
                 problems.append("methods_per_level must map str -> int")
                 break
+    if kind == "drift_detected":
+        methods = event.get("methods", [])
+        if not methods or not all(isinstance(m, str) for m in methods):
+            problems.append("methods must be a non-empty list of str")
     return problems
 
 

@@ -92,6 +92,21 @@ class Dataset:
         """Project *vector* onto this dataset's column order."""
         return tuple(vector.get(name) for name in self._columns)
 
+    def truncate_to_last(self, keep: int) -> int:
+        """Drop all but the last *keep* rows; returns the count dropped.
+
+        Targeted forgetting for drift response: the columns (and their
+        kinds) stay, so later rows keep their alignment — only the stale
+        history goes.
+        """
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        dropped = len(self._rows) - keep
+        if dropped <= 0:
+            return 0
+        self._rows = self._rows[-keep:] if keep else []
+        return dropped
+
     def subset(self, indices: list[int]) -> "Dataset":
         """A new dataset containing the given row indices (columns shared)."""
         out = Dataset()

@@ -60,6 +60,19 @@ class IncrementalClassifier:
     def n_observations(self) -> int:
         return len(self.dataset)
 
+    def trim_history(self, keep_last: int) -> int:
+        """Forget all but the last *keep_last* observations.
+
+        The drift response path: when this method's regime shifted, the
+        pre-shift rows actively mislead the tree, so the caller trims to
+        the recent window and refits. Returns the rows dropped; marks
+        the model stale only if anything was dropped.
+        """
+        dropped = self.dataset.truncate_to_last(keep_last)
+        if dropped:
+            self._stale = True
+        return dropped
+
     # -- offline stage --------------------------------------------------------
     def refit(self) -> None:
         """Rebuild the tree from all accumulated observations.

@@ -48,6 +48,9 @@ from ..experiments.telemetry import (
     read_events,
 )
 from ..lang.compiler import compile_source
+from ..scenarios.drift import DriftSpec, get_drift_spec
+from ..serving.registry import ModelRegistry
+from ..serving.tenant import Tenant
 from ..testing.differential import FUZZ_CONFIG
 from ..testing.generator import generate
 from ..vm.errors import ExecutionError
@@ -78,6 +81,9 @@ class ChaosReport:
     seed: int
     iterations: int
     benchmark: str
+    #: True when the campaign ran under a non-stationary input schedule
+    #: with the rollback pillar enabled (``repro chaos --drift``).
+    drift: bool = False
     completed: int = 0
     faults_injected: int = 0
     degradations: int = 0
@@ -136,6 +142,11 @@ class _Reference:
     cache_key: CacheKey
     programs: list[tuple]           # (program, args, result_repr, cycles)
     sweep_signature: tuple
+    #: Non-stationary schedule in force (None = stationary campaign).
+    drift_spec: DriftSpec | None = None
+    #: Fault-free facts of the forced-rollback scenario (drift mode):
+    #: (confidence, run_count, generation, from_gen, to_gen, watchdog).
+    rollback_signature: tuple = ()
 
 
 def _post_run(vm: EvolvableVM, reference: "_Reference") -> tuple:
@@ -147,12 +158,18 @@ def _post_run(vm: EvolvableVM, reference: "_Reference") -> tuple:
 
 
 def _build_reference(
-    seed: int, benchmark: str, runs: int, fuzz_programs: int
+    seed: int,
+    benchmark: str,
+    runs: int,
+    fuzz_programs: int,
+    drift_spec: DriftSpec | None = None,
 ) -> _Reference:
     bench = get_benchmark(benchmark)
     app, inputs = bench.build(seed=seed)
-    # One extra slot at the tail: the post-load probe run.
-    sequence = derive_sequence(bench, seed, runs + 1)
+    # One extra slot at the tail: the post-load probe run. Drift mode
+    # swaps the i.i.d. schedule for the non-stationary one, so every
+    # pillar replays under a moving input distribution.
+    sequence = derive_sequence(bench, seed, runs + 1, drift=drift_spec)
 
     vm = EvolvableVM(app)
     run_cycles = []
@@ -175,6 +192,7 @@ def _build_reference(
         cache_key=CacheKey("chaos", "state", 0, runs, seed, "chaos-ref"),
         programs=[],
         sweep_signature=(),
+        drift_spec=drift_spec,
     )
 
     # Warm post-run: a fresh VM restored through the same JSON round trip
@@ -212,9 +230,81 @@ def _build_reference(
     fault_free = run_sweep(
         [bench], jobs=1, seed=seed, runs=runs,
         scenarios=("default", "evolve"),
+        drift=drift_spec,
     )
     reference.sweep_signature = _sweep_signature(fault_free.results[0])
+
+    if drift_spec is not None:
+        # Fault-free forced rollback: the facts every faulted replay of
+        # the rollback pillar must reproduce in memory.
+        with tempfile.TemporaryDirectory(prefix="chaos-rollback-ref-") as tmp:
+            registry = ModelRegistry(
+                Path(tmp) / "serving", report=DegradationReport()
+            )
+            tenant, record = _run_rollback_scenario(reference, registry)
+        if record is None:
+            raise RuntimeError(
+                "chaos drift reference: forced probation failure produced "
+                "no rollback"
+            )
+        reference.rollback_signature = _rollback_signature(tenant, record)
     return reference
+
+
+def _run_rollback_scenario(
+    reference: _Reference, registry: ModelRegistry
+) -> tuple[Tenant, dict | None]:
+    """Deterministic tenant lifecycle ending in one forced rollback.
+
+    Trains a tenant on the reference schedule, swaps (the generation
+    passes probation under a margin of 1.0, which no real accuracy can
+    breach), then swaps again with the probation baseline doctored to an
+    unreachable level — the next window must fail and roll back. The
+    doctoring targets the *rollback machinery under fault injection*;
+    organic detector-driven rollbacks are covered by the serving tests.
+    """
+    tenant = Tenant(
+        reference.app,
+        registry=registry,
+        refit_interval=None,
+        probation_window=2,
+        probation_margin=1.0,
+        max_rollbacks=99,
+    )
+    n_runs = len(reference.run_cycles)
+    for run_index in range(n_runs):
+        tenant.run(
+            reference.inputs[reference.sequence[run_index]].cmdline,
+            seed=run_index,
+        )
+    tenant.swap()
+    probe = reference.sequence[-1]
+    for extra in range(2):
+        tenant.run(reference.inputs[probe].cmdline, seed=n_runs + extra)
+    tenant.swap()
+    if tenant._probation is not None:
+        tenant._probation["baseline"] = 3.0  # unreachable: must roll back
+    record: dict | None = None
+    for extra in range(2, 4):
+        payload = tenant.run(
+            reference.inputs[probe].cmdline, seed=n_runs + extra
+        )
+        if payload["rollback"]:
+            record = payload["rollback"]
+    return tenant, record
+
+
+def _rollback_signature(tenant: Tenant, record: dict) -> tuple:
+    """The in-memory facts a rollback must reproduce regardless of
+    filesystem faults (restores never touch disk)."""
+    return (
+        tenant.vm.confidence.value,
+        tenant.vm.run_count,
+        tenant.generation,
+        record["from_generation"],
+        record["to_generation"],
+        record["watchdog"],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -370,6 +460,65 @@ def _check_telemetry_pillar(
             )
 
 
+def _check_rollback_pillar(
+    reference: _Reference,
+    fs: FaultyFS,
+    report: DegradationReport,
+    root: Path,
+    violations: list[str],
+) -> None:
+    """Drift mode's own pillar: forced rollback under filesystem faults.
+
+    The invariant is *bit-identical-or-degraded, with every degradation
+    recorded*: the in-memory rollback must reproduce the fault-free
+    reference exactly (restores never touch disk), the rollback must be
+    accounted in the degradation ledger, and the persisted state file
+    must either reload to the serving VM's exact state or have a
+    recorded save failure / quarantine explaining why not.
+    """
+    registry = ModelRegistry(root / "serving", fs=fs, report=report)
+    tenant, record = _run_rollback_scenario(reference, registry)
+    if record is None:
+        violations.append(
+            ("divergence", "forced probation failure produced no rollback")
+        )
+        return
+    signature = _rollback_signature(tenant, record)
+    if signature != reference.rollback_signature:
+        violations.append(
+            ("divergence",
+             f"rollback under faults diverged: {signature} != "
+             f"{reference.rollback_signature}")
+        )
+    if report.count(component="serving", action="rollback") == 0:
+        violations.append(
+            ("missing-degradation",
+             "rollback happened but the degradation ledger has no "
+             "serving/rollback entry")
+        )
+    # Crash-safety of the persisted side: whatever the fault plan did to
+    # the saves, a fresh load must produce either the serving VM's exact
+    # state or an accounted fallback — never a silently different model.
+    state_path = registry.state_path(tenant.name)
+    vm2 = EvolvableVM(reference.app)
+    loaded = load_state_file(vm2, str(state_path), fs=fs, report=report)
+    if loaded:
+        if (
+            vm2.confidence.value != tenant.vm.confidence.value
+            and report.count(component="state", action="store-failed") == 0
+        ):
+            violations.append(
+                ("divergence",
+                 "reloaded post-rollback state differs from the serving VM "
+                 "with no recorded save failure")
+            )
+    elif report.count(component="state") == 0:
+        violations.append(
+            ("missing-degradation",
+             "post-rollback state failed to load with nothing recorded")
+        )
+
+
 def _check_sweep_pillar(
     reference: _Reference,
     iteration_seed: int,
@@ -389,6 +538,7 @@ def _check_sweep_pillar(
         retries=2,
         backoff_s=0.0,
         report=report,
+        drift=reference.drift_spec,
     )
     # Faults fire only on first attempts and retries are clean, so the
     # sweep must complete every cell with bit-identical results.
@@ -417,15 +567,24 @@ def run_chaos(
     fuzz_programs: int = 2,
     sweep_every: int = 5,
     workdir: str | None = None,
+    drift: bool = False,
 ) -> ChaosReport:
     """Run a seeded chaos campaign; ``report.ok`` means every invariant held.
 
     ``sweep_every`` controls how often (every k-th iteration) a full
-    sweep runs under worker faults; 0 disables that pillar.
+    sweep runs under worker faults; 0 disables that pillar. ``drift``
+    runs the whole campaign under a non-stationary (abrupt-shift) input
+    schedule and adds the forced-rollback pillar: drift and faults
+    together, the combination production actually serves.
     """
     clock = time.perf_counter()
-    report = ChaosReport(seed=seed, iterations=iterations, benchmark=benchmark)
-    reference = _build_reference(seed, benchmark, runs, fuzz_programs)
+    drift_spec = get_drift_spec("abrupt") if drift else None
+    report = ChaosReport(
+        seed=seed, iterations=iterations, benchmark=benchmark, drift=drift
+    )
+    reference = _build_reference(
+        seed, benchmark, runs, fuzz_programs, drift_spec=drift_spec
+    )
 
     for iteration in range(iterations):
         iteration_seed = seed * 99_991 + iteration
@@ -444,6 +603,10 @@ def run_chaos(
                 )
                 _check_jit_cache_pillar(reference, fs, degradation, root, found)
                 _check_telemetry_pillar(fs, degradation, root, found)
+                if drift:
+                    _check_rollback_pillar(
+                        reference, fs, degradation, root, found
+                    )
                 if sweep_every and iteration % sweep_every == 0:
                     _check_sweep_pillar(
                         reference, iteration_seed, seed, runs,

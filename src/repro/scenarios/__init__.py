@@ -1,0 +1,32 @@
+"""Non-stationary scenario suites (see ``docs/robustness.md``).
+
+The paper's §V-B protocol draws every run's input i.i.d. from a fixed
+population; this package supplies *input-stream transformers* that make
+the distribution move mid-stream — the regime "Virtual Machine Warmup
+Blows Hot and Cold" shows real VMs actually live in. Everything here is
+a pure function of ``(spec, seed)``: the transformed sequences are
+bit-identical at any ``--jobs`` because the parallel engine ships them
+verbatim inside each :class:`~repro.experiments.parallel.CellSpec`.
+"""
+
+from .drift import (
+    DEFAULT_DRIFT_SPECS,
+    SHIFT_KINDS,
+    DriftSpec,
+    drift_labels,
+    drift_sequence,
+    get_drift_spec,
+    partition_inputs,
+    shift_points,
+)
+
+__all__ = [
+    "DEFAULT_DRIFT_SPECS",
+    "SHIFT_KINDS",
+    "DriftSpec",
+    "drift_labels",
+    "drift_sequence",
+    "get_drift_spec",
+    "partition_inputs",
+    "shift_points",
+]

@@ -1,0 +1,197 @@
+"""Drift scenarios: seeded input-stream transformers for any benchmark.
+
+A :class:`DriftSpec` describes how a benchmark's input distribution
+moves over the run stream. The population is split into two *regimes* —
+the lower and upper halves of the input index range (benchmarks order
+their populations by generated size/shape, so the halves have distinct
+feature and ideal-label distributions) — and the spec decides which
+regime each run draws from:
+
+- ``gradual``  — the probability of drawing from regime B ramps linearly
+  from 0 to 1 across a ``[ramp_start, ramp_stop)`` window of the stream.
+- ``abrupt``   — regime A until the changepoint, regime B after it.
+- ``cyclic``   — day/night mixes: regimes alternate every ``period`` runs.
+- ``adversarial`` — worst-case whipsaw: regime flips at geometrically
+  shrinking intervals, re-shifting right about when a decayed-average
+  learner has re-converged on the previous regime.
+
+Everything is a pure function of ``(spec, n_inputs, n_runs, seed)``;
+the returned sequence is plain input indices, so the existing serial
+and parallel engines run it unchanged (and bit-identically — the
+parallel planner ships the sequence verbatim inside every cell spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+#: The four shift types of the non-stationary suite.
+SHIFT_KINDS = ("gradual", "abrupt", "cyclic", "adversarial")
+
+#: Deterministic per-kind RNG stream salts (never derived from ``hash``,
+#: which is process-randomized).
+_KIND_SALT = {"gradual": 101, "abrupt": 211, "cyclic": 307, "adversarial": 401}
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """One non-stationary input schedule, applicable to any benchmark."""
+
+    #: One of :data:`SHIFT_KINDS`.
+    kind: str
+    #: ``abrupt``: fraction of the stream after which regime B takes over.
+    changepoint: float = 0.5
+    #: ``gradual``: fractions of the stream where the A→B ramp starts/stops.
+    ramp_start: float = 0.25
+    ramp_stop: float = 0.75
+    #: ``cyclic``: runs per half-cycle (a "day" or a "night").
+    period: int = 8
+    #: ``adversarial``: length of the first regime segment; each following
+    #: segment halves (floored at 2), so the whipsaw accelerates.
+    first_segment: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in SHIFT_KINDS:
+            raise ValueError(
+                f"unknown drift kind {self.kind!r} (known: {SHIFT_KINDS})"
+            )
+        if not 0.0 < self.changepoint < 1.0:
+            raise ValueError("changepoint must be in (0, 1)")
+        if not 0.0 <= self.ramp_start < self.ramp_stop <= 1.0:
+            raise ValueError("need 0 <= ramp_start < ramp_stop <= 1")
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if self.first_segment < 2:
+            raise ValueError("first_segment must be >= 2")
+
+    def describe(self) -> str:
+        if self.kind == "abrupt":
+            return f"abrupt@{self.changepoint:.2f}"
+        if self.kind == "gradual":
+            return f"gradual[{self.ramp_start:.2f},{self.ramp_stop:.2f})"
+        if self.kind == "cyclic":
+            return f"cyclic/p{self.period}"
+        return f"adversarial/s{self.first_segment}"
+
+
+#: The canonical suite: one spec per shift type, used by the `repro
+#: drift` study, the chaos drift campaigns, and CI smoke jobs.
+DEFAULT_DRIFT_SPECS: tuple[DriftSpec, ...] = (
+    DriftSpec("gradual"),
+    DriftSpec("abrupt"),
+    DriftSpec("cyclic"),
+    DriftSpec("adversarial"),
+)
+
+
+def get_drift_spec(kind: str) -> DriftSpec:
+    """The canonical spec for one shift type (case-insensitive)."""
+    for spec in DEFAULT_DRIFT_SPECS:
+        if spec.kind == kind.lower():
+            return spec
+    raise KeyError(f"unknown drift kind {kind!r} (known: {SHIFT_KINDS})")
+
+
+def partition_inputs(n_inputs: int) -> tuple[range, range]:
+    """Split the input index range into the two regimes (A, B).
+
+    With a single input both regimes are that input (the schedule is
+    then stationary by necessity, which keeps tiny tests valid).
+    """
+    if n_inputs < 1:
+        raise ValueError("need at least one input")
+    half = max(1, n_inputs // 2)
+    return range(0, half), range(half, n_inputs) or range(0, half)
+
+
+def _regime_schedule(spec: DriftSpec, n_runs: int, rng: Random) -> list[int]:
+    """Per-run regime choice (0 = A, 1 = B) for the whole stream."""
+    if spec.kind == "abrupt":
+        cut = int(spec.changepoint * n_runs)
+        return [0 if t < cut else 1 for t in range(n_runs)]
+    if spec.kind == "cyclic":
+        return [(t // spec.period) % 2 for t in range(n_runs)]
+    if spec.kind == "adversarial":
+        schedule: list[int] = []
+        regime, segment = 0, spec.first_segment
+        while len(schedule) < n_runs:
+            schedule.extend([regime] * segment)
+            regime ^= 1
+            segment = max(2, segment // 2)
+        return schedule[:n_runs]
+    # gradual: the probability of regime B ramps over the window.
+    start = spec.ramp_start * max(1, n_runs)
+    stop = spec.ramp_stop * max(1, n_runs)
+    schedule = []
+    for t in range(n_runs):
+        if t < start:
+            p_b = 0.0
+        elif t >= stop:
+            p_b = 1.0
+        else:
+            p_b = (t - start) / (stop - start)
+        schedule.append(1 if rng.random() < p_b else 0)
+    return schedule
+
+
+def _stream_rng(spec: DriftSpec, seed: int) -> Random:
+    return Random(seed * 7919 + _KIND_SALT[spec.kind])
+
+
+def drift_sequence(
+    spec: DriftSpec, n_inputs: int, n_runs: int, seed: int
+) -> list[int]:
+    """The drifted input-index sequence for one experiment.
+
+    Deterministic in ``(spec, n_inputs, n_runs, seed)``: one RNG stream
+    drives both the gradual-ramp coin and the within-regime draws, so
+    the same arguments always produce the identical sequence — the
+    parallel engine's bit-identity then follows from shipping this
+    sequence verbatim to every cell.
+    """
+    regime_a, regime_b = partition_inputs(n_inputs)
+    rng = _stream_rng(spec, seed)
+    schedule = _regime_schedule(spec, n_runs, rng)
+    regimes = (regime_a, regime_b)
+    return [
+        regimes[which][rng.randrange(len(regimes[which]))]
+        for which in schedule
+    ]
+
+
+def drift_labels(spec: DriftSpec, n_runs: int, seed: int) -> list[str]:
+    """Per-run regime labels ("A"/"B") aligned with :func:`drift_sequence`.
+
+    Replays the same RNG stream, so labels and indices always agree —
+    a test zips them against the regime partition to prove it.
+    """
+    rng = _stream_rng(spec, seed)
+    schedule = _regime_schedule(spec, n_runs, rng)
+    return ["AB"[which] for which in schedule]
+
+
+def shift_points(spec: DriftSpec, n_runs: int, seed: int = 0) -> list[int]:
+    """Run indices where the *generating* distribution changes.
+
+    These are schedule boundaries (the ground truth the changepoint
+    detector is scored against), not detector output: the first index
+    of every run whose regime differs from its predecessor's, plus the
+    ramp window edges for ``gradual`` (where the mixture itself starts
+    and stops moving).
+    """
+    if spec.kind == "gradual":
+        points = []
+        start = int(spec.ramp_start * max(1, n_runs))
+        stop = int(spec.ramp_stop * max(1, n_runs))
+        for point in (start, stop):
+            if 0 < point < n_runs:
+                points.append(point)
+        return points
+    rng = _stream_rng(spec, seed)
+    schedule = _regime_schedule(spec, n_runs, rng)
+    return [
+        t
+        for t in range(1, n_runs)
+        if schedule[t] != schedule[t - 1]
+    ]

@@ -61,6 +61,9 @@ class ModelRegistry:
         self.generations: dict[str, int] = {}
         self.restored: list[str] = []
         self.cold_started: list[str] = []
+        #: Automatic rollbacks performed per tenant (``docs/robustness.md``,
+        #: "Drift and rollback").
+        self.rollbacks: dict[str, int] = {}
 
     def state_path(self, app_name: str) -> Path | None:
         if self.root is None:
@@ -92,6 +95,18 @@ class ModelRegistry:
         """Bump and return the tenant's model generation."""
         self.generations[app_name] = self.generations.get(app_name, 0) + 1
         return self.generations[app_name]
+
+    def note_rollback(self, app_name: str) -> int:
+        """Record an automatic rollback; returns the new generation.
+
+        A rollback *deploys* the restored last-good model, so it bumps
+        the generation like any swap — responses never claim an old
+        generation number for what is operationally a new deployment
+        (the monotone counter is what lets operators correlate behavior
+        changes with model flips).
+        """
+        self.rollbacks[app_name] = self.rollbacks.get(app_name, 0) + 1
+        return self.note_swap(app_name)
 
     def save(self, vm: EvolvableVM) -> bool:
         """Persist *vm*'s learned state; I/O failures degrade (recorded),

@@ -68,6 +68,7 @@ class ServerStats:
     shed: int = 0
     errors: int = 0
     swaps: int = 0
+    rollbacks: int = 0
     batches: int = 0
     batched_predicts: int = 0
     latencies_ms: list[float] = field(default_factory=list)
@@ -79,6 +80,7 @@ class ServerStats:
             "shed": self.shed,
             "errors": self.errors,
             "swaps": self.swaps,
+            "rollbacks": self.rollbacks,
             "batches": self.batches,
             "batched_predicts": self.batched_predicts,
         }
@@ -309,6 +311,21 @@ class FleetServer:
                         batched=len(batch),
                     )
                 )
+            rollback = (
+                payload.get("rollback") if isinstance(payload, dict) else None
+            )
+            if rollback:
+                self.stats.rollbacks += 1
+                if self.telemetry is not None:
+                    self.telemetry.append(
+                        serve_event(
+                            "serve_rollback",
+                            app=tenant.name,
+                            from_generation=rollback["from_generation"],
+                            to_generation=rollback["to_generation"],
+                            watchdog=rollback["watchdog"],
+                        )
+                    )
             if not future.done():
                 future.set_result(
                     ok_response(request, wall_ms=wall_ms, **payload)

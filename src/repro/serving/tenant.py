@@ -35,10 +35,13 @@ from __future__ import annotations
 import hashlib
 import json
 
+from collections import deque
+
 from ..core.application import Application
 from ..core.evolvable import EvolvableVM, RunOutcome
-from ..core.records import state_to_dict
+from ..core.records import restore_state, state_to_dict
 from ..experiments.telemetry import CacheKey, ResultCache
+from ..resilience.quarantine import quarantine_file
 from ..vm.config import DEFAULT_CONFIG, VMConfig
 from ..vm.opt.artifact_cache import JITArtifactCache
 from ..vm.opt.jit import JITCompiler
@@ -65,6 +68,7 @@ def run_payload(outcome: RunOutcome, generation: int) -> dict:
         "accuracy": outcome.accuracy,
         "confidence": outcome.confidence_after,
         "generation": generation,
+        "drift_methods": list(outcome.drift_methods),
     }
 
 
@@ -81,6 +85,9 @@ class Tenant:
         predict_cache: ResultCache | None = None,
         refit_interval: int | None = 25,
         refit_jobs: int = 1,
+        probation_window: int | None = 8,
+        probation_margin: float = 0.15,
+        max_rollbacks: int = 2,
         **vm_kwargs,
     ):
         self.app = app
@@ -88,6 +95,17 @@ class Tenant:
         self.registry = registry
         self.predict_cache = predict_cache
         self.refit_interval = refit_interval
+        #: Post-swap accuracy probation (``docs/robustness.md``, "Drift
+        #: and rollback"): the first *probation_window* learned runs of a
+        #: fresh generation must keep mean accuracy within
+        #: *probation_margin* of the pre-swap baseline, or the tenant
+        #: rolls back to the last generation that passed probation.
+        #: ``probation_window=None`` disables the whole mechanism.
+        self.probation_window = probation_window
+        self.probation_margin = probation_margin
+        #: Consecutive rollbacks that trip the watchdog (forced re-train
+        #: from the recent window + state-file quarantine).
+        self.max_rollbacks = max_rollbacks
         jit = JITCompiler(app.program, config, artifact_cache=artifact_cache)
         self.vm = EvolvableVM(
             app,
@@ -106,6 +124,23 @@ class Tenant:
         self.predicts_total = 0
         self.swaps_total = 0
         self.predict_cache_hits = 0
+        self.rollbacks_total = 0
+        self.retrains_total = 0
+        #: Snapshot of the last generation that passed probation — the
+        #: rollback target. A restored tenant trusts its persisted state
+        #: (it was saved by a generation that was serving); a cold one
+        #: has nothing to roll back to until a swap survives probation.
+        self._last_good: dict | None = (
+            state_to_dict(self.vm) if restored else None
+        )
+        #: Active probation: {"generation", "baseline", "runs", "acc_sum"}.
+        self._probation: dict | None = None
+        self._consecutive_rollbacks = 0
+        #: Recent learned-run accuracies; their mean at swap time is the
+        #: probation baseline the fresh generation must defend.
+        self._recent_acc: deque[float] = deque(
+            maxlen=max(1, probation_window or 1)
+        )
 
     @property
     def generation(self) -> int:
@@ -120,12 +155,23 @@ class Tenant:
 
     # -- ops (always called from the tenant's single serialized worker) -----
     def run(self, cmdline: str, seed: int | None = None) -> dict:
-        """Execute once, learn (observation only — no refit), and report."""
+        """Execute once, learn (observation only — no refit), and report.
+
+        Also advances the post-swap probation: when a fresh generation's
+        probation window closes under the baseline by more than the
+        margin, the rollback happens *here*, inside the tenant's
+        serialized stream — the response that triggered it carries the
+        ``rollback`` record, and every later response already serves the
+        restored generation.
+        """
         rng_seed = seed if seed is not None else self.runs_total
         outcome = self.vm.run(cmdline, rng_seed=rng_seed)
         self.runs_since_swap += 1
         self.runs_total += 1
-        return run_payload(outcome, self.generation)
+        rollback = self._note_probation_run(outcome)
+        payload = run_payload(outcome, self.generation)
+        payload["rollback"] = rollback
+        return payload
 
     def predict(self, cmdline: str) -> dict:
         """Strategy prediction only: one flattened-forest pass
@@ -161,7 +207,18 @@ class Tenant:
         return [self.predict(cmdline) for cmdline in cmdlines]
 
     def swap(self) -> dict:
-        """Offline refit + atomic generation flip + crash-safe save."""
+        """Offline refit + atomic generation flip + crash-safe save.
+
+        The fresh generation enters **probation**: its first
+        ``probation_window`` learned runs must keep mean accuracy within
+        ``probation_margin`` of the pre-swap baseline (the mean of the
+        most recent learned runs), or it is rolled back automatically.
+        """
+        baseline = (
+            sum(self._recent_acc) / len(self._recent_acc)
+            if self._recent_acc
+            else None
+        )
         self.vm.models.refit_all(jobs=self.vm.refit_jobs)
         generation = self.registry.note_swap(self.name)
         self._fingerprint = self._model_fingerprint()
@@ -169,6 +226,13 @@ class Tenant:
         runs = self.runs_since_swap
         self.runs_since_swap = 0
         self.swaps_total += 1
+        if self.probation_window is not None and baseline is not None:
+            self._probation = {
+                "generation": generation,
+                "baseline": baseline,
+                "runs": 0,
+                "acc_sum": 0.0,
+            }
         return {
             "generation": generation,
             "runs_refit": runs,
@@ -177,6 +241,7 @@ class Tenant:
                 for m in self.vm.models.method_names
             ),
             "persisted": saved,
+            "probation": self._probation is not None,
         }
 
     def due_for_swap(self) -> bool:
@@ -184,6 +249,133 @@ class Tenant:
             self.refit_interval is not None
             and self.runs_since_swap >= self.refit_interval
         )
+
+    # -- probation + automatic rollback ---------------------------------------
+    def _note_probation_run(self, outcome: RunOutcome) -> dict | None:
+        """Fold one run into the active probation; returns the rollback
+        record when this run closed the window in the red, else None."""
+        probation = self._probation
+        if outcome.accuracy is not None and probation is not None:
+            probation["runs"] += 1
+            probation["acc_sum"] += outcome.accuracy
+        if outcome.accuracy is not None:
+            self._recent_acc.append(outcome.accuracy)
+        if probation is None or probation["runs"] < self.probation_window:
+            return None
+        # Probation window closed: verdict time.
+        self._probation = None
+        mean = probation["acc_sum"] / probation["runs"]
+        if mean >= probation["baseline"] - self.probation_margin:
+            # The generation defended the baseline: it becomes the new
+            # rollback target and the rollback streak resets.
+            self._consecutive_rollbacks = 0
+            self._last_good = state_to_dict(self.vm)
+            return None
+        return self._rollback(probation, mean)
+
+    def _rollback(self, probation: dict, mean: float) -> dict:
+        """Restore the last-good generation (see ``docs/robustness.md``).
+
+        The restore itself is transactional (staged parse before any
+        mutation) and the persist goes through the crash-safe envelope's
+        atomic publish — a crash mid-rollback leaves either the old or
+        the new state file, never a torn one, so the tenant reboots into
+        a *whole* generation either way.
+        """
+        report = self.registry.report
+        state_path = self.registry.state_path(self.name)
+        from_generation = probation["generation"]
+        if self._last_good is None:
+            # Nothing trustworthy to restore — a cold tenant whose first
+            # generation flunked. Serving the flunked model beats wiping
+            # learning entirely; the ledger records that judgment call.
+            report.record(
+                "serving", "rollback-skipped", "no-last-good",
+                detail=f"tenant {self.name}: generation {from_generation} "
+                f"failed probation (mean accuracy {mean:.3f} vs baseline "
+                f"{probation['baseline']:.3f}) but no generation ever "
+                "passed probation; keeping it",
+                path=str(state_path) if state_path else None,
+            )
+            return {
+                "from_generation": from_generation,
+                "to_generation": None,
+                "watchdog": False,
+            }
+        self.rollbacks_total += 1
+        self._consecutive_rollbacks += 1
+        restore_state(self.vm, self._last_good)
+        generation = self.registry.note_rollback(self.name)
+        self._fingerprint = self._model_fingerprint()
+        self.registry.save(self.vm)
+        report.record(
+            "serving", "rollback", "probation-failed",
+            detail=f"tenant {self.name}: generation {from_generation} mean "
+            f"accuracy {mean:.3f} fell more than {self.probation_margin} "
+            f"below baseline {probation['baseline']:.3f}; restored "
+            f"last-good state as generation {generation}",
+            path=str(state_path) if state_path else None,
+        )
+        watchdog = self._consecutive_rollbacks >= self.max_rollbacks
+        if watchdog:
+            self._force_retrain()
+        return {
+            "from_generation": from_generation,
+            "to_generation": self.generation,
+            "watchdog": watchdog,
+        }
+
+    def _force_retrain(self) -> None:
+        """Watchdog: repeated rollbacks mean the last-good snapshot no
+        longer matches the traffic either (a real regime change, not a
+        bad refit). Quarantine the state artifact for the post-mortem,
+        re-train every model from only the recent window, and make the
+        result the new baseline."""
+        self.retrains_total += 1
+        report = self.registry.report
+        state_path = self.registry.state_path(self.name)
+        if state_path is not None and self.registry.fs.exists(state_path):
+            quarantine_file(
+                state_path,
+                "repeated-rollbacks",
+                detail=f"tenant {self.name}: {self._consecutive_rollbacks} "
+                "consecutive rollbacks; forcing re-train from the recent "
+                "window",
+                component="serving",
+                fs=self.registry.fs,
+                report=report,
+            )
+        for method in self.vm.models.method_names:
+            self.vm.models.trim_method_history(method, self.vm.drift_window)
+        self.vm.models.refit_all(jobs=self.vm.refit_jobs)
+        if self.vm.drift is not None:
+            self.vm.drift.reset()
+        generation = self.registry.note_swap(self.name)
+        self._fingerprint = self._model_fingerprint()
+        self.registry.save(self.vm)
+        report.record(
+            "serving", "forced-retrain", "repeated-rollbacks",
+            detail=f"tenant {self.name}: re-trained from the last "
+            f"{self.vm.drift_window} observations per method as "
+            f"generation {generation}",
+            path=str(state_path) if state_path else None,
+        )
+        # The old last-good is demonstrably stale; the re-trained model
+        # must earn rollback-target status through its own probation.
+        self._last_good = None
+        self._consecutive_rollbacks = 0
+        baseline = (
+            sum(self._recent_acc) / len(self._recent_acc)
+            if self._recent_acc
+            else None
+        )
+        if self.probation_window is not None and baseline is not None:
+            self._probation = {
+                "generation": generation,
+                "baseline": baseline,
+                "runs": 0,
+                "acc_sum": 0.0,
+            }
 
     # -- shared predict-result cache ----------------------------------------
     def _predict_key(self, cmdline: str) -> CacheKey:
@@ -219,6 +411,12 @@ class Tenant:
             "confidence": self.vm.confidence.value,
             "methods_modeled": len(self.vm.models),
             "predict_cache_hits": self.predict_cache_hits,
+            "rollbacks": self.rollbacks_total,
+            "retrains": self.retrains_total,
+            "on_probation": self._probation is not None,
+            "drift_detections": (
+                self.vm.drift.detections if self.vm.drift is not None else 0
+            ),
         }
 
 
@@ -233,6 +431,9 @@ def build_fleet(
     refit_jobs: int = 1,
     engine: str = "auto",
     prior=None,
+    probation_window: int | None = 8,
+    probation_margin: float = 0.15,
+    max_rollbacks: int = 2,
 ) -> list[Tenant]:
     """Assemble resident tenants over one shared pair of caches.
 
@@ -266,6 +467,9 @@ def build_fleet(
             refit_jobs=refit_jobs,
             engine=engine,
             prior=prior,
+            probation_window=probation_window,
+            probation_margin=probation_margin,
+            max_rollbacks=max_rollbacks,
         )
         for app in apps
     ]

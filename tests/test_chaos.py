@@ -7,16 +7,25 @@ from repro.resilience.chaos import (
     ChaosReport,
     ChaosViolation,
     _build_reference,
+    _check_rollback_pillar,
     _check_state_pillar,
     run_chaos,
 )
 from repro.resilience.degradation import DegradationReport
 from repro.resilience.faults import FaultPlan, FaultyFS
+from repro.scenarios.drift import get_drift_spec
 
 
 @pytest.fixture(scope="module")
 def reference():
     return _build_reference(0, "Search", 2, 1)
+
+
+@pytest.fixture(scope="module")
+def drift_reference():
+    return _build_reference(
+        0, "Search", 3, 1, drift_spec=get_drift_spec("abrupt")
+    )
 
 
 class TestRunChaos:
@@ -88,6 +97,55 @@ class TestHarnessDetectsViolations:
         assert found == []
 
 
+class TestDriftChaos:
+    """Combined drift+fault campaigns: the rollback pillar."""
+
+    def test_drift_campaign_holds_invariants(self, tmp_path):
+        report = run_chaos(
+            seed=0, iterations=3, runs=3, fuzz_programs=1,
+            sweep_every=2, workdir=str(tmp_path), drift=True,
+        )
+        assert report.ok, [v.describe() for v in report.violations]
+        assert report.drift is True
+        assert report.completed == 3
+        assert report.faults_injected > 0
+
+    def test_drift_reference_has_rollback_signature(self, drift_reference):
+        assert drift_reference.drift_spec is not None
+        assert drift_reference.rollback_signature != ()
+
+    def test_clean_fs_rollback_pillar_is_green(
+        self, drift_reference, tmp_path
+    ):
+        found = []
+        _check_rollback_pillar(
+            drift_reference,
+            FaultyFS(FaultPlan(seed=0)),
+            DegradationReport(),
+            tmp_path / "clean",
+            found,
+        )
+        assert found == []
+
+    def test_doctored_rollback_signature_is_caught(
+        self, drift_reference, tmp_path
+    ):
+        real = drift_reference.rollback_signature
+        drift_reference.rollback_signature = ("bogus",)
+        try:
+            found = []
+            _check_rollback_pillar(
+                drift_reference,
+                FaultyFS(FaultPlan(seed=0)),
+                DegradationReport(),
+                tmp_path / "doctored",
+                found,
+            )
+        finally:
+            drift_reference.rollback_signature = real
+        assert any(kind == "divergence" for kind, _ in found)
+
+
 class TestChaosCLI:
     def test_cli_green_run_exits_zero(self, capsys):
         code = main(["chaos", "--iterations", "2", "--runs", "2", "--seed", "1"])
@@ -99,3 +157,11 @@ class TestChaosCLI:
     def test_cli_rejects_unknown_benchmark(self):
         with pytest.raises(KeyError):
             main(["chaos", "NoSuchBench", "--iterations", "1"])
+
+    def test_cli_drift_flag(self, capsys):
+        code = main(
+            ["chaos", "--iterations", "1", "--runs", "3", "--drift"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "drifted input schedule" in out

@@ -1,0 +1,132 @@
+"""Drift detection inside the learning core.
+
+Per-method accuracy extraction, the targeted-forgetting helpers, the
+evolvable VM's detect-and-respond wiring, and the ``drift_detected``
+telemetry schema. The detector defaults are pinned from both sides: a
+stationary stream must stay silent (tier-1 regressions would follow
+otherwise) while a regime collapse must fire within a handful of runs.
+"""
+
+import pytest
+
+from repro.aos.strategy import LevelStrategy
+from repro.bench import get_benchmark
+from repro.core.accuracy import per_method_accuracy
+from repro.core.confidence import DriftMonitor
+from repro.core.evolvable import EvolvableVM
+from repro.experiments import run_experiment
+from repro.experiments.report import (
+    detect_changepoints,
+    steady_state_mean,
+    steady_state_start,
+)
+from repro.experiments.telemetry import drift_event, validate_event
+from repro.scenarios.drift import get_drift_spec, shift_points
+from repro.vm.profiles import RunProfile
+
+
+class TestPerMethodAccuracy:
+    def test_scores_each_profiled_method(self):
+        profile = RunProfile(samples={"hot": 90, "cold": 10})
+        predicted = LevelStrategy({"hot": 2, "cold": 1})
+        ideal = LevelStrategy({"hot": 2, "cold": 0})
+        assert per_method_accuracy(predicted, ideal, profile) == {
+            "hot": 1.0,
+            "cold": 0.0,
+        }
+
+    def test_absent_methods_default_to_baseline(self):
+        profile = RunProfile(samples={"m": 5})
+        # Neither strategy mentions m: baseline == baseline, correct.
+        assert per_method_accuracy(
+            LevelStrategy(), LevelStrategy(), profile
+        ) == {"m": 1.0}
+        # Only the ideal wants m optimized: prediction missed it.
+        assert per_method_accuracy(
+            LevelStrategy(), LevelStrategy({"m": 2}), profile
+        ) == {"m": 0.0}
+
+    def test_sampleless_run_falls_back_to_method_work(self):
+        profile = RunProfile(method_work={"m": 12.0})
+        assert per_method_accuracy(
+            LevelStrategy({"m": 1}), LevelStrategy({"m": 1}), profile
+        ) == {"m": 1.0}
+
+
+class TestVMIntegration:
+    def test_stationary_stream_stays_silent(self):
+        result = run_experiment(
+            get_benchmark("Search"), seed=0, runs=20, scenarios=("evolve",)
+        )
+        assert all(out.drift_methods == () for out in result.evolve)
+
+    def test_abrupt_shift_fires_after_the_changepoint(self):
+        spec = get_drift_spec("abrupt")
+        result = run_experiment(
+            get_benchmark("Search"),
+            seed=3,
+            runs=40,
+            scenarios=("evolve",),
+            drift=spec,
+        )
+        fired = [
+            index
+            for index, out in enumerate(result.evolve)
+            if out.drift_methods
+        ]
+        assert fired, "regime collapse must trip a detector"
+        changepoint = shift_points(spec, 40)[0]
+        assert all(index >= changepoint for index in fired)
+        monitor = result.evolve_vm.drift
+        assert monitor is not None and monitor.detections >= len(fired)
+
+    def test_detection_can_be_disabled(self):
+        bench = get_benchmark("Search")
+        app, _ = bench.build(seed=0)
+        vm = EvolvableVM(app, detect_drift=False)
+        assert vm.drift is None
+
+    def test_custom_monitor_is_honored(self):
+        bench = get_benchmark("Search")
+        app, _ = bench.build(seed=0)
+        monitor = DriftMonitor(lam=0.9)
+        vm = EvolvableVM(app, drift_monitor=monitor)
+        assert vm.drift is monitor
+
+
+class TestDriftTelemetry:
+    def test_event_is_schema_valid(self):
+        event = drift_event("Search", "evolve", 21, ("beta", "alpha"), 0.8)
+        assert validate_event(event) == []
+        assert event["methods"] == ["alpha", "beta"]
+
+    def test_empty_or_mistyped_methods_rejected(self):
+        event = drift_event("Search", "evolve", 3, (), None)
+        assert validate_event(event)
+        event = drift_event("Search", "evolve", 3, ("m",), 0.5)
+        event["methods"] = ["m", 7]
+        assert validate_event(event)
+
+
+class TestChangepointReport:
+    def test_detects_drop_and_recovery(self):
+        series = [0.9] * 12 + [0.1] * 12 + [0.9] * 12
+        points = detect_changepoints(series)
+        assert points
+        assert any(12 <= p < 24 for p in points)
+        assert any(p >= 24 for p in points)
+
+    def test_flat_series_has_no_changepoints(self):
+        assert detect_changepoints([0.8] * 30) == []
+        assert steady_state_start([0.8] * 30) == 0
+        assert steady_state_mean([0.8] * 30) == pytest.approx(0.8)
+
+    def test_steady_state_follows_last_changepoint(self):
+        series = [0.2] * 10 + [0.9] * 20
+        start = steady_state_start(series)
+        assert start >= 10
+        assert steady_state_mean(series) == pytest.approx(0.9)
+
+    def test_empty_series(self):
+        assert detect_changepoints([]) == []
+        assert steady_state_mean([]) is None

@@ -333,3 +333,38 @@ class TestSweepCLI:
         assert main(["sweep", "Search", "--runs", "2", "--no-cache"]) == 0
         assert "cache:" not in capsys.readouterr().out
         assert not (tmp_path / ".repro_cache").exists()
+
+    def test_sweep_strict_exits_nonzero_on_failed_cells(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.experiments.parallel as parallel
+        from repro.experiments.parallel import CellFailure, SweepReport
+
+        monkeypatch.chdir(tmp_path)
+        degraded = SweepReport(
+            results=[],
+            cells_total=2,
+            cells_cached=0,
+            cells_executed=1,
+            cells_failed=1,
+            failures=[
+                CellFailure(
+                    benchmark="Search", scenario="default", start=0,
+                    stop=2, reason="timeout", detail="hung", attempts=2,
+                )
+            ],
+        )
+        monkeypatch.setattr(
+            parallel, "run_sweep", lambda *a, **kw: degraded
+        )
+        argv = ["sweep", "Search", "--runs", "2", "--no-cache"]
+        # Default: degraded sweeps return surviving results, exit 0 —
+        # but the failure is surfaced in the summary and on stderr.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "1 FAILED" in captured.out
+        assert "failed cell" in captured.err
+        assert "timeout" in captured.err
+        # --strict: any failed cell makes the exit status non-zero.
+        assert main(argv + ["--strict"]) == 1
+        assert "1 cell(s) failed" in capsys.readouterr().err

@@ -9,16 +9,31 @@ accuracy monotonically. The predictor tests pin the TH_c gate: below
 threshold it must decline without consulting the models at all.
 """
 
+import math
+
 from hypothesis import given, strategies as st
 
 import pytest
 
 from repro.aos.strategy import LevelStrategy
-from repro.core.confidence import ConfidenceTracker
+from repro.core.confidence import ConfidenceTracker, DriftMonitor, PageHinkley
 from repro.core.predictor import OverheadModel, StrategyPredictor
 from repro.xicl.features import FeatureVector
 
 unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+#: Adversarial accuracy streams: arbitrary in-range values, biased by
+#: hypothesis toward the boundary cases (all-zero collapses, 0/1
+#: flapping) that stress the decay arithmetic hardest.
+adversarial = st.lists(
+    st.one_of(st.sampled_from([0.0, 1.0]), unit), max_size=60
+)
+
+#: Extreme decay rates: essentially-frozen through instantly-forgetting.
+extreme_gamma = st.one_of(
+    st.sampled_from([1e-12, 1e-6, 0.5, 1.0 - 1e-12, 1.0]),
+    st.floats(min_value=1e-12, max_value=1.0, allow_nan=False),
+)
 
 
 class TestConfidenceProperties:
@@ -81,6 +96,135 @@ class TestConfidenceProperties:
     def test_gate_is_strictly_above_threshold(self, value, threshold):
         tracker = ConfidenceTracker(threshold=threshold, value=value)
         assert tracker.confident == (value > threshold)
+
+
+class TestAdversarialDecay:
+    """Decay behavior under adversarial accuracy sequences.
+
+    The drift layer leans on the decayed average staying numerically
+    sane no matter what stream reality serves up: 0/1 flapping, long
+    collapses, and decay rates at both extremes must never produce
+    NaN/overflow, and recovery after a collapse must be monotone.
+    """
+
+    @given(gamma=extreme_gamma, accuracies=adversarial)
+    def test_no_nan_or_overflow_at_extreme_decay_rates(
+        self, gamma, accuracies
+    ):
+        tracker = ConfidenceTracker(gamma=gamma)
+        for accuracy in accuracies:
+            value = tracker.update(accuracy)
+            assert math.isfinite(value)
+            assert 0.0 <= value <= 1.0
+
+    @given(gamma=extreme_gamma, prefix=adversarial)
+    def test_recovery_after_collapse_is_monotone(self, gamma, prefix):
+        # Whatever adversarial history came before, a perfect-accuracy
+        # stream afterwards must pull confidence up monotonically —
+        # recovery cannot oscillate.
+        tracker = ConfidenceTracker(gamma=gamma)
+        for accuracy in prefix:
+            tracker.update(accuracy)
+        previous = tracker.value
+        for _ in range(20):
+            value = tracker.update(1.0)
+            assert value >= previous - 1e-12
+            previous = value
+
+    @given(prefix=adversarial, accuracy=unit)
+    def test_gamma_one_forgets_instantly(self, prefix, accuracy):
+        tracker = ConfidenceTracker(gamma=1.0)
+        for value in prefix:
+            tracker.update(value)
+        assert tracker.update(accuracy) == accuracy
+
+    @given(gamma=st.floats(min_value=1e-12, max_value=1.0, allow_nan=False),
+           start=unit, accuracy=unit)
+    def test_single_step_bounded_by_gamma(self, gamma, start, accuracy):
+        tracker = ConfidenceTracker(gamma=gamma, value=start)
+        value = tracker.update(accuracy)
+        assert abs(value - start) <= gamma * abs(accuracy - start) + 1e-12
+
+
+class TestPageHinkleyProperties:
+    @given(level=unit, steps=st.integers(min_value=1, max_value=80))
+    def test_constant_stream_never_fires(self, level, steps):
+        detector = PageHinkley()
+        assert not any(detector.update(level) for _ in range(steps))
+
+    @given(stream=adversarial)
+    def test_state_stays_finite_and_deficit_nonnegative(self, stream):
+        detector = PageHinkley()
+        for value in stream:
+            detector.update(value)
+            assert math.isfinite(detector.mean)
+            assert math.isfinite(detector.cum)
+            assert detector.cum >= 0.0
+
+    @given(high_runs=st.integers(min_value=5, max_value=30))
+    def test_collapse_always_fires_and_rearms(self, high_runs):
+        detector = PageHinkley()
+        assert not any(detector.update(0.9) for _ in range(high_runs))
+        fired_at = None
+        for index in range(40):
+            if detector.update(0.0):
+                fired_at = index
+                break
+        assert fired_at is not None
+        # Re-armed at the post-shift level: deficit cleared, mean anchored.
+        assert detector.cum == 0.0
+        assert detector.mean == 0.0
+        assert detector.n == 1
+        # The new regime is its own baseline — no immediate re-fire.
+        assert not any(detector.update(0.0) for _ in range(20))
+
+
+class TestDriftMonitorProperties:
+    @given(
+        accs=st.dictionaries(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+            unit,
+            min_size=1,
+            max_size=4,
+        ),
+        rounds=st.integers(min_value=1, max_value=10),
+    )
+    def test_observation_is_order_independent(self, accs, rounds):
+        forward = DriftMonitor()
+        backward = DriftMonitor()
+        reversed_accs = dict(reversed(list(accs.items())))
+        for _ in range(rounds):
+            assert forward.observe(accs) == backward.observe(reversed_accs)
+        assert forward.snapshot() == backward.snapshot()
+
+    @given(stream=st.lists(unit, min_size=1, max_size=40))
+    def test_smoothed_values_stay_in_unit_interval(self, stream):
+        monitor = DriftMonitor()
+        for accuracy in stream:
+            monitor.observe({"m": accuracy})
+            value = monitor.confidence_for("m")
+            assert math.isfinite(value)
+            assert 0.0 <= value <= 1.0
+
+    def test_reset_clears_state_but_keeps_audit_counters(self):
+        monitor = DriftMonitor()
+        for _ in range(10):
+            monitor.observe({"m": 0.9})
+        for _ in range(30):
+            monitor.observe({"m": 0.0})
+        assert monitor.detections >= 1
+        detections = monitor.detections
+        events = list(monitor.events)
+        monitor.reset()
+        assert monitor.snapshot() == {}
+        assert monitor.confidence_for("m") is None
+        assert monitor.detections == detections
+        assert monitor.events == events
+
+    def test_out_of_range_accuracy_rejected(self):
+        monitor = DriftMonitor()
+        with pytest.raises(ValueError):
+            monitor.observe({"m": 1.5})
 
 
 class _StubModels:

@@ -54,6 +54,61 @@ def assert_cold_boot(toy_app, vm):
     assert not outcome.applied_prediction
 
 
+class TestDegradationLedger:
+    """Dedupe + monotonic sequencing of the degradation ledger.
+
+    Repeated identical degradations (the same fault firing every run of
+    a long campaign) must not grow the ledger unboundedly, while the
+    counting APIs keep reporting total occurrences.
+    """
+
+    def test_identical_records_collapse_but_count(self):
+        report = DegradationReport()
+        for _ in range(50):
+            report.record("sweep", "retry", "exception", detail="boom")
+        assert len(report.events) == 1
+        assert len(report) == 50
+        assert report.count(component="sweep", action="retry") == 50
+        assert report.occurrences(report.events[0]) == 50
+        assert "sweep/retry×50" in report.describe()
+
+    def test_distinct_records_get_monotonic_seq(self):
+        report = DegradationReport()
+        first = report.record("state", "quarantine", "bad-magic")
+        report.record("state", "quarantine", "bad-magic")  # duplicate
+        second = report.record("telemetry", "drop-event", "ENOSPC")
+        third = report.record("state", "quarantine", "bad-crc")
+        assert [e.seq for e in report.events] == [
+            first.seq, second.seq, third.seq
+        ]
+        # Sequence numbers are arrival ordinals: the duplicate advanced
+        # the clock, so later entries sit strictly after it.
+        assert first.seq == 0
+        assert first.seq < second.seq < third.seq
+        assert len(report.events) == 3
+        assert len(report) == 4
+
+    def test_differing_detail_is_not_a_duplicate(self):
+        report = DegradationReport()
+        report.record("state", "store-failed", "OSError", detail="disk a")
+        report.record("state", "store-failed", "OSError", detail="disk b")
+        assert len(report.events) == 2
+        assert report.count(component="state") == 2
+
+    def test_extend_preserves_occurrence_counts(self):
+        a = DegradationReport()
+        for _ in range(3):
+            a.record("sweep", "retry", "exception")
+        b = DegradationReport()
+        b.record("state", "quarantine", "bad-crc")
+        b.extend(a)
+        assert len(b.events) == 2
+        assert len(b) == 4
+        assert b.count(component="sweep", action="retry") == 3
+        # Re-sequenced into the receiving report's monotonic order.
+        assert b.events[0].seq < b.events[1].seq
+
+
 class TestEnvelopeRoundTrip:
     def test_state_file_is_an_envelope(self, state_path):
         with open(state_path, "rb") as fh:

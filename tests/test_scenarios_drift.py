@@ -1,0 +1,141 @@
+"""The non-stationary scenario suite: determinism and engine parity.
+
+The drift layer's foundation is that a schedule is a pure function of
+``(spec, n_inputs, n_runs, seed)`` — everything downstream (parallel
+bit-identity, chaos references, study reproducibility) leans on it.
+"""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.experiments import run_experiment
+from repro.scenarios.drift import (
+    DEFAULT_DRIFT_SPECS,
+    SHIFT_KINDS,
+    DriftSpec,
+    drift_labels,
+    drift_sequence,
+    get_drift_spec,
+    partition_inputs,
+    shift_points,
+)
+
+
+class TestDriftSpec:
+    def test_suite_covers_every_shift_kind(self):
+        assert tuple(s.kind for s in DEFAULT_DRIFT_SPECS) == SHIFT_KINDS
+
+    def test_get_drift_spec_is_case_insensitive(self):
+        assert get_drift_spec("ABRUPT").kind == "abrupt"
+        with pytest.raises(KeyError):
+            get_drift_spec("sudden")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DriftSpec("seasonal")
+        with pytest.raises(ValueError):
+            DriftSpec("abrupt", changepoint=1.0)
+        with pytest.raises(ValueError):
+            DriftSpec("gradual", ramp_start=0.8, ramp_stop=0.2)
+        with pytest.raises(ValueError):
+            DriftSpec("cyclic", period=0)
+        with pytest.raises(ValueError):
+            DriftSpec("adversarial", first_segment=1)
+
+    def test_describe_names_the_kind(self):
+        for spec in DEFAULT_DRIFT_SPECS:
+            assert spec.kind in spec.describe()
+
+
+class TestDriftSequence:
+    @pytest.mark.parametrize("kind", SHIFT_KINDS)
+    def test_deterministic_in_all_arguments(self, kind):
+        spec = get_drift_spec(kind)
+        first = drift_sequence(spec, 16, 40, seed=7)
+        again = drift_sequence(spec, 16, 40, seed=7)
+        assert first == again
+        assert drift_sequence(spec, 16, 40, seed=8) != first
+
+    def test_kinds_use_distinct_rng_streams(self):
+        sequences = {
+            kind: tuple(drift_sequence(get_drift_spec(kind), 16, 40, seed=0))
+            for kind in SHIFT_KINDS
+        }
+        assert len(set(sequences.values())) == len(SHIFT_KINDS)
+
+    @pytest.mark.parametrize("kind", SHIFT_KINDS)
+    def test_indices_stay_in_range(self, kind):
+        sequence = drift_sequence(get_drift_spec(kind), 9, 50, seed=3)
+        assert len(sequence) == 50
+        assert all(0 <= index < 9 for index in sequence)
+
+    @pytest.mark.parametrize("kind", SHIFT_KINDS)
+    def test_labels_agree_with_partition(self, kind):
+        spec = get_drift_spec(kind)
+        n_inputs, n_runs, seed = 12, 60, 5
+        regime_a, regime_b = partition_inputs(n_inputs)
+        sequence = drift_sequence(spec, n_inputs, n_runs, seed)
+        labels = drift_labels(spec, n_runs, seed)
+        assert len(labels) == len(sequence)
+        for index, label in zip(sequence, labels):
+            assert index in (regime_a if label == "A" else regime_b)
+
+    def test_abrupt_switches_exactly_at_changepoint(self):
+        spec = DriftSpec("abrupt", changepoint=0.5)
+        labels = drift_labels(spec, 20, seed=0)
+        assert labels == ["A"] * 10 + ["B"] * 10
+        assert shift_points(spec, 20) == [10]
+
+    def test_cyclic_alternates_by_period(self):
+        spec = DriftSpec("cyclic", period=4)
+        labels = drift_labels(spec, 16, seed=0)
+        assert labels == ["A"] * 4 + ["B"] * 4 + ["A"] * 4 + ["B"] * 4
+        assert shift_points(spec, 16) == [4, 8, 12]
+
+    def test_adversarial_segments_shrink(self):
+        spec = DriftSpec("adversarial", first_segment=8)
+        points = shift_points(spec, 30, seed=0)
+        assert points[0] == 8
+        gaps = [b - a for a, b in zip(points, points[1:])]
+        assert gaps == sorted(gaps, reverse=True)
+        assert min(gaps) >= 2
+
+    def test_gradual_shift_points_are_the_ramp_edges(self):
+        spec = DriftSpec("gradual", ramp_start=0.25, ramp_stop=0.75)
+        assert shift_points(spec, 40) == [10, 30]
+
+    def test_single_input_population_is_stationary(self):
+        spec = get_drift_spec("abrupt")
+        assert drift_sequence(spec, 1, 10, seed=0) == [0] * 10
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("kind", ("abrupt", "adversarial"))
+    def test_serial_and_parallel_runs_are_bit_identical(self, kind):
+        bench = get_benchmark("Search")
+        spec = get_drift_spec(kind)
+        serial = run_experiment(
+            bench, seed=3, runs=10, scenarios=("default", "evolve"),
+            drift=spec,
+        )
+        parallel = run_experiment(
+            bench, seed=3, runs=10, scenarios=("default", "evolve"),
+            drift=spec, jobs=2,
+        )
+        assert serial.sequence == parallel.sequence
+        assert serial.confidences() == parallel.confidences()
+        assert serial.accuracies() == parallel.accuracies()
+        assert [out.total_cycles for out in serial.evolve] == [
+            out.total_cycles for out in parallel.evolve
+        ]
+        assert [out.drift_methods for out in serial.evolve] == [
+            out.drift_methods for out in parallel.evolve
+        ]
+
+    def test_drift_and_explicit_sequence_are_mutually_exclusive(self):
+        bench = get_benchmark("Search")
+        with pytest.raises(ValueError):
+            run_experiment(
+                bench, runs=4, drift=get_drift_spec("abrupt"),
+                sequence=[0, 1, 0, 1],
+            )

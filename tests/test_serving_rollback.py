@@ -1,0 +1,235 @@
+"""Model versioning with automatic rollback (docs/robustness.md).
+
+Every swapped-in generation serves a probation: its first window of
+learned runs must defend the pre-swap accuracy baseline or the tenant
+restores the last generation that passed — transactionally in memory,
+crash-safely on disk (the envelope's atomic publish means a crash
+mid-rollback leaves a whole old-or-new state file, never a torn one).
+Repeated rollbacks trip a watchdog that quarantines the state artifact
+and forces a re-train from the recent window. Every decision lands in
+the degradation ledger and, through the server, in telemetry.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import EvolvableVM
+from repro.core.records import state_to_dict
+from repro.experiments.telemetry import TelemetryLog, validate_event
+from repro.resilience.faults import FaultPlan, FaultyFS
+from repro.serving import FleetServer, ModelRegistry, Tenant
+
+TRAIN = ["-m 1 -n 50", "-m 2 -n 1200", "-m 1 -n 1200", "-m 2 -n 50",
+         "-m 1 -n 50", "-m 2 -n 1200"]
+
+
+def _tenant(toy_app, registry, **kwargs):
+    kwargs.setdefault("refit_interval", None)
+    kwargs.setdefault("probation_window", 2)
+    kwargs.setdefault("probation_margin", 1.0)
+    kwargs.setdefault("max_rollbacks", 99)
+    return Tenant(toy_app, registry=registry, **kwargs)
+
+
+def _train(tenant, n=len(TRAIN)):
+    for index in range(n):
+        tenant.run(TRAIN[index % len(TRAIN)], seed=index)
+
+
+def _close_probation(tenant, seed0=100):
+    """Run learned runs until the active probation window closes."""
+    records = []
+    for index in range(tenant.probation_window):
+        payload = tenant.run(TRAIN[index % len(TRAIN)], seed=seed0 + index)
+        records.append(payload["rollback"])
+    return records
+
+
+class TestProbation:
+    def test_passing_probation_sets_rollback_target(self, toy_app, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        tenant = _tenant(toy_app, registry)
+        assert tenant._last_good is None  # cold boot: nothing trustworthy
+        _train(tenant)
+        swap = tenant.swap()
+        assert swap["probation"] is True
+        assert tenant.stats()["on_probation"] is True
+        records = _close_probation(tenant)
+        assert records == [None, None]  # margin 1.0: always defends
+        assert tenant._last_good is not None
+        assert tenant.stats()["on_probation"] is False
+        assert tenant.rollbacks_total == 0
+
+    def test_disabled_probation_never_arms(self, toy_app, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        tenant = _tenant(toy_app, registry, probation_window=None)
+        _train(tenant)
+        assert tenant.swap()["probation"] is False
+        assert tenant.stats()["on_probation"] is False
+
+
+class TestRollback:
+    def _flunked(self, toy_app, registry, **kwargs):
+        """A tenant one failed probation deep: trained, one generation
+        passed probation (the rollback target), then a fresh swap whose
+        baseline is doctored unreachably high."""
+        tenant = _tenant(toy_app, registry, **kwargs)
+        _train(tenant)
+        tenant.swap()
+        _close_probation(tenant)  # generation 1 becomes last-good
+        tenant.swap()
+        tenant._probation["baseline"] = 3.0  # mean accuracy <= 1 < 3 - margin
+        return tenant
+
+    def test_failed_probation_restores_last_good(self, toy_app, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        tenant = self._flunked(toy_app, registry)
+        last_good = json.loads(json.dumps(tenant._last_good))
+        records = _close_probation(tenant, seed0=200)
+        record = records[-1]
+        assert record is not None
+        assert record["from_generation"] == 2
+        assert record["to_generation"] == 3  # a rollback is a deployment
+        assert record["watchdog"] is False
+        assert tenant.rollbacks_total == 1
+        assert registry.rollbacks["toy"] == 1
+        # The VM is the last-good generation again, bit for bit.
+        restored = state_to_dict(tenant.vm)
+        assert restored["confidence"] == last_good["confidence"]
+        assert restored["run_count"] == last_good["run_count"]
+        assert registry.report.count(
+            component="serving", action="rollback") == 1
+
+    def test_rollback_state_survives_restart(self, toy_app, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        tenant = self._flunked(toy_app, registry)
+        _close_probation(tenant, seed0=200)
+        rolled_back = state_to_dict(tenant.vm)
+        fresh = EvolvableVM(toy_app)
+        registry2 = ModelRegistry(tmp_path / "reg")
+        assert registry2.load_into(fresh) is True
+        assert state_to_dict(fresh)["run_count"] == rolled_back["run_count"]
+        assert state_to_dict(fresh)["confidence"] == (
+            rolled_back["confidence"]
+        )
+
+    def test_cold_tenant_flunk_keeps_model(self, toy_app, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        tenant = _tenant(toy_app, registry)
+        _train(tenant)
+        tenant.swap()  # first generation ever: no last-good yet
+        tenant._probation["baseline"] = 3.0
+        record = _close_probation(tenant)[-1]
+        assert record == {
+            "from_generation": 1,
+            "to_generation": None,
+            "watchdog": False,
+        }
+        assert tenant.rollbacks_total == 0
+        assert registry.report.count(
+            component="serving", action="rollback-skipped") == 1
+        # The flunked model keeps serving (better than wiping learning).
+        assert tenant.run(TRAIN[0], seed=999)["result"] is not None
+
+    def test_crash_mid_rollback_leaves_whole_state(self, toy_app, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        tenant = self._flunked(toy_app, registry)
+        on_disk_before = registry.state_path("toy").read_bytes()
+        # Disk dies before the rollback's persist: the envelope's atomic
+        # publish fails whole, so the prior artifact is untouched.
+        registry.fs = FaultyFS(FaultPlan(io_error_write=1.0))
+        record = _close_probation(tenant, seed0=200)[-1]
+        assert record is not None and record["to_generation"] == 3
+        assert registry.report.count(
+            component="state", action="store-failed") >= 1
+        assert registry.state_path("toy").read_bytes() == on_disk_before
+        # The surviving artifact is a whole generation: it restores.
+        fresh = EvolvableVM(toy_app)
+        registry2 = ModelRegistry(tmp_path / "reg")
+        assert registry2.load_into(fresh) is True
+        assert registry2.report.count(action="quarantine") == 0
+
+
+class TestWatchdog:
+    def test_repeated_rollbacks_force_retrain(self, toy_app, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        tenant = _tenant(toy_app, registry, max_rollbacks=1)
+        _train(tenant)
+        tenant.swap()
+        _close_probation(tenant)  # pass: rollback target armed
+        generation = tenant.generation
+        tenant.swap()
+        tenant._probation["baseline"] = 3.0
+        record = _close_probation(tenant, seed0=200)[-1]
+        assert record["watchdog"] is True
+        assert tenant.retrains_total == 1
+        assert tenant.rollbacks_total == 1
+        # Rollback deployment + forced-retrain deployment: two bumps.
+        assert tenant.generation == generation + 3
+        # The stale last-good is demoted; the re-train must re-earn it.
+        assert tenant._last_good is None
+        assert tenant.stats()["on_probation"] is True
+        report = registry.report
+        assert report.count(component="serving", action="rollback") == 1
+        assert report.count(
+            component="serving", action="forced-retrain") == 1
+        assert report.count(action="quarantine") == 1
+        quarantined = list((tmp_path / "reg" / ".quarantine").iterdir())
+        names = sorted(p.name for p in quarantined)
+        assert any(n.endswith(".state") for n in names)
+        assert any(n.endswith(".reason.json") for n in names)
+
+
+class TestServerSurface:
+    def test_rollback_reaches_stats_and_telemetry(self, toy_app, tmp_path):
+        log_path = tmp_path / "serve.jsonl"
+
+        async def scenario():
+            registry = ModelRegistry(tmp_path / "reg")
+            tenant = _tenant(toy_app, registry)
+            telemetry = TelemetryLog(log_path)
+            server = FleetServer([tenant], registry, telemetry=telemetry)
+            await server.start()
+            try:
+                for index, cmd in enumerate(TRAIN):
+                    await server.submit(
+                        {"op": "run", "app": "toy", "cmdline": cmd,
+                         "seed": index}
+                    )
+                await server.submit({"op": "swap", "app": "toy"})
+                for index in range(2):
+                    await server.submit(
+                        {"op": "run", "app": "toy",
+                         "cmdline": TRAIN[index], "seed": 100 + index}
+                    )
+                await server.submit({"op": "swap", "app": "toy"})
+                tenant._probation["baseline"] = 3.0
+                last = None
+                for index in range(2):
+                    last = await server.submit(
+                        {"op": "run", "app": "toy",
+                         "cmdline": TRAIN[index], "seed": 200 + index}
+                    )
+                return last, server.stats.snapshot()
+            finally:
+                await server.stop()
+                telemetry.close()
+
+        response, stats = asyncio.run(scenario())
+        assert response["status"] == 200
+        assert response["rollback"]["to_generation"] == 3
+        assert stats["rollbacks"] == 1
+        events = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        rollbacks = [e for e in events if e["event"] == "serve_rollback"]
+        assert len(rollbacks) == 1
+        assert rollbacks[0]["app"] == "toy"
+        assert rollbacks[0]["from_generation"] == 2
+        assert rollbacks[0]["to_generation"] == 3
+        assert rollbacks[0]["watchdog"] is False
+        for event in events:
+            assert validate_event(event) == [], event
