@@ -21,7 +21,9 @@ interpreter? It times three things:
 5. **The serving layer** (:mod:`repro.bench.servebench`) — sustained
    concurrent mixed-tenant traffic through the fleet server: request
    latency percentiles (p50/p95/p99), throughput, hot swaps, sheds, and
-   the bit-identical-to-serial invariant.
+   the bit-identical-to-serial invariant; plus (schema v6) the batched
+   inference kernel's speedup over per-row predicts and multi-process
+   shard-scaling throughput, both checked bit-identical.
 6. **The data forge** (:mod:`repro.bench.forgebench`) — the forked-run
    labeler's speedup over independent-runs labeling (labels asserted
    bit-identical) and end-to-end dataset-factory throughput in labeled
@@ -46,7 +48,7 @@ import time
 from ..lang import compile_source
 from ..vm import Interpreter
 
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
 
 #: Workload sources: small MiniLang kernels exercising the three hot shapes
 #: the fast engine targets (fused arithmetic loops, array traffic, calls).
@@ -396,6 +398,56 @@ def validate_bench_report(report: dict) -> None:
             "serving: per-tenant results must be bit-identical to serial "
             "replay"
         )
+    need(serving, "batch_kernel", dict, "serving")
+    kernel = serving["batch_kernel"]
+    need(kernel, "trees", int, "serving.batch_kernel")
+    need(kernel, "rows", list, "serving.batch_kernel")
+    if not kernel["rows"]:
+        raise ValueError("serving.batch_kernel: rows must be non-empty")
+    for i, row in enumerate(kernel["rows"]):
+        where = f"serving.batch_kernel.rows[{i}]"
+        need(row, "batch_size", int, where)
+        for key in ("per_row_us", "batch_us", "speedup"):
+            need(row, key, (int, float), where)
+            if row[key] <= 0:
+                raise ValueError(f"{where}: {key!r} must be positive")
+    need(kernel, "speedup", dict, "serving.batch_kernel")
+    for key in ("geomean", "min", "max"):
+        need(kernel["speedup"], key, (int, float), "serving.batch_kernel.speedup")
+        if kernel["speedup"][key] <= 0:
+            raise ValueError(
+                f"serving.batch_kernel.speedup: {key!r} must be positive"
+            )
+    need(kernel, "identical", bool, "serving.batch_kernel")
+    if kernel["identical"] is not True:
+        raise ValueError(
+            "serving.batch_kernel: batched predictions must be "
+            "bit-identical to per-row predict_all"
+        )
+    need(serving, "shard_scaling", dict, "serving")
+    scaling = serving["shard_scaling"]
+    for key in ("requests", "tenants"):
+        need(scaling, key, int, "serving.shard_scaling")
+        if scaling[key] <= 0:
+            raise ValueError(
+                f"serving.shard_scaling: {key!r} must be positive"
+            )
+    need(scaling, "points", list, "serving.shard_scaling")
+    if not scaling["points"]:
+        raise ValueError("serving.shard_scaling: points must be non-empty")
+    for i, point in enumerate(scaling["points"]):
+        where = f"serving.shard_scaling.points[{i}]"
+        need(point, "shards", int, where)
+        for key in ("wall_s", "rps"):
+            need(point, key, (int, float), where)
+            if point[key] <= 0:
+                raise ValueError(f"{where}: {key!r} must be positive")
+    need(scaling, "identical_to_serial", bool, "serving.shard_scaling")
+    if scaling["identical_to_serial"] is not True:
+        raise ValueError(
+            "serving.shard_scaling: sharded results must be bit-identical "
+            "to serial replay"
+        )
     need(report, "datagen", dict, "report")
     datagen = report["datagen"]
     need(datagen, "fork", dict, "datagen")
@@ -490,6 +542,22 @@ def compare_to_baseline(
                 f"serving overhead ratio regressed: {new_ratio:.2f} vs "
                 f"baseline {base_ratio:.2f} "
                 f"(ceiling {base_ratio * (1.0 + max_regression):.2f})"
+            )
+    # Batch-kernel gate: the batched inference kernel's speedup geomean
+    # over per-row predicts (both sides timed on the same forest and
+    # query matrix on this runner, so the ratio is machine-independent).
+    # Baselines recorded before schema v6 have no batch_kernel
+    # subsection and are tolerated — the gate simply skips.
+    base_kernel = (baseline.get("serving") or {}).get("batch_kernel")
+    new_kernel = (report.get("serving") or {}).get("batch_kernel")
+    if base_kernel is not None and new_kernel is not None:
+        base_geo = base_kernel["speedup"]["geomean"]
+        new_geo = new_kernel["speedup"]["geomean"]
+        if new_geo < base_geo * floor:
+            failures.append(
+                f"batch kernel speedup geomean regressed: {new_geo:.2f}x "
+                f"vs baseline {base_geo:.2f}x "
+                f"(floor {base_geo * floor:.2f}x)"
             )
     # Datagen gate: the forked labeler's speedup over independent-runs
     # labeling (both sides timed on this runner, so the ratio is

@@ -224,6 +224,17 @@ class ModelBuilder:
         """Raw per-method predicted labels, one forest pass, no training."""
         return self.forest.predict_all(fvector)
 
+    def predict_all_batch(
+        self, fvectors: list[FeatureVector]
+    ) -> list[dict[str, object]]:
+        """Batched :meth:`predict_all`: one level-synchronous kernel call
+        (:meth:`~repro.learning.flat.FlatForest.predict_batch`) answering
+        the whole query matrix, bit-identical to calling
+        :meth:`predict_all` per vector. The serving layer routes drained
+        predict batches through this so a queue drain costs one kernel
+        pass, not one tree descent per request. Never trains."""
+        return self.forest.predict_batch(fvectors)
+
     def predict(self, fvector: FeatureVector) -> LevelStrategy:
         """Predicted per-method levels for the input *fvector*.
 

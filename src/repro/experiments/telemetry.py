@@ -174,11 +174,15 @@ def serve_event(kind: str, **fields) -> dict:
 
     Kinds: ``serve_start`` (fleet boot summary), ``serve_request`` (one
     answered request), ``serve_shed`` (admission control refused a
-    request), ``serve_swap`` (hot model swap), ``serve_rollback``
-    (post-swap probation failed; the tenant restored its last-good
-    generation — ``watchdog`` marks a forced re-train), and
-    ``serve_degradation`` (one registry :class:`DegradationEvent`
-    mirrored at startup).
+    request), ``serve_batch`` (one worker hop answered a drained predict
+    batch through the batched kernel; ``size`` is the hop's batch size),
+    ``serve_swap`` (hot model swap), ``serve_rollback`` (post-swap
+    probation failed; the tenant restored its last-good generation —
+    ``watchdog`` marks a forced re-train), ``serve_degradation`` (one
+    registry :class:`DegradationEvent` mirrored at startup), and
+    ``serve_shard`` (sharded-fleet lifecycle: a worker process spawned,
+    died, or was respawned with its tenants cold-started from the
+    envelope).
     """
     event = {"event": kind, "v": TELEMETRY_SCHEMA_VERSION}
     event.update(fields)
@@ -266,6 +270,21 @@ _SERVE_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
         "op": (str,),
         "queue_depth": (int,),
         "queue_bound": (int,),
+    },
+    "serve_batch": {
+        "event": (str,),
+        "v": (int,),
+        "app": (str,),
+        "size": (int,),
+        "queue_depth": (int,),
+    },
+    "serve_shard": {
+        "event": (str,),
+        "v": (int,),
+        "shard": (int,),
+        "action": (str,),
+        "tenants": (list,),
+        "detail": (str, type(None)),
     },
     "serve_swap": {
         "event": (str,),

@@ -19,11 +19,16 @@ on stderr and emits it as a ``serve_degradation`` telemetry event.
 The registry also tracks the **model generation** per tenant: a counter
 bumped by every hot swap (offline ``refit_all`` + atomic forest-pointer
 flip). Responses carry the generation that served them, so operators can
-correlate behavior changes with swaps.
+correlate behavior changes with swaps. Generations persist beside the
+state file in a per-tenant ``<app>.gen`` sidecar (atomic write, lenient
+read), one file per tenant so disjoint shard workers over one registry
+root never contend — a respawned shard restores both the model *and* the
+generation counter its responses must keep reporting.
 """
 
 from __future__ import annotations
 
+import json
 import re
 from pathlib import Path
 
@@ -34,6 +39,9 @@ from ..resilience.envelope import REAL_FS, FileSystem
 
 #: Filename suffix for per-tenant state artifacts.
 STATE_SUFFIX = ".state"
+
+#: Filename suffix for per-tenant generation sidecars.
+GENERATION_SUFFIX = ".gen"
 
 
 def _safe_name(app_name: str) -> str:
@@ -70,6 +78,59 @@ class ModelRegistry:
             return None
         return self.root / f"{_safe_name(app_name)}{STATE_SUFFIX}"
 
+    def generation_path(self, app_name: str) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / f"{_safe_name(app_name)}{GENERATION_SUFFIX}"
+
+    # -- generation persistence ----------------------------------------------
+    def _load_generation(self, app_name: str) -> None:
+        """Adopt the persisted generation counter, if any (never raises).
+
+        A missing sidecar is the normal cold start (counter 0); a torn
+        or unparseable one degrades to 0 with the decision recorded —
+        the model itself still restores, only the counter restarts.
+        """
+        path = self.generation_path(app_name)
+        if path is None or not self.fs.exists(path):
+            return
+        try:
+            payload = json.loads(self.fs.read_bytes(path).decode("utf-8"))
+            generation = int(payload["generation"])
+            rollbacks = int(payload.get("rollbacks", 0))
+        except Exception as exc:
+            self.report.record(
+                "registry", "generation-reset", "unreadable-sidecar",
+                detail=f"tenant {app_name}: {type(exc).__name__}: {exc}; "
+                "generation counter restarts at 0",
+                path=str(path),
+            )
+            return
+        self.generations[app_name] = generation
+        if rollbacks:
+            self.rollbacks[app_name] = rollbacks
+
+    def _persist_generation(self, app_name: str) -> None:
+        """Atomically publish the tenant's counters (I/O failures degrade,
+        they never take a swap down)."""
+        path = self.generation_path(app_name)
+        if path is None:
+            return
+        payload = {
+            "generation": self.generations.get(app_name, 0),
+            "rollbacks": self.rollbacks.get(app_name, 0),
+        }
+        try:
+            self.fs.write_bytes_atomic(
+                path, json.dumps(payload, sort_keys=True).encode("utf-8")
+            )
+        except OSError as exc:
+            self.report.record(
+                "registry", "generation-unsaved", "io-error",
+                detail=f"tenant {app_name}: {type(exc).__name__}: {exc}",
+                path=str(path),
+            )
+
     # -- startup ------------------------------------------------------------
     def load_into(self, vm: EvolvableVM) -> bool:
         """Restore *vm* from its tenant's state file (never raises).
@@ -80,6 +141,7 @@ class ModelRegistry:
         """
         name = vm.app.name
         self.generations.setdefault(name, 0)
+        self._load_generation(name)
         path = self.state_path(name)
         if path is None:
             self.cold_started.append(name)
@@ -92,8 +154,9 @@ class ModelRegistry:
 
     # -- swap + persistence --------------------------------------------------
     def note_swap(self, app_name: str) -> int:
-        """Bump and return the tenant's model generation."""
+        """Bump, persist, and return the tenant's model generation."""
         self.generations[app_name] = self.generations.get(app_name, 0) + 1
+        self._persist_generation(app_name)
         return self.generations[app_name]
 
     def note_rollback(self, app_name: str) -> int:

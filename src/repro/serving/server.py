@@ -16,9 +16,11 @@ Architecture (``docs/serving.md`` has the operator-facing picture):
   stays deterministic.
 - **Predict batching**: consecutive ``predict`` requests waiting in a
   tenant's queue are drained into one batch and answered in a single
-  worker hop through
-  :meth:`~repro.core.model_builder.ModelBuilder.predict_all` — batching
-  only amortizes dispatch, it cannot reorder ops.
+  worker hop by one batched kernel call
+  (:meth:`~repro.core.model_builder.ModelBuilder.predict_all_batch`,
+  bit-identical to per-row ``predict_all``) — batching amortizes both
+  dispatch and tree traversal, and cannot reorder ops. Per-hop batch
+  sizes land in ``ServerStats.to_dict()`` and ``serve_batch`` telemetry.
 - **Hot swap**: after ``refit_interval`` runs (or an explicit ``swap``
   request) the tenant refits offline and flips its compiled forest
   pointer atomically; requests already executing finish on the old
@@ -71,7 +73,18 @@ class ServerStats:
     rollbacks: int = 0
     batches: int = 0
     batched_predicts: int = 0
+    #: Batch-size distribution over every predict worker hop (a solo
+    #: predict is a hop of size 1), the observable for batching efficacy.
+    batch_hops: int = 0
+    batch_size_max: int = 0
+    batch_size_sum: int = 0
     latencies_ms: list[float] = field(default_factory=list)
+
+    def note_batch(self, size: int) -> None:
+        self.batch_hops += 1
+        self.batch_size_sum += size
+        if size > self.batch_size_max:
+            self.batch_size_max = size
 
     def snapshot(self) -> dict:
         return {
@@ -84,6 +97,21 @@ class ServerStats:
             "batches": self.batches,
             "batched_predicts": self.batched_predicts,
         }
+
+    def to_dict(self) -> dict:
+        """:meth:`snapshot` plus the batch-size distribution (the
+        ``stats`` op payload and the shard-router merge input)."""
+        payload = self.snapshot()
+        payload["batch_sizes"] = {
+            "count": self.batch_hops,
+            "max": self.batch_size_max,
+            "mean": (
+                self.batch_size_sum / self.batch_hops
+                if self.batch_hops
+                else 0.0
+            ),
+        }
+        return payload
 
 
 class FleetServer:
@@ -241,7 +269,7 @@ class FleetServer:
 
     def _stats_payload(self) -> dict:
         return {
-            "server": self.stats.snapshot(),
+            "server": self.stats.to_dict(),
             "tenants": {
                 name: tenant.stats()
                 for name, tenant in sorted(self.tenants.items())
@@ -268,13 +296,18 @@ class FleetServer:
                 ):
                     batch.append(queue.get_nowait())
             try:
-                await self._execute_batch(loop, tenant, batch)
+                await self._execute_batch(loop, tenant, batch, queue)
             finally:
                 for _ in batch:
                     queue.task_done()
 
-    async def _execute_batch(self, loop, tenant: Tenant, batch) -> None:
+    async def _execute_batch(self, loop, tenant: Tenant, batch, queue) -> None:
         op = batch[0][0]["op"]
+        if op == "predict":
+            # Every predict hop lands in the batch-size distribution —
+            # a solo predict is a hop of size 1 — so the stats surface
+            # shows how much of the stream actually batches.
+            self.stats.note_batch(len(batch))
         try:
             if op == "predict" and len(batch) > 1:
                 cmdlines = [request["cmdline"] for request, _, _ in batch]
@@ -283,6 +316,15 @@ class FleetServer:
                 )
                 self.stats.batches += 1
                 self.stats.batched_predicts += len(batch)
+                if self.telemetry is not None:
+                    self.telemetry.append(
+                        serve_event(
+                            "serve_batch",
+                            app=tenant.name,
+                            size=len(batch),
+                            queue_depth=queue.qsize(),
+                        )
+                    )
             else:
                 payloads = [
                     await loop.run_in_executor(

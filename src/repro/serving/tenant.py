@@ -181,8 +181,8 @@ class Tenant:
         cached = self._predict_cached(cmdline)
         if cached is not None:
             self.predict_cache_hits += 1
-            levels = cached
-        elif self.vm.translator is None:
+            return self._predict_response(cached)
+        if self.vm.translator is None:
             levels = {}  # no XICL spec: nothing to featurize or predict
         else:
             tokens = self.app.split_cmdline(cmdline)
@@ -194,6 +194,63 @@ class Tenant:
                 ).items()
             }
             self._predict_store(cmdline, levels)
+        return self._predict_response(levels)
+
+    def predict_batch(self, cmdlines: list[str]) -> list[dict]:
+        """One executor hop, one batched kernel call, for a whole batch.
+
+        Cache hits answer from the shared result cache exactly as
+        :meth:`predict` would; the misses — deduplicated, since a
+        repeated cmdline later in the batch would have hit the entry its
+        first occurrence stored — are featurized and answered by a
+        single
+        :meth:`~repro.core.model_builder.ModelBuilder.predict_all_batch`
+        kernel call. Responses and counters (``predicts_total``,
+        ``predict_cache_hits``) are bit-identical to calling
+        :meth:`predict` per cmdline in order: prediction mutates nothing
+        the later entries of the batch could observe.
+        """
+        results: list[dict | None] = [None] * len(cmdlines)
+        misses: dict[str, list[int]] = {}
+        for i, cmdline in enumerate(cmdlines):
+            self.predicts_total += 1
+            cached = self._predict_cached(cmdline)
+            if cached is not None:
+                self.predict_cache_hits += 1
+                results[i] = self._predict_response(cached)
+            elif cmdline in misses:
+                # Per-row replay would hit the cache entry the first
+                # occurrence just stored.
+                if self.predict_cache is not None:
+                    self.predict_cache_hits += 1
+                misses[cmdline].append(i)
+            else:
+                misses[cmdline] = [i]
+        if misses:
+            if self.vm.translator is None:
+                for positions in misses.values():
+                    for i in positions:
+                        results[i] = self._predict_response({})
+            else:
+                order = list(misses)
+                fvectors = [
+                    self.vm.translator.build_fvector(
+                        self.app.split_cmdline(cmdline)
+                    )
+                    for cmdline in order
+                ]
+                batched = self.vm.models.predict_all_batch(fvectors)
+                for cmdline, labels in zip(order, batched):
+                    levels = {
+                        method: int(label)
+                        for method, label in labels.items()
+                    }
+                    self._predict_store(cmdline, levels)
+                    for i in misses[cmdline]:
+                        results[i] = self._predict_response(levels)
+        return results
+
+    def _predict_response(self, levels: dict) -> dict:
         return {
             "levels": levels,
             "methods_modeled": len(self.vm.models),
@@ -201,10 +258,6 @@ class Tenant:
             "confident": self.vm.confidence.confident,
             "generation": self.generation,
         }
-
-    def predict_batch(self, cmdlines: list[str]) -> list[dict]:
-        """One executor hop answering a whole batch of predict requests."""
-        return [self.predict(cmdline) for cmdline in cmdlines]
 
     def swap(self) -> dict:
         """Offline refit + atomic generation flip + crash-safe save.

@@ -25,6 +25,7 @@ def synthetic_report(
     overhead_ratio: float = 1.3,
     compiled_speedup: float = 12.0,
     fork_speedup: float = 3.2,
+    kernel_speedup: float = 3.0,
 ) -> dict:
     row = {
         "name": "arith_loop",
@@ -91,6 +92,32 @@ def synthetic_report(
             "sheds": 36,
             "batches": 5,
             "identical_to_serial": True,
+            "batch_kernel": {
+                "trees": 40,
+                "rows": [
+                    {
+                        "batch_size": 16,
+                        "per_row_us": 100.0,
+                        "batch_us": 100.0 / kernel_speedup,
+                        "speedup": kernel_speedup,
+                    },
+                ],
+                "identical": True,
+                "speedup": {
+                    "geomean": kernel_speedup,
+                    "min": kernel_speedup,
+                    "max": kernel_speedup,
+                },
+            },
+            "shard_scaling": {
+                "requests": 160,
+                "tenants": 3,
+                "points": [
+                    {"shards": 1, "wall_s": 0.4, "rps": 400.0},
+                    {"shards": 2, "wall_s": 0.25, "rps": 640.0},
+                ],
+                "identical_to_serial": True,
+            },
         },
         "datagen": {
             "fork": {
@@ -141,6 +168,14 @@ def test_valid_report_passes():
         lambda r: r["serving"].update(identical_to_serial=False),
         lambda r: r["serving"]["latency_ms"].pop("p99"),
         lambda r: r["serving"].update(rps=0),
+        lambda r: r["serving"].pop("batch_kernel"),
+        lambda r: r["serving"]["batch_kernel"].update(identical=False),
+        lambda r: r["serving"]["batch_kernel"]["rows"][0].update(speedup=0),
+        lambda r: r["serving"].pop("shard_scaling"),
+        lambda r: r["serving"]["shard_scaling"].update(
+            identical_to_serial=False
+        ),
+        lambda r: r["serving"]["shard_scaling"].update(points=[]),
         lambda r: r.pop("datagen"),
         lambda r: r["datagen"]["fork"].update(identical_labels=False),
         lambda r: r["datagen"]["fork"].update(speedup=0),
@@ -164,6 +199,12 @@ def test_valid_report_passes():
         "serving-diverged-from-serial",
         "serving-missing-percentile",
         "serving-zero-throughput",
+        "missing-batch-kernel",
+        "batch-kernel-diverged",
+        "batch-kernel-zero-speedup",
+        "missing-shard-scaling",
+        "shard-scaling-diverged",
+        "shard-scaling-no-points",
         "missing-datagen",
         "fork-labels-diverged",
         "zero-fork-speedup",
@@ -255,6 +296,29 @@ def test_serving_gate_tolerates_v2_baseline():
     assert compare_to_baseline(report, baseline, max_regression=0.20) == []
 
 
+def test_batch_kernel_regression_detected():
+    report = synthetic_report(kernel_speedup=1.5)
+    baseline = synthetic_report(kernel_speedup=3.0)
+    failures = compare_to_baseline(report, baseline, max_regression=0.20)
+    assert failures
+    assert all("batch kernel" in failure for failure in failures)
+
+
+def test_batch_kernel_within_tolerance():
+    report = synthetic_report(kernel_speedup=2.6)
+    baseline = synthetic_report(kernel_speedup=3.0)
+    # 2.6 >= 3.0 * 0.8 → fine.
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
+
+
+def test_batch_kernel_gate_tolerates_v5_baseline():
+    # A pre-batching (schema 5) baseline simply has no batch-kernel gate.
+    report = synthetic_report(kernel_speedup=1.0)
+    baseline = synthetic_report()
+    del baseline["serving"]["batch_kernel"]
+    assert compare_to_baseline(report, baseline, max_regression=0.20) == []
+
+
 def test_datagen_regression_detected():
     report = synthetic_report(fork_speedup=1.5)
     baseline = synthetic_report(fork_speedup=3.2)
@@ -296,6 +360,14 @@ def test_checked_in_baseline_is_valid():
     assert baseline["serving"]["identical_to_serial"] is True
     assert baseline["serving"]["swaps"] > 0
     assert baseline["serving"]["sheds"] > 0
+    # Batched inference kernel: at least 2x over per-row predicts at
+    # batch sizes >= 16 with outputs checked bit-identical (the sharded
+    # serving acceptance bar), and every shard count bit-identical to
+    # serial replay.
+    kernel = baseline["serving"]["batch_kernel"]
+    assert kernel["speedup"]["geomean"] >= 2.0
+    assert kernel["identical"] is True
+    assert baseline["serving"]["shard_scaling"]["identical_to_serial"] is True
     # Forked-run labeling: at least 3x over independent runs at
     # bit-identical labels (the forge acceptance bar).
     assert baseline["datagen"]["fork"]["speedup"] >= 3.0
